@@ -1,0 +1,252 @@
+//! Answer sets (stable models) and projections over them.
+
+use crate::atom::{GroundAtom, Predicate};
+use crate::symbol::{FastSet, Sym, Symbols};
+use std::fmt;
+
+/// One answer set: a set of ground atoms, stored sorted for deterministic
+/// display and fast intersection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnswerSet {
+    atoms: Vec<GroundAtom>,
+}
+
+impl AnswerSet {
+    /// Builds an answer set, sorting and deduplicating the atoms.
+    ///
+    /// Sorting uses an injective per-atom string key computed once per atom
+    /// (`sort_by_cached_key`) rather than a name-resolving comparator:
+    /// resolving symbols per *comparison* acquires the shared symbol-store
+    /// lock O(n log n) times, which measurably serializes the parallel
+    /// reasoner's workers on large windows.
+    pub fn new(mut atoms: Vec<GroundAtom>, syms: &Symbols) -> Self {
+        // Resolve each distinct symbol once: cloning the shared `Arc<str>`
+        // per atom makes concurrent workers fight over the refcount cache
+        // lines of the handful of predicate-name symbols.
+        let mut cache: crate::symbol::FastMap<Sym, Box<str>> = crate::symbol::FastMap::default();
+        atoms.sort_by_cached_key(|a| sort_key(a, syms, &mut cache));
+        atoms.dedup();
+        AnswerSet { atoms }
+    }
+
+    /// The atoms, sorted.
+    pub fn atoms(&self) -> &[GroundAtom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when the answer set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Membership test (linear scan is fine: answer sets are compared via
+    /// hash sets in the accuracy module; this is for tests and examples).
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.atoms.iter().any(|a| a == atom)
+    }
+
+    /// Restricts the answer set to atoms whose predicate satisfies `keep`.
+    pub fn project(&self, syms: &Symbols, keep: impl Fn(&Predicate) -> bool) -> AnswerSet {
+        AnswerSet::new(
+            self.atoms.iter().filter(|a| keep(&a.predicate())).cloned().collect(),
+            syms,
+        )
+    }
+
+    /// Restricts the answer set to the given predicates.
+    pub fn project_to(&self, syms: &Symbols, preds: &FastSet<Predicate>) -> AnswerSet {
+        self.project(syms, |p| preds.contains(p))
+    }
+
+    /// Union of two answer sets (used by the combining handler).
+    ///
+    /// Both sides are already sorted by the injective key of
+    /// [`AnswerSet::new`], so this is a linear merge rather than a re-sort —
+    /// the combining handler unions window-sized sets on the critical path.
+    pub fn union(&self, other: &AnswerSet, syms: &Symbols) -> AnswerSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut cache: crate::symbol::FastMap<Sym, Box<str>> = crate::symbol::FastMap::default();
+        let keys_a: Vec<String> =
+            self.atoms.iter().map(|a| sort_key(a, syms, &mut cache)).collect();
+        let keys_b: Vec<String> =
+            other.atoms.iter().map(|a| sort_key(a, syms, &mut cache)).collect();
+        let mut atoms = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < keys_a.len() && j < keys_b.len() {
+            match keys_a[i].cmp(&keys_b[j]) {
+                std::cmp::Ordering::Less => {
+                    atoms.push(self.atoms[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    atoms.push(other.atoms[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    // Injective keys: equal keys means equal atoms.
+                    atoms.push(self.atoms[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        atoms.extend_from_slice(&self.atoms[i..]);
+        atoms.extend_from_slice(&other.atoms[j..]);
+        AnswerSet { atoms }
+    }
+
+    /// `|self ∩ other|` — computed with a hash set over the smaller side.
+    pub fn intersection_size(&self, other: &AnswerSet) -> usize {
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let set: FastSet<&GroundAtom> = small.atoms.iter().collect();
+        large.atoms.iter().filter(|a| set.contains(a)).count()
+    }
+
+    /// Renders `{a. b. c.}`-style output.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> AnswerSetDisplay<'a> {
+        AnswerSetDisplay { ans: self, syms }
+    }
+}
+
+/// Injective, name-based sort key for a ground atom. Equal keys imply equal
+/// atoms (type tags disambiguate e.g. the integer `3` from a constant `"3"`),
+/// so ordering by this key is deterministic across runs regardless of symbol
+/// interning order.
+fn sort_key(
+    atom: &GroundAtom,
+    syms: &Symbols,
+    cache: &mut crate::symbol::FastMap<Sym, Box<str>>,
+) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(32);
+    // Name first, polarity second: mirrors `ground_atom_cmp` so e.g. `-p`
+    // still sorts before `q`.
+    key.push_str(resolve_cached(atom.pred, syms, cache));
+    key.push('\u{1f}');
+    key.push(if atom.strong_neg { '-' } else { '+' });
+    for arg in atom.args.iter() {
+        key.push('\u{1f}');
+        term_key(arg, syms, cache, &mut key);
+    }
+    return key;
+
+    fn resolve_cached<'c>(
+        s: Sym,
+        syms: &Symbols,
+        cache: &'c mut crate::symbol::FastMap<Sym, Box<str>>,
+    ) -> &'c str {
+        cache.entry(s).or_insert_with(|| Box::from(&*syms.resolve(s)))
+    }
+
+    fn term_key(
+        t: &crate::term::GroundTerm,
+        syms: &Symbols,
+        cache: &mut crate::symbol::FastMap<Sym, Box<str>>,
+        out: &mut String,
+    ) {
+        use crate::term::GroundTerm;
+        match t {
+            // Zero-padded fixed width keeps integer order lexicographic;
+            // the leading tag keeps types apart ('a' < 'b' < 'c' mirrors
+            // int < const < func of `ground_term_cmp`).
+            GroundTerm::Int(i) => {
+                let biased = (*i as i128) - (i64::MIN as i128); // non-negative
+                let _ = write!(out, "a{biased:039}");
+            }
+            GroundTerm::Const(s) => {
+                out.push('b');
+                let resolved = resolve_cached(*s, syms, cache);
+                out.push_str(resolved);
+            }
+            GroundTerm::Func(f, args) => {
+                out.push('c');
+                let resolved = resolve_cached(*f, syms, cache);
+                out.push_str(resolved);
+                for a in args.iter() {
+                    out.push('\u{1e}');
+                    term_key(a, syms, cache, out);
+                }
+                out.push('\u{1d}');
+            }
+        }
+    }
+}
+
+/// Display adapter for [`AnswerSet`].
+pub struct AnswerSetDisplay<'a> {
+    ans: &'a AnswerSet,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for AnswerSetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.ans.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", a.display(self.syms))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::GroundTerm;
+
+    fn ga(syms: &Symbols, name: &str, arg: &str) -> GroundAtom {
+        GroundAtom::new(syms.intern(name), vec![GroundTerm::Const(syms.intern(arg))])
+    }
+
+    #[test]
+    fn new_sorts_and_dedupes() {
+        let syms = Symbols::new();
+        let ans = AnswerSet::new(
+            vec![ga(&syms, "b", "x"), ga(&syms, "a", "x"), ga(&syms, "b", "x")],
+            &syms,
+        );
+        assert_eq!(ans.len(), 2);
+        assert_eq!(ans.display(&syms).to_string(), "{a(x) b(x)}");
+    }
+
+    #[test]
+    fn intersection_size_counts_common_atoms() {
+        let syms = Symbols::new();
+        let a = AnswerSet::new(vec![ga(&syms, "p", "1"), ga(&syms, "q", "1")], &syms);
+        let b = AnswerSet::new(vec![ga(&syms, "q", "1"), ga(&syms, "r", "1")], &syms);
+        assert_eq!(a.intersection_size(&b), 1);
+        assert_eq!(b.intersection_size(&a), 1);
+        assert_eq!(a.intersection_size(&a), 2);
+    }
+
+    #[test]
+    fn project_keeps_selected_predicates() {
+        let syms = Symbols::new();
+        let ans = AnswerSet::new(vec![ga(&syms, "keep", "1"), ga(&syms, "drop", "1")], &syms);
+        let keep = syms.intern("keep");
+        let projected = ans.project(&syms, |p| p.name == keep);
+        assert_eq!(projected.len(), 1);
+        assert!(projected.contains(&ga(&syms, "keep", "1")));
+    }
+
+    #[test]
+    fn union_merges() {
+        let syms = Symbols::new();
+        let a = AnswerSet::new(vec![ga(&syms, "p", "1")], &syms);
+        let b = AnswerSet::new(vec![ga(&syms, "q", "1"), ga(&syms, "p", "1")], &syms);
+        let u = a.union(&b, &syms);
+        assert_eq!(u.len(), 2);
+    }
+}

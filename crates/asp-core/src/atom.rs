@@ -1,0 +1,256 @@
+//! Atoms and predicates, non-ground and ground.
+
+use crate::symbol::{Sym, Symbols};
+use crate::term::{ground_term_cmp, GroundTerm, Term};
+use std::fmt;
+
+/// A predicate identified by name, arity and polarity.
+///
+/// Strong (classical) negation `-p` is modelled as a separate predicate with
+/// `strong_neg = true`; the grounder emits the consistency constraints
+/// `:- p(t̄), -p(t̄)` that relate the two polarities.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Predicate {
+    /// Interned predicate name.
+    pub name: Sym,
+    /// Number of arguments.
+    pub arity: u32,
+    /// True for the strongly negated polarity `-p`.
+    pub strong_neg: bool,
+}
+
+impl Predicate {
+    /// A positive predicate.
+    pub fn new(name: Sym, arity: u32) -> Self {
+        Predicate { name, arity, strong_neg: false }
+    }
+
+    /// Renders `name/arity` (with a leading `-` for strong negation).
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> PredicateDisplay<'a> {
+        PredicateDisplay { pred: self, syms }
+    }
+}
+
+/// Display adapter for [`Predicate`].
+pub struct PredicateDisplay<'a> {
+    pred: &'a Predicate,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for PredicateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pred.strong_neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{}/{}", self.syms.resolve(self.pred.name), self.pred.arity)
+    }
+}
+
+/// A possibly non-ground atom `p(t1, ..., tn)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Interned predicate name.
+    pub pred: Sym,
+    /// Argument terms.
+    pub args: Vec<Term>,
+    /// True for the strongly negated polarity `-p(...)`.
+    pub strong_neg: bool,
+}
+
+impl Atom {
+    /// A positive atom.
+    pub fn new(pred: Sym, args: Vec<Term>) -> Self {
+        Atom { pred, args, strong_neg: false }
+    }
+
+    /// The atom's predicate.
+    pub fn predicate(&self) -> Predicate {
+        Predicate {
+            name: self.pred,
+            arity: self.args.len() as u32,
+            strong_neg: self.strong_neg,
+        }
+    }
+
+    /// True when all arguments are ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Collects the variables of all arguments into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Sym>) {
+        for a in &self.args {
+            a.collect_vars(out);
+        }
+    }
+
+    /// Renders the atom against a symbol store.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> AtomDisplay<'a> {
+        AtomDisplay { atom: self, syms }
+    }
+}
+
+/// Display adapter for [`Atom`].
+pub struct AtomDisplay<'a> {
+    atom: &'a Atom,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for AtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atom.strong_neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.syms.resolve(self.atom.pred))?;
+        if !self.atom.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.atom.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", a.display(self.syms))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A ground atom `p(c1, ..., cn)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundAtom {
+    /// Interned predicate name.
+    pub pred: Sym,
+    /// Ground argument terms.
+    pub args: Box<[GroundTerm]>,
+    /// True for the strongly negated polarity.
+    pub strong_neg: bool,
+}
+
+impl GroundAtom {
+    /// A positive ground atom.
+    pub fn new(pred: Sym, args: Vec<GroundTerm>) -> Self {
+        GroundAtom { pred, args: args.into(), strong_neg: false }
+    }
+
+    /// The atom's predicate.
+    pub fn predicate(&self) -> Predicate {
+        Predicate {
+            name: self.pred,
+            arity: self.args.len() as u32,
+            strong_neg: self.strong_neg,
+        }
+    }
+
+    /// Lifts the ground atom into the non-ground [`Atom`] space.
+    pub fn to_atom(&self) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(GroundTerm::to_term).collect(),
+            strong_neg: self.strong_neg,
+        }
+    }
+
+    /// Renders the atom against a symbol store.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> GroundAtomDisplay<'a> {
+        GroundAtomDisplay { atom: self, syms }
+    }
+}
+
+/// Name-based total order on ground atoms for deterministic output.
+pub fn ground_atom_cmp(syms: &Symbols, a: &GroundAtom, b: &GroundAtom) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    syms.resolve(a.pred)
+        .cmp(&syms.resolve(b.pred))
+        .then_with(|| a.strong_neg.cmp(&b.strong_neg))
+        .then_with(|| a.args.len().cmp(&b.args.len()))
+        .then_with(|| {
+            for (x, y) in a.args.iter().zip(b.args.iter()) {
+                let ord = ground_term_cmp(syms, x, y);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        })
+}
+
+/// Display adapter for [`GroundAtom`].
+pub struct GroundAtomDisplay<'a> {
+    atom: &'a GroundAtom,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for GroundAtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atom.strong_neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.syms.resolve(self.atom.pred))?;
+        if !self.atom.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.atom.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", a.display(self.syms))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_identity_includes_arity_and_polarity() {
+        let syms = Symbols::new();
+        let p = syms.intern("p");
+        let p1 = Predicate::new(p, 1);
+        let p2 = Predicate::new(p, 2);
+        let np1 = Predicate { name: p, arity: 1, strong_neg: true };
+        assert_ne!(p1, p2);
+        assert_ne!(p1, np1);
+        assert_eq!(np1.display(&syms).to_string(), "-p/1");
+    }
+
+    #[test]
+    fn atom_display_matches_asp_syntax() {
+        let syms = Symbols::new();
+        let a = Atom::new(
+            syms.intern("average_speed"),
+            vec![Term::Var(syms.intern("X")), Term::Int(10)],
+        );
+        assert_eq!(a.display(&syms).to_string(), "average_speed(X,10)");
+        let zero_ary = Atom::new(syms.intern("go"), vec![]);
+        assert_eq!(zero_ary.display(&syms).to_string(), "go");
+    }
+
+    #[test]
+    fn ground_atom_roundtrips_through_atom() {
+        let syms = Symbols::new();
+        let g = GroundAtom::new(
+            syms.intern("car_location"),
+            vec![
+                GroundTerm::Const(syms.intern("car1")),
+                GroundTerm::Const(syms.intern("dangan")),
+            ],
+        );
+        let a = g.to_atom();
+        assert!(a.is_ground());
+        assert_eq!(a.display(&syms).to_string(), "car_location(car1,dangan)");
+    }
+
+    #[test]
+    fn ground_atom_ordering_is_stable() {
+        let syms = Symbols::new();
+        let b = GroundAtom::new(syms.intern("zz"), vec![]);
+        let a = GroundAtom::new(syms.intern("aa"), vec![GroundTerm::Int(1)]);
+        assert_eq!(ground_atom_cmp(&syms, &a, &b), std::cmp::Ordering::Less);
+        let a2 = GroundAtom::new(syms.intern("aa"), vec![GroundTerm::Int(2)]);
+        assert_eq!(ground_atom_cmp(&syms, &a, &a2), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the ASP engine crates.
+
+use std::fmt;
+
+/// Errors raised while parsing, grounding or solving ASP programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AspError {
+    /// Syntax error with 1-based line/column position.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+    /// A rule violates the safety condition (a variable in the head, a negated
+    /// literal or a comparison does not occur in any positive body atom).
+    UnsafeRule {
+        /// Rendered rule text.
+        rule: String,
+        /// Offending variable name.
+        variable: String,
+    },
+    /// Arithmetic or comparison evaluation failed (type clash, division by
+    /// zero).
+    Eval(String),
+    /// A disjunctive program is not head-cycle-free; shifting would be
+    /// incomplete, so we refuse to solve it.
+    NotHeadCycleFree {
+        /// Rendered description of the offending head/component.
+        detail: String,
+    },
+    /// Any other invariant violation worth reporting to the caller.
+    Internal(String),
+}
+
+impl fmt::Display for AspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspError::Parse { message, line, col } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            AspError::UnsafeRule { rule, variable } => {
+                write!(f, "unsafe rule (variable {variable} unbound): {rule}")
+            }
+            AspError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            AspError::NotHeadCycleFree { detail } => {
+                write!(f, "program is not head-cycle-free: {detail}")
+            }
+            AspError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = AspError::Parse { message: "unexpected `;`".into(), line: 3, col: 14 };
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected `;`");
+        let e = AspError::UnsafeRule { rule: "p(X) :- not q(X).".into(), variable: "X".into() };
+        assert!(e.to_string().contains("unsafe"));
+        assert!(AspError::Eval("division by zero".into()).to_string().contains("division"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Ground (variable-free) program representation produced by the grounder and
+//! consumed by the solver.
+
+use crate::atom::GroundAtom;
+use crate::symbol::{FastMap, Symbols};
+use std::fmt;
+
+/// Index of a ground atom within an [`AtomTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interning table for ground atoms; ids are dense and start at 0.
+#[derive(Default, Debug)]
+pub struct AtomTable {
+    map: FastMap<GroundAtom, AtomId>,
+    atoms: Vec<GroundAtom>,
+}
+
+impl AtomTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `atom`, returning its id.
+    pub fn intern(&mut self, atom: GroundAtom) -> AtomId {
+        if let Some(id) = self.map.get(&atom) {
+            return *id;
+        }
+        let id = AtomId(u32::try_from(self.atoms.len()).expect("atom table overflow"));
+        self.atoms.push(atom.clone());
+        self.map.insert(atom, id);
+        id
+    }
+
+    /// Looks up an atom without inserting.
+    pub fn get(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.map.get(atom).copied()
+    }
+
+    /// Resolves an id to its atom.
+    #[inline]
+    pub fn resolve(&self, id: AtomId) -> &GroundAtom {
+        &self.atoms[id.idx()]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over `(id, atom)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> {
+        self.atoms.iter().enumerate().map(|(i, a)| (AtomId(i as u32), a))
+    }
+}
+
+/// A ground rule over atom ids.
+///
+/// `head` is a disjunction (empty = integrity constraint); `pos`/`neg` are the
+/// positive and default-negated body atoms. Choice heads are already compiled
+/// away by the grounder (via auxiliary atoms), so the solver only sees
+/// disjunctive rules.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundRule {
+    /// Head atoms (disjunction).
+    pub head: Vec<AtomId>,
+    /// Positive body atoms.
+    pub pos: Vec<AtomId>,
+    /// Default-negated body atoms.
+    pub neg: Vec<AtomId>,
+}
+
+impl GroundRule {
+    /// A fact.
+    pub fn fact(head: AtomId) -> Self {
+        GroundRule { head: vec![head], pos: Vec::new(), neg: Vec::new() }
+    }
+
+    /// True when the rule has an empty body.
+    pub fn is_fact(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty() && !self.head.is_empty()
+    }
+
+    /// True for an integrity constraint.
+    pub fn is_constraint(&self) -> bool {
+        self.head.is_empty()
+    }
+}
+
+/// A ground program: interned atoms plus ground rules.
+#[derive(Debug, Default)]
+pub struct GroundProgram {
+    /// The atom table; every id in `rules` is valid for it.
+    pub atoms: AtomTable,
+    /// All ground rules, facts included.
+    pub rules: Vec<GroundRule>,
+}
+
+impl GroundProgram {
+    /// Renders the ground program in ASP syntax.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> GroundProgramDisplay<'a> {
+        GroundProgramDisplay { prog: self, syms }
+    }
+
+    /// Total number of body literals across rules (a size measure used by the
+    /// benchmark reports).
+    pub fn body_literal_count(&self) -> usize {
+        self.rules.iter().map(|r| r.pos.len() + r.neg.len()).sum()
+    }
+}
+
+/// Display adapter for [`GroundProgram`].
+pub struct GroundProgramDisplay<'a> {
+    prog: &'a GroundProgram,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for GroundProgramDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.prog.rules {
+            for (i, h) in rule.head.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{}", self.prog.atoms.resolve(*h).display(self.syms))?;
+            }
+            if !rule.pos.is_empty() || !rule.neg.is_empty() || rule.head.is_empty() {
+                write!(f, " :- ")?;
+                let mut first = true;
+                for p in &rule.pos {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{}", self.prog.atoms.resolve(*p).display(self.syms))?;
+                }
+                for n in &rule.neg {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "not {}", self.prog.atoms.resolve(*n).display(self.syms))?;
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::GroundTerm;
+
+    fn ga(syms: &Symbols, name: &str, arg: i64) -> GroundAtom {
+        GroundAtom::new(syms.intern(name), vec![GroundTerm::Int(arg)])
+    }
+
+    #[test]
+    fn atom_table_interns_densely() {
+        let syms = Symbols::new();
+        let mut t = AtomTable::new();
+        let a = t.intern(ga(&syms, "p", 1));
+        let b = t.intern(ga(&syms, "p", 2));
+        let a2 = t.intern(ga(&syms, "p", 1));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), &ga(&syms, "p", 1));
+        assert_eq!(t.get(&ga(&syms, "p", 2)), Some(b));
+        assert_eq!(t.get(&ga(&syms, "q", 1)), None);
+    }
+
+    #[test]
+    fn ground_rule_kinds() {
+        let f = GroundRule::fact(AtomId(0));
+        assert!(f.is_fact());
+        assert!(!f.is_constraint());
+        let c = GroundRule { head: vec![], pos: vec![AtomId(0)], neg: vec![] };
+        assert!(c.is_constraint());
+        assert!(!c.is_fact());
+    }
+
+    #[test]
+    fn ground_program_display() {
+        let syms = Symbols::new();
+        let mut prog = GroundProgram::default();
+        let p1 = prog.atoms.intern(ga(&syms, "p", 1));
+        let q1 = prog.atoms.intern(ga(&syms, "q", 1));
+        prog.rules.push(GroundRule::fact(q1));
+        prog.rules.push(GroundRule { head: vec![p1], pos: vec![q1], neg: vec![] });
+        prog.rules.push(GroundRule { head: vec![], pos: vec![], neg: vec![p1] });
+        let text = prog.display(&syms).to_string();
+        assert!(text.contains("q(1)."));
+        assert!(text.contains("p(1) :- q(1)."));
+        assert!(text.contains(" :- not p(1)."));
+        assert_eq!(prog.body_literal_count(), 2);
+    }
+}

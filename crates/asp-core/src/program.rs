@@ -1,0 +1,139 @@
+//! Logic programs: a set of rules plus directives, and the predicate-level
+//! views (`pre(P)`, head/EDB predicates) used by the dependency analysis.
+
+use crate::atom::Predicate;
+use crate::rule::Rule;
+use crate::symbol::{FastSet, Symbols};
+use std::fmt;
+
+/// A logic program `P`: rules plus `#show` directives.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+    /// Predicates named in `#show p/n.` directives; empty means "show all".
+    pub shows: Vec<Predicate>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a program from rules with no `#show` directives.
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        Program { rules, shows: Vec::new() }
+    }
+
+    /// `pre(P)`: every predicate occurring in the program, in first-occurrence
+    /// order (deterministic for display and graph layouts).
+    pub fn predicates(&self) -> Vec<Predicate> {
+        let mut seen: FastSet<Predicate> = FastSet::default();
+        let mut out = Vec::new();
+        for r in &self.rules {
+            for p in r.predicates() {
+                if seen.insert(p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicates occurring in some rule head (IDB predicates plus facts).
+    pub fn head_predicates(&self) -> Vec<Predicate> {
+        let mut seen: FastSet<Predicate> = FastSet::default();
+        let mut out = Vec::new();
+        for r in &self.rules {
+            for a in r.head.atoms() {
+                let p = a.predicate();
+                if seen.insert(p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// EDB predicates: occur in the program but never in a head. This is the
+    /// default choice for `inpre(P)` when the caller does not supply one.
+    pub fn edb_predicates(&self) -> Vec<Predicate> {
+        let heads: FastSet<Predicate> = self.head_predicates().into_iter().collect();
+        self.predicates().into_iter().filter(|p| !heads.contains(p)).collect()
+    }
+
+    /// Renders the program against a symbol store, one rule per line.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> ProgramDisplay<'a> {
+        ProgramDisplay { program: self, syms }
+    }
+}
+
+/// Display adapter for [`Program`].
+pub struct ProgramDisplay<'a> {
+    program: &'a Program,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for ProgramDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.program.rules {
+            writeln!(f, "{}", r.display(self.syms))?;
+        }
+        for s in &self.program.shows {
+            if s.strong_neg {
+                writeln!(f, "#show -{}/{}.", self.syms.resolve(s.name), s.arity)?;
+            } else {
+                writeln!(f, "#show {}/{}.", self.syms.resolve(s.name), s.arity)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::rule::BodyLiteral;
+    use crate::term::Term;
+
+    fn atom(syms: &Symbols, name: &str) -> Atom {
+        Atom::new(syms.intern(name), vec![Term::Var(syms.intern("X"))])
+    }
+
+    #[test]
+    fn edb_predicates_are_non_head_predicates() {
+        let syms = Symbols::new();
+        // h(X) :- e(X).   e never occurs in a head => EDB.
+        let p = Program::from_rules(vec![Rule::normal(
+            atom(&syms, "h"),
+            vec![BodyLiteral::pos(atom(&syms, "e"))],
+        )]);
+        let edb = p.edb_predicates();
+        assert_eq!(edb.len(), 1);
+        assert_eq!(edb[0].name, syms.intern("e"));
+        assert_eq!(p.predicates().len(), 2);
+        assert_eq!(p.head_predicates().len(), 1);
+    }
+
+    #[test]
+    fn fact_predicates_are_not_edb() {
+        let syms = Symbols::new();
+        let p = Program::from_rules(vec![
+            Rule::fact(Atom::new(syms.intern("e"), vec![Term::Int(1)])),
+            Rule::normal(atom(&syms, "h"), vec![BodyLiteral::pos(atom(&syms, "e"))]),
+        ]);
+        assert!(p.edb_predicates().is_empty());
+    }
+
+    #[test]
+    fn display_lists_rules_and_shows() {
+        let syms = Symbols::new();
+        let mut p = Program::from_rules(vec![Rule::fact(Atom::new(syms.intern("go"), vec![]))]);
+        p.shows.push(Predicate::new(syms.intern("go"), 0));
+        let text = p.display(&syms).to_string();
+        assert!(text.contains("go."));
+        assert!(text.contains("#show go/0."));
+    }
+}

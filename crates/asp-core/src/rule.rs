@@ -1,0 +1,370 @@
+//! Rules: heads (disjunctions, choices, constraints) and body literals.
+
+use crate::atom::{Atom, Predicate};
+use crate::symbol::{Sym, Symbols};
+use crate::term::Term;
+use std::fmt;
+
+/// Comparison operators for builtin body literals such as `Y < 20`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+}
+
+impl CmpOp {
+    /// The concrete syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+        }
+    }
+
+    /// The operator with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+        }
+    }
+
+    /// Applies the comparison to a total ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Neq => ord != Equal,
+        }
+    }
+}
+
+/// One literal in a rule body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BodyLiteral {
+    /// An atom, positive or under default negation (`not p(X)`).
+    Atom {
+        /// The atom.
+        atom: Atom,
+        /// True for `not atom`.
+        negated: bool,
+    },
+    /// A builtin comparison between two terms.
+    Comparison {
+        /// Left operand.
+        lhs: Term,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Term,
+    },
+}
+
+impl BodyLiteral {
+    /// A positive atom literal.
+    pub fn pos(atom: Atom) -> Self {
+        BodyLiteral::Atom { atom, negated: false }
+    }
+
+    /// A default-negated atom literal.
+    pub fn not(atom: Atom) -> Self {
+        BodyLiteral::Atom { atom, negated: true }
+    }
+
+    /// The atom if the literal is an atom literal.
+    pub fn as_atom(&self) -> Option<(&Atom, bool)> {
+        match self {
+            BodyLiteral::Atom { atom, negated } => Some((atom, *negated)),
+            BodyLiteral::Comparison { .. } => None,
+        }
+    }
+
+    /// Collects the variables of the literal into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Sym>) {
+        match self {
+            BodyLiteral::Atom { atom, .. } => atom.collect_vars(out),
+            BodyLiteral::Comparison { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+
+    /// Renders the literal against a symbol store.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> BodyLiteralDisplay<'a> {
+        BodyLiteralDisplay { lit: self, syms }
+    }
+}
+
+/// Display adapter for [`BodyLiteral`].
+pub struct BodyLiteralDisplay<'a> {
+    lit: &'a BodyLiteral,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for BodyLiteralDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lit {
+            BodyLiteral::Atom { atom, negated } => {
+                if *negated {
+                    write!(f, "not ")?;
+                }
+                write!(f, "{}", atom.display(self.syms))
+            }
+            BodyLiteral::Comparison { lhs, op, rhs } => write!(
+                f,
+                "{}{}{}",
+                lhs.display(self.syms),
+                op.symbol(),
+                rhs.display(self.syms)
+            ),
+        }
+    }
+}
+
+/// A rule head.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Head {
+    /// `a1 | ... | an :- body.`; the empty disjunction is a constraint
+    /// `:- body.`
+    Disjunction(Vec<Atom>),
+    /// A bound-free choice `{a1; ...; an} :- body.`
+    Choice(Vec<Atom>),
+}
+
+impl Head {
+    /// The atoms occurring in the head.
+    pub fn atoms(&self) -> &[Atom] {
+        match self {
+            Head::Disjunction(atoms) | Head::Choice(atoms) => atoms,
+        }
+    }
+
+    /// True for a constraint (empty disjunction).
+    pub fn is_constraint(&self) -> bool {
+        matches!(self, Head::Disjunction(v) if v.is_empty())
+    }
+}
+
+/// A rule `head :- body.`
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// The head.
+    pub head: Head,
+    /// The body literals.
+    pub body: Vec<BodyLiteral>,
+}
+
+impl Rule {
+    /// A normal rule with a single head atom.
+    pub fn normal(head: Atom, body: Vec<BodyLiteral>) -> Self {
+        Rule { head: Head::Disjunction(vec![head]), body }
+    }
+
+    /// A fact `head.`
+    pub fn fact(head: Atom) -> Self {
+        Rule::normal(head, Vec::new())
+    }
+
+    /// A constraint `:- body.`
+    pub fn constraint(body: Vec<BodyLiteral>) -> Self {
+        Rule { head: Head::Disjunction(Vec::new()), body }
+    }
+
+    /// True when the rule has no body.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && !self.head.is_constraint()
+    }
+
+    /// Positive body atoms.
+    pub fn pos_body(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            BodyLiteral::Atom { atom, negated: false } => Some(atom),
+            _ => None,
+        })
+    }
+
+    /// Default-negated body atoms.
+    pub fn neg_body(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            BodyLiteral::Atom { atom, negated: true } => Some(atom),
+            _ => None,
+        })
+    }
+
+    /// All predicates occurring anywhere in the rule.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        let mut out: Vec<Predicate> = Vec::new();
+        let mut push = |p: Predicate| {
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        };
+        for a in self.head.atoms() {
+            push(a.predicate());
+        }
+        for l in &self.body {
+            if let Some((a, _)) = l.as_atom() {
+                push(a.predicate());
+            }
+        }
+        out
+    }
+
+    /// Variables occurring anywhere in the rule.
+    pub fn variables(&self) -> Vec<Sym> {
+        let mut vars = Vec::new();
+        for a in self.head.atoms() {
+            a.collect_vars(&mut vars);
+        }
+        for l in &self.body {
+            l.collect_vars(&mut vars);
+        }
+        vars
+    }
+
+    /// Renders the rule against a symbol store.
+    pub fn display<'a>(&'a self, syms: &'a Symbols) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, syms }
+    }
+}
+
+/// Display adapter for [`Rule`].
+pub struct RuleDisplay<'a> {
+    rule: &'a Rule,
+    syms: &'a Symbols,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.rule.head {
+            Head::Disjunction(atoms) => {
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{}", a.display(self.syms))?;
+                }
+            }
+            Head::Choice(atoms) => {
+                write!(f, "{{")?;
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", a.display(self.syms))?;
+                }
+                write!(f, "}}")?;
+            }
+        }
+        if !self.rule.body.is_empty() || self.rule.head.is_constraint() {
+            write!(f, " :- ")?;
+            for (i, l) in self.rule.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", l.display(self.syms))?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn syms_and_atom(name: &str, syms: &Symbols) -> Atom {
+        Atom::new(syms.intern(name), vec![Term::Var(syms.intern("X"))])
+    }
+
+    #[test]
+    fn cmp_op_eval_and_flip() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(!CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Neq.eval(Greater));
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn rule_display_normal() {
+        let syms = Symbols::new();
+        let head = syms_and_atom("traffic_jam", &syms);
+        let b1 = BodyLiteral::pos(syms_and_atom("very_slow_speed", &syms));
+        let b2 = BodyLiteral::not(syms_and_atom("traffic_light", &syms));
+        let r = Rule::normal(head, vec![b1, b2]);
+        assert_eq!(
+            r.display(&syms).to_string(),
+            "traffic_jam(X) :- very_slow_speed(X), not traffic_light(X)."
+        );
+    }
+
+    #[test]
+    fn rule_display_constraint_and_choice() {
+        let syms = Symbols::new();
+        let a = syms_and_atom("p", &syms);
+        let c = Rule::constraint(vec![BodyLiteral::pos(a.clone())]);
+        assert_eq!(c.display(&syms).to_string(), " :- p(X).");
+        let ch = Rule {
+            head: Head::Choice(vec![a.clone(), syms_and_atom("q", &syms)]),
+            body: vec![],
+        };
+        assert_eq!(ch.display(&syms).to_string(), "{p(X); q(X)}.");
+    }
+
+    #[test]
+    fn pos_neg_body_split() {
+        let syms = Symbols::new();
+        let r = Rule::normal(
+            syms_and_atom("h", &syms),
+            vec![
+                BodyLiteral::pos(syms_and_atom("a", &syms)),
+                BodyLiteral::not(syms_and_atom("b", &syms)),
+                BodyLiteral::Comparison {
+                    lhs: Term::Var(syms.intern("X")),
+                    op: CmpOp::Lt,
+                    rhs: Term::Int(20),
+                },
+            ],
+        );
+        assert_eq!(r.pos_body().count(), 1);
+        assert_eq!(r.neg_body().count(), 1);
+        assert_eq!(r.predicates().len(), 3);
+        assert_eq!(r.variables().len(), 1);
+    }
+
+    #[test]
+    fn fact_detection() {
+        let syms = Symbols::new();
+        let f = Rule::fact(Atom::new(syms.intern("p"), vec![Term::Int(1)]));
+        assert!(f.is_fact());
+        let c = Rule::constraint(vec![]);
+        assert!(!c.is_fact());
+    }
+}

@@ -1,0 +1,498 @@
+//! The instantiation engine: component-ordered semi-naive evaluation
+//! producing proto rules, following the two-phase grounding architecture of
+//! DLV/clingo that the paper's reasoner relies on.
+
+use crate::compile::{compare, compile_rule, make_plan, CAtom, CLit, CompiledRule, Source, Step};
+use crate::relation::Relation;
+use crate::simplify::{finalize, ProtoRule};
+use asp_core::{
+    AspError, FastMap, FastSet, GroundAtom, GroundProgram, GroundTerm, Predicate, Program, Sym,
+    Symbols,
+};
+use sr_graph::{scc_ids, DiGraph};
+
+/// Prefix marking internal complement atoms generated for choice heads.
+pub const CHOICE_COMPLEMENT_PREFIX: &str = "\u{2}not_";
+
+/// A reusable grounder: rule compilation, dependency components and plan
+/// variants are computed once (design time); [`Grounder::ground`] then
+/// instantiates per input window (run time).
+#[derive(Debug)]
+pub struct Grounder {
+    syms: Symbols,
+    compiled: Vec<CompiledRule>,
+    components: Vec<Component>,
+    constraint_ids: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct Component {
+    preds: FastSet<Predicate>,
+    rules: Vec<CompRule>,
+}
+
+#[derive(Debug)]
+struct CompRule {
+    compiled_idx: usize,
+    round0: Vec<Step>,
+    /// One delta plan per recursive positive literal.
+    deltas: Vec<Vec<Step>>,
+}
+
+impl Grounder {
+    /// Compiles `program`, checking safety of every rule.
+    pub fn new(syms: &Symbols, program: &Program) -> Result<Self, AspError> {
+        let mut compiled = Vec::with_capacity(program.rules.len());
+        for (i, rule) in program.rules.iter().enumerate() {
+            compiled.push(compile_rule(syms, rule, i)?);
+        }
+
+        // Predicate dependency graph: positive body -> head; heads of one
+        // multi-head rule are tied together so they land in one SCC and get
+        // instantiated jointly.
+        let mut pred_ids: FastMap<Predicate, usize> = FastMap::default();
+        let mut preds: Vec<Predicate> = Vec::new();
+        let id_of = |p: Predicate, pred_ids: &mut FastMap<Predicate, usize>, preds: &mut Vec<Predicate>| {
+            *pred_ids.entry(p).or_insert_with(|| {
+                preds.push(p);
+                preds.len() - 1
+            })
+        };
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for c in &compiled {
+            let head_ids: Vec<usize> =
+                c.heads.iter().map(|h| id_of(h.pred, &mut pred_ids, &mut preds)).collect();
+            for w in head_ids.windows(2) {
+                edges.push((w[0], w[1]));
+                edges.push((w[1], w[0]));
+            }
+            for lit in &c.body {
+                if let CLit::Pos(a) = lit {
+                    let b = id_of(a.pred, &mut pred_ids, &mut preds);
+                    for &h in &head_ids {
+                        edges.push((b, h));
+                    }
+                }
+                if let CLit::Neg(a) = lit {
+                    // Negative edges also order components (the negated
+                    // relation should be final before simplification), and
+                    // they are harmless for the fixpoint.
+                    let b = id_of(a.pred, &mut pred_ids, &mut preds);
+                    for &h in &head_ids {
+                        edges.push((b, h));
+                    }
+                }
+            }
+        }
+        let mut graph = DiGraph::new(preds.len());
+        for (u, v) in edges {
+            graph.add_edge(u, v);
+        }
+        let scc_of = scc_ids(&graph);
+        let scc_count = scc_of.iter().copied().max().map_or(0, |m| m + 1);
+
+        let mut components: Vec<Component> = (0..scc_count)
+            .map(|_| Component { preds: FastSet::default(), rules: Vec::new() })
+            .collect();
+        for (pid, &scc) in scc_of.iter().enumerate() {
+            components[scc].preds.insert(preds[pid]);
+        }
+
+        let mut constraint_ids = Vec::new();
+        for (idx, c) in compiled.iter().enumerate() {
+            if c.heads.is_empty() {
+                constraint_ids.push(idx);
+                continue;
+            }
+            let scc = scc_of[pred_ids[&c.heads[0].pred]];
+            let comp = &mut components[scc];
+            let is_rec = |p: Predicate| comp.preds.contains(&p);
+            let rec_lits = c.recursive_literals(is_rec);
+            let retag = |mut plan: Vec<Step>, delta_first: bool| {
+                for (si, step) in plan.iter_mut().enumerate() {
+                    if let Step::Match { atom, source, .. } = step {
+                        if comp.preds.contains(&atom.pred) {
+                            *source = if delta_first && si == 0 { Source::Delta } else { Source::Live };
+                        }
+                    }
+                }
+                plan
+            };
+            let round0 = retag(c.plan.clone(), false);
+            let mut deltas = Vec::with_capacity(rec_lits.len());
+            for &lit in &rec_lits {
+                let plan = make_plan(&c.body, c.var_count, Some(lit)).map_err(|slot| {
+                    AspError::UnsafeRule {
+                        rule: format!("rule #{}", c.rule_idx),
+                        variable: syms.resolve(c.var_names[slot as usize]).to_string(),
+                    }
+                })?;
+                deltas.push(retag(plan, true));
+            }
+            comp.rules.push(CompRule { compiled_idx: idx, round0, deltas });
+        }
+
+        Ok(Grounder {
+            syms: syms.clone(),
+            compiled,
+            components,
+            constraint_ids,
+        })
+    }
+
+    /// Instantiates the program against `facts` (the input window plus any
+    /// extensional data), producing a simplified ground program.
+    pub fn ground(&self, facts: &[GroundAtom]) -> Result<GroundProgram, AspError> {
+        let mut ev = Eval {
+            g: self,
+            relations: FastMap::default(),
+            proto: Vec::new(),
+            seen: FastSet::default(),
+            delta: FastMap::default(),
+            trail: Vec::new(),
+        };
+
+        for f in facts {
+            let pred = f.predicate();
+            if ev.relations.entry(pred).or_default().insert(f.args.clone()).is_some() {
+                ev.proto.push(ProtoRule {
+                    heads: vec![f.clone()],
+                    pos: Vec::new(),
+                    neg: Vec::new(),
+                });
+            }
+        }
+
+        // Tarjan emits SCCs in reverse topological order (an edge body->head
+        // puts the head's component first), so evaluate back-to-front: body
+        // components before the components that consume them.
+        for ci in (0..self.components.len()).rev() {
+            ev.fixpoint(ci)?;
+        }
+
+        for &cidx in &self.constraint_ids {
+            let rule = &self.compiled[cidx];
+            ev.eval_rule(rule, &rule.plan, cidx)?;
+        }
+
+        ev.strong_negation_constraints();
+
+        let Eval { relations, proto, .. } = ev;
+        Ok(finalize(&relations, proto))
+    }
+
+    /// The symbol store the grounder was built with.
+    pub fn symbols(&self) -> &Symbols {
+        &self.syms
+    }
+}
+
+/// Convenience: compile and ground in one call.
+pub fn ground_program(
+    syms: &Symbols,
+    program: &Program,
+    facts: &[GroundAtom],
+) -> Result<GroundProgram, AspError> {
+    Grounder::new(syms, program)?.ground(facts)
+}
+
+struct Eval<'g> {
+    g: &'g Grounder,
+    relations: FastMap<Predicate, Relation>,
+    proto: Vec<ProtoRule>,
+    /// Instance dedup: (compiled rule index, full variable bindings).
+    seen: FastSet<(u32, Box<[GroundTerm]>)>,
+    delta: FastMap<Predicate, (u32, u32)>,
+    trail: Vec<u32>,
+}
+
+impl Eval<'_> {
+    fn fixpoint(&mut self, ci: usize) -> Result<(), AspError> {
+        let comp = &self.g.components[ci];
+        if comp.rules.is_empty() {
+            return Ok(());
+        }
+        // Lengths before round 0: the delta for round 1 is what round 0 adds.
+        let mut prev_len: FastMap<Predicate, u32> = FastMap::default();
+        for p in &comp.preds {
+            prev_len.insert(*p, self.relations.get(p).map_or(0, |r| r.len() as u32));
+        }
+        for cr in &comp.rules {
+            let rule = &self.g.compiled[cr.compiled_idx];
+            self.eval_rule(rule, &cr.round0, cr.compiled_idx)?;
+        }
+        loop {
+            // Compute deltas: tuples added since `prev_len`.
+            let mut any = false;
+            self.delta.clear();
+            for p in &comp.preds {
+                let cur = self.relations.get(p).map_or(0, |r| r.len() as u32);
+                let lo = prev_len[p];
+                if cur > lo {
+                    any = true;
+                }
+                self.delta.insert(*p, (lo, cur));
+                prev_len.insert(*p, cur);
+            }
+            if !any {
+                break;
+            }
+            for cr in &comp.rules {
+                if cr.deltas.is_empty() {
+                    continue;
+                }
+                let rule = &self.g.compiled[cr.compiled_idx];
+                for dplan in &cr.deltas {
+                    self.eval_rule(rule, dplan, cr.compiled_idx)?;
+                }
+            }
+        }
+        self.delta.clear();
+        Ok(())
+    }
+
+    fn eval_rule(
+        &mut self,
+        rule: &CompiledRule,
+        plan: &[Step],
+        key: usize,
+    ) -> Result<(), AspError> {
+        let mut subst: Vec<Option<GroundTerm>> = vec![None; rule.var_count as usize];
+        self.step(rule, plan, 0, &mut subst, key as u32)
+    }
+
+    fn step(
+        &mut self,
+        rule: &CompiledRule,
+        plan: &[Step],
+        idx: usize,
+        subst: &mut Vec<Option<GroundTerm>>,
+        key: u32,
+    ) -> Result<(), AspError> {
+        let Some(step) = plan.get(idx) else {
+            return self.emit(rule, subst, key);
+        };
+        match step {
+            Step::Match { atom, static_bound, source } => {
+                let mut pattern = 0u64;
+                let mut keyvals: Vec<GroundTerm> = Vec::new();
+                for (i, (arg, b)) in atom.args.iter().zip(static_bound.iter()).enumerate() {
+                    if *b && i < 64 {
+                        pattern |= 1 << i;
+                        keyvals.push(arg.eval(subst)?);
+                    }
+                }
+                let (lo, hi) = self.range(atom.pred, *source);
+                let rel = self.relations.entry(atom.pred).or_default();
+                let candidates = rel.lookup(pattern, &keyvals, lo, hi);
+                for c in candidates {
+                    // Clone the tuple: emitting may push into this relation
+                    // and reallocate its backing storage.
+                    let tuple: Box<[GroundTerm]> =
+                        self.relations[&atom.pred].tuple(c).into();
+                    let mark = self.trail.len();
+                    let ok = self.unify_args(&atom.args, &tuple, subst)?;
+                    if ok {
+                        self.step(rule, plan, idx + 1, subst, key)?;
+                    }
+                    while self.trail.len() > mark {
+                        let slot = self.trail.pop().expect("trail underflow");
+                        subst[slot as usize] = None;
+                    }
+                }
+                Ok(())
+            }
+            Step::Compare { lhs, op, rhs } => {
+                let l = lhs.eval(subst)?;
+                let r = rhs.eval(subst)?;
+                if compare(&l, *op, &r)? {
+                    self.step(rule, plan, idx + 1, subst, key)
+                } else {
+                    Ok(())
+                }
+            }
+            Step::Bind { slot, expr } => {
+                let v = expr.eval(subst)?;
+                subst[*slot as usize] = Some(v);
+                let result = self.step(rule, plan, idx + 1, subst, key);
+                subst[*slot as usize] = None;
+                result
+            }
+            Step::NegCheck { .. } => {
+                // The possible-set computation over-approximates: default
+                // negation never blocks here; simplification handles it.
+                self.step(rule, plan, idx + 1, subst, key)
+            }
+        }
+    }
+
+    fn range(&self, pred: Predicate, source: Source) -> (u32, u32) {
+        match source {
+            Source::Delta => self.delta.get(&pred).copied().unwrap_or((0, 0)),
+            Source::Full | Source::Live => {
+                (0, self.relations.get(&pred).map_or(0, |r| r.len() as u32))
+            }
+        }
+    }
+
+    fn unify_args(
+        &mut self,
+        args: &[crate::compile::CTerm],
+        tuple: &[GroundTerm],
+        subst: &mut [Option<GroundTerm>],
+    ) -> Result<bool, AspError> {
+        debug_assert_eq!(args.len(), tuple.len());
+        for (a, g) in args.iter().zip(tuple.iter()) {
+            if !self.unify(a, g, subst)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn unify(
+        &mut self,
+        t: &crate::compile::CTerm,
+        g: &GroundTerm,
+        subst: &mut [Option<GroundTerm>],
+    ) -> Result<bool, AspError> {
+        use crate::compile::CTerm;
+        match t {
+            CTerm::Const(s) => Ok(matches!(g, GroundTerm::Const(gs) if gs == s)),
+            CTerm::Int(i) => Ok(matches!(g, GroundTerm::Int(gi) if gi == i)),
+            CTerm::Var(slot) => {
+                let si = *slot as usize;
+                match &subst[si] {
+                    Some(v) => Ok(v == g),
+                    None => {
+                        subst[si] = Some(g.clone());
+                        self.trail.push(*slot);
+                        Ok(true)
+                    }
+                }
+            }
+            CTerm::Func(f, fargs) => match g {
+                GroundTerm::Func(gf, gargs) if gf == f && gargs.len() == fargs.len() => {
+                    for (a, ga) in fargs.iter().zip(gargs.iter()) {
+                        if !self.unify(a, ga, subst)? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
+            CTerm::BinOp(..) => {
+                let v = t.eval(subst)?;
+                Ok(v == *g)
+            }
+        }
+    }
+
+    fn emit(
+        &mut self,
+        rule: &CompiledRule,
+        subst: &mut Vec<Option<GroundTerm>>,
+        key: u32,
+    ) -> Result<(), AspError> {
+        let bindings: Box<[GroundTerm]> = subst
+            .iter()
+            .map(|s| s.clone().unwrap_or(GroundTerm::Int(i64::MIN)))
+            .collect();
+        if !self.seen.insert((key, bindings)) {
+            return Ok(());
+        }
+
+        let eval_atom = |a: &CAtom, subst: &[Option<GroundTerm>]| -> Result<GroundAtom, AspError> {
+            let mut args = Vec::with_capacity(a.args.len());
+            for t in a.args.iter() {
+                args.push(t.eval(subst)?);
+            }
+            Ok(GroundAtom { pred: a.pred.name, args: args.into(), strong_neg: a.pred.strong_neg })
+        };
+
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for lit in &rule.body {
+            match lit {
+                CLit::Pos(a) => pos.push(eval_atom(a, subst)?),
+                CLit::Neg(a) => neg.push(eval_atom(a, subst)?),
+                CLit::Cmp(..) => {}
+            }
+        }
+        let heads: Vec<GroundAtom> = rule
+            .heads
+            .iter()
+            .map(|h| eval_atom(h, subst))
+            .collect::<Result<_, _>>()?;
+
+        if rule.choice {
+            for h in &heads {
+                let comp = self.complement(h);
+                self.insert_possible(h);
+                self.insert_possible(&comp);
+                let mut pos_a = pos.clone();
+                let mut neg_a = neg.clone();
+                neg_a.push(comp.clone());
+                pos_a.shrink_to_fit();
+                self.proto.push(ProtoRule { heads: vec![h.clone()], pos: pos_a, neg: neg_a });
+                let mut neg_b = neg.clone();
+                neg_b.push(h.clone());
+                self.proto.push(ProtoRule { heads: vec![comp], pos: pos.clone(), neg: neg_b });
+            }
+        } else {
+            for h in &heads {
+                self.insert_possible(h);
+            }
+            self.proto.push(ProtoRule { heads, pos, neg });
+        }
+        Ok(())
+    }
+
+    fn insert_possible(&mut self, atom: &GroundAtom) {
+        self.relations
+            .entry(atom.predicate())
+            .or_default()
+            .insert(atom.args.clone());
+    }
+
+    fn complement(&self, atom: &GroundAtom) -> GroundAtom {
+        let name = self.g.syms.resolve(atom.pred);
+        let comp_name = format!("{CHOICE_COMPLEMENT_PREFIX}{name}");
+        GroundAtom {
+            pred: self.g.syms.intern(&comp_name),
+            args: atom.args.clone(),
+            strong_neg: atom.strong_neg,
+        }
+    }
+
+    fn strong_negation_constraints(&mut self) {
+        let strong_preds: Vec<Predicate> =
+            self.relations.keys().filter(|p| p.strong_neg).copied().collect();
+        for sp in strong_preds {
+            let twin = Predicate { strong_neg: false, ..sp };
+            let Some(pos_rel) = self.relations.get(&twin) else { continue };
+            let tuples: Vec<Box<[GroundTerm]>> = self.relations[&sp]
+                .tuples()
+                .iter()
+                .filter(|t| pos_rel.contains(t))
+                .cloned()
+                .collect();
+            for t in tuples {
+                let neg_atom = GroundAtom { pred: sp.name, args: t.clone(), strong_neg: true };
+                let pos_atom = GroundAtom { pred: sp.name, args: t, strong_neg: false };
+                self.proto.push(ProtoRule {
+                    heads: Vec::new(),
+                    pos: vec![neg_atom, pos_atom],
+                    neg: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+/// Returns true when `sym` names an internal (generated) predicate that
+/// should not surface in answer sets.
+pub fn is_internal_predicate(syms: &Symbols, sym: Sym) -> bool {
+    syms.resolve(sym).starts_with('\u{2}')
+}

@@ -1,0 +1,22 @@
+//! Instantiation (grounding) engine for ASP programs.
+//!
+//! The grounder follows the standard two-phase architecture of DLV/clingo
+//! (the solvers StreamRule builds on): rules are compiled with a safety check
+//! and a greedy join order, predicates are stratified into strongly connected
+//! components of the dependency graph, and each component is evaluated with
+//! semi-naive iteration over binding-pattern hash indexes. A final
+//! certain/possible simplification pass (see [`simplify`]) shrinks the ground
+//! program before it reaches the solver.
+//!
+//! Design-time/run-time split: [`Grounder::new`] does all per-program work
+//! once, [`Grounder::ground`] is called per input window.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod instantiate;
+pub mod relation;
+pub mod simplify;
+
+pub use instantiate::{ground_program, is_internal_predicate, Grounder};
+pub use simplify::ProtoRule;

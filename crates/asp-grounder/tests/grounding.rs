@@ -1,0 +1,242 @@
+//! Integration tests for the grounding pipeline: parse → compile → ground →
+//! simplify, checked against hand-computed expectations.
+
+use asp_core::{GroundAtom, GroundProgram, GroundTerm, Symbols};
+use asp_grounder::{ground_program, is_internal_predicate, Grounder};
+use asp_parser::parse_program;
+
+fn ground(src: &str, facts: &[(&str, &[i64])]) -> (Symbols, GroundProgram) {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, src).unwrap();
+    let facts: Vec<GroundAtom> = facts
+        .iter()
+        .map(|(name, args)| {
+            GroundAtom::new(syms.intern(name), args.iter().map(|&v| GroundTerm::Int(v)).collect())
+        })
+        .collect();
+    let gp = ground_program(&syms, &program, &facts).unwrap();
+    (syms, gp)
+}
+
+fn atom_strings(syms: &Symbols, gp: &GroundProgram) -> Vec<String> {
+    gp.atoms.iter().map(|(_, a)| a.display(syms).to_string()).collect()
+}
+
+fn fact_strings(syms: &Symbols, gp: &GroundProgram) -> Vec<String> {
+    gp.rules
+        .iter()
+        .filter(|r| r.is_fact())
+        .map(|r| gp.atoms.resolve(r.head[0]).display(syms).to_string())
+        .collect()
+}
+
+#[test]
+fn simple_join_and_comparison() {
+    let (syms, gp) = ground(
+        "slow(X) :- speed(X,Y), Y < 20.",
+        &[("speed", &[1, 10]), ("speed", &[2, 30]), ("speed", &[3, 5])],
+    );
+    let facts = fact_strings(&syms, &gp);
+    assert!(facts.contains(&"slow(1)".to_string()));
+    assert!(facts.contains(&"slow(3)".to_string()));
+    assert!(!facts.contains(&"slow(2)".to_string()));
+}
+
+#[test]
+fn transitive_closure_grounds_fully() {
+    let (syms, gp) = ground(
+        "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).",
+        &[("edge", &[1, 2]), ("edge", &[2, 3]), ("edge", &[3, 4])],
+    );
+    let facts = fact_strings(&syms, &gp);
+    for (a, b) in [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)] {
+        assert!(facts.contains(&format!("path({a},{b})")), "missing path({a},{b})");
+    }
+    assert_eq!(facts.iter().filter(|f| f.starts_with("path")).count(), 6);
+}
+
+#[test]
+fn cyclic_graph_closure_terminates() {
+    let (syms, gp) = ground(
+        "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).",
+        &[("edge", &[1, 2]), ("edge", &[2, 1])],
+    );
+    let facts = fact_strings(&syms, &gp);
+    for s in ["path(1,1)", "path(1,2)", "path(2,1)", "path(2,2)"] {
+        assert!(facts.contains(&s.to_string()), "missing {s}");
+    }
+}
+
+#[test]
+fn negation_on_underivable_atom_is_simplified_away() {
+    let (syms, gp) = ground("jam(X) :- slow(X), not light(X).", &[("slow", &[7])]);
+    // light(7) is never derivable: jam(7) becomes certain.
+    assert!(fact_strings(&syms, &gp).contains(&"jam(7)".to_string()));
+}
+
+#[test]
+fn negation_on_fact_kills_rule() {
+    let (syms, gp) =
+        ground("jam(X) :- slow(X), not light(X).", &[("slow", &[7]), ("light", &[7])]);
+    assert!(!fact_strings(&syms, &gp).contains(&"jam(7)".to_string()));
+    // The rule must be gone entirely, not kept with the literal.
+    assert!(!atom_strings(&syms, &gp).contains(&"jam(7)".to_string()));
+}
+
+#[test]
+fn even_negation_loop_keeps_both_rules() {
+    let (_syms, gp) = ground("a :- not b. b :- not a.", &[]);
+    let non_facts: Vec<_> = gp.rules.iter().filter(|r| !r.is_fact()).collect();
+    assert_eq!(non_facts.len(), 2);
+    assert!(non_facts.iter().all(|r| r.neg.len() == 1));
+}
+
+#[test]
+fn arithmetic_binding() {
+    let (syms, gp) = ground("next(X,Y) :- n(X), Y = X + 1.", &[("n", &[1]), ("n", &[5])]);
+    let facts = fact_strings(&syms, &gp);
+    assert!(facts.contains(&"next(1,2)".to_string()));
+    assert!(facts.contains(&"next(5,6)".to_string()));
+}
+
+#[test]
+fn head_arithmetic() {
+    let (syms, gp) = ground("double(2*X) :- n(X).", &[("n", &[3])]);
+    assert!(fact_strings(&syms, &gp).contains(&"double(6)".to_string()));
+}
+
+#[test]
+fn constraints_ground_against_final_relations() {
+    let (_syms, gp) = ground(":- p(X), q(X). p(1). q(1).", &[]);
+    // p(1), q(1) are certain; the constraint simplifies to the empty
+    // constraint (unsatisfiable program marker).
+    assert!(gp.rules.iter().any(|r| r.is_constraint() && r.pos.is_empty() && r.neg.is_empty()));
+}
+
+#[test]
+fn satisfied_constraint_instances_do_not_appear() {
+    let (_syms, gp) = ground(":- p(X), q(X).", &[("p", &[1]), ("q", &[2])]);
+    assert!(!gp.rules.iter().any(|r| r.is_constraint()));
+}
+
+#[test]
+fn choice_rule_compiles_to_two_rules() {
+    let (syms, gp) = ground("{go(X)} :- option(X).", &[("option", &[1])]);
+    let non_facts: Vec<_> = gp.rules.iter().filter(|r| !r.is_fact()).collect();
+    assert_eq!(non_facts.len(), 2, "choice compiles to rule + complement rule");
+    assert!(atom_strings(&syms, &gp).iter().any(|a| a.contains("go(1)")));
+}
+
+#[test]
+fn disjunctive_heads_survive_grounding() {
+    let (_syms, gp) = ground("a(X) | b(X) :- c(X).", &[("c", &[4])]);
+    let disj: Vec<_> = gp.rules.iter().filter(|r| r.head.len() == 2).collect();
+    assert_eq!(disj.len(), 1);
+}
+
+#[test]
+fn strong_negation_emits_consistency_constraint() {
+    let (_syms, gp) = ground("p(1). -p(1).", &[]);
+    assert!(
+        gp.rules.iter().any(|r| r.is_constraint()),
+        "expected a consistency constraint: {:?}",
+        gp.rules
+    );
+}
+
+#[test]
+fn function_terms_match_structurally() {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, "inner(X) :- holds(wrap(X)).").unwrap();
+    let fact = GroundAtom::new(
+        syms.intern("holds"),
+        vec![GroundTerm::Func(syms.intern("wrap"), vec![GroundTerm::Int(9)].into())],
+    );
+    let gp = ground_program(&syms, &program, &[fact]).unwrap();
+    assert!(fact_strings(&syms, &gp).contains(&"inner(9)".to_string()));
+}
+
+#[test]
+fn paper_program_p_motivating_window() {
+    let syms = Symbols::new();
+    let program = parse_program(
+        &syms,
+        r#"
+        very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+        many_cars(X) :- car_number(X,Y), Y > 40.
+        traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+        car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+        give_notification(X) :- traffic_jam(X).
+        give_notification(X) :- car_fire(X).
+        "#,
+    )
+    .unwrap();
+    let c = |n: &str| GroundTerm::Const(syms.intern(n));
+    let i = GroundTerm::Int;
+    let facts = vec![
+        GroundAtom::new(syms.intern("average_speed"), vec![c("newcastle"), i(10)]),
+        GroundAtom::new(syms.intern("car_number"), vec![c("newcastle"), i(55)]),
+        GroundAtom::new(syms.intern("traffic_light"), vec![c("newcastle")]),
+        GroundAtom::new(syms.intern("car_in_smoke"), vec![c("car1"), c("high")]),
+        GroundAtom::new(syms.intern("car_speed"), vec![c("car1"), i(0)]),
+        GroundAtom::new(syms.intern("car_location"), vec![c("car1"), c("dangan")]),
+    ];
+    let gp = ground_program(&syms, &program, &facts).unwrap();
+    let fs = fact_strings(&syms, &gp);
+    assert!(fs.contains(&"very_slow_speed(newcastle)".to_string()));
+    assert!(fs.contains(&"many_cars(newcastle)".to_string()));
+    assert!(!fs.contains(&"traffic_jam(newcastle)".to_string()), "traffic light blocks jam");
+    assert!(fs.contains(&"car_fire(dangan)".to_string()));
+    assert!(fs.contains(&"give_notification(dangan)".to_string()));
+    assert!(!fs.contains(&"give_notification(newcastle)".to_string()));
+}
+
+#[test]
+fn grounder_is_reusable_across_windows() {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, "h(X) :- e(X).").unwrap();
+    let grounder = Grounder::new(&syms, &program).unwrap();
+    let f1 = GroundAtom::new(syms.intern("e"), vec![GroundTerm::Int(1)]);
+    let f2 = GroundAtom::new(syms.intern("e"), vec![GroundTerm::Int(2)]);
+    let g1 = grounder.ground(std::slice::from_ref(&f1)).unwrap();
+    let g2 = grounder.ground(std::slice::from_ref(&f2)).unwrap();
+    assert_eq!(g1.rules.len(), 2);
+    assert_eq!(g2.rules.len(), 2);
+    assert!(atom_strings(&syms, &g1).contains(&"h(1)".to_string()));
+    assert!(atom_strings(&syms, &g2).contains(&"h(2)".to_string()));
+}
+
+#[test]
+fn duplicate_input_facts_are_deduplicated() {
+    let (_syms, gp) = ground("h(X) :- e(X).", &[("e", &[1]), ("e", &[1])]);
+    assert_eq!(gp.rules.len(), 2); // e(1). h(1).
+}
+
+#[test]
+fn unsafe_rule_fails_at_construction() {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, "p(X, Y) :- q(X).").unwrap();
+    assert!(Grounder::new(&syms, &program).is_err());
+}
+
+#[test]
+fn mutual_recursion_across_predicates() {
+    let (syms, gp) = ground(
+        "even(X) :- zero(X). odd(Y) :- even(X), Y = X + 1, Y < 5. even(Y) :- odd(X), Y = X + 1, Y < 5.",
+        &[("zero", &[0])],
+    );
+    let facts = fact_strings(&syms, &gp);
+    for s in ["even(0)", "odd(1)", "even(2)", "odd(3)", "even(4)"] {
+        assert!(facts.contains(&s.to_string()), "missing {s}: {facts:?}");
+    }
+    assert!(!facts.contains(&"odd(5)".to_string()));
+}
+
+#[test]
+fn internal_predicate_detection() {
+    let syms = Symbols::new();
+    let internal = syms.intern("\u{2}not_go");
+    let normal = syms.intern("go");
+    assert!(is_internal_predicate(&syms, internal));
+    assert!(!is_internal_predicate(&syms, normal));
+}

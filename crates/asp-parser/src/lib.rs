@@ -1,0 +1,18 @@
+//! Parser for the ASP input language subset used throughout the repository.
+//!
+//! Supported syntax: normal rules, constraints, disjunctive heads (`|`/`;`),
+//! bound-free choice heads (`{a; b}`), default negation (`not`), strong
+//! negation (`-p`), builtin comparisons (`< <= > >= = !=`), integer
+//! arithmetic (`+ - * / \`), integer intervals (`1..n`, expanded at parse
+//! time), `#const` definitions, quoted-string constants, `%` comments,
+//! anonymous variables and `#show p/n.` directives.
+//!
+//! Unsupported (documented in DESIGN.md): aggregates, cardinality bounds on
+//! choices, optimization statements and pooling.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_program, parse_rule};

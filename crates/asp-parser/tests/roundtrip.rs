@@ -1,0 +1,138 @@
+//! Property test: pretty-printing a random rule AST and re-parsing it yields
+//! the same AST (modulo nothing — exact equality).
+
+use asp_core::{ArithOp, Atom, BodyLiteral, CmpOp, Head, Program, Rule, Symbols, Term};
+use asp_parser::parse_program;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Var(u8),
+    Const(u8),
+    Int(i64),
+    Func(u8, Vec<TermSpec>),
+    Add(Box<TermSpec>, Box<TermSpec>),
+}
+
+fn term_spec() -> impl Strategy<Value = TermSpec> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(TermSpec::Var),
+        (0u8..4).prop_map(TermSpec::Const),
+        (-50i64..50).prop_map(TermSpec::Int),
+    ];
+    leaf.prop_recursive(2, 6, 3, |inner| {
+        prop_oneof![
+            ((0u8..2), prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| TermSpec::Func(f, args)),
+            (inner.clone(), inner).prop_map(|(a, b)| TermSpec::Add(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build_term(spec: &TermSpec, syms: &Symbols) -> Term {
+    match spec {
+        TermSpec::Var(i) => Term::Var(syms.intern(&format!("V{i}"))),
+        TermSpec::Const(i) => Term::Const(syms.intern(&format!("c{i}"))),
+        TermSpec::Int(v) => Term::Int(*v),
+        TermSpec::Func(f, args) => Term::Func(
+            syms.intern(&format!("f{f}")),
+            args.iter().map(|a| build_term(a, syms)).collect(),
+        ),
+        TermSpec::Add(a, b) => Term::BinOp(
+            ArithOp::Add,
+            Box::new(build_term(a, syms)),
+            Box::new(build_term(b, syms)),
+        ),
+    }
+}
+
+#[derive(Clone, Debug)]
+struct AtomSpec {
+    pred: u8,
+    strong: bool,
+    args: Vec<TermSpec>,
+}
+
+fn atom_spec() -> impl Strategy<Value = AtomSpec> {
+    ((0u8..5), any::<bool>(), prop::collection::vec(term_spec(), 0..3))
+        .prop_map(|(pred, strong, args)| AtomSpec { pred, strong, args })
+}
+
+fn build_atom(spec: &AtomSpec, syms: &Symbols) -> Atom {
+    Atom {
+        pred: syms.intern(&format!("p{}", spec.pred)),
+        args: spec.args.iter().map(|a| build_term(a, syms)).collect(),
+        strong_neg: spec.strong,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum LitSpec {
+    Pos(AtomSpec),
+    Neg(AtomSpec),
+    Cmp(TermSpec, u8, TermSpec),
+}
+
+fn lit_spec() -> impl Strategy<Value = LitSpec> {
+    prop_oneof![
+        atom_spec().prop_map(LitSpec::Pos),
+        atom_spec().prop_map(LitSpec::Neg),
+        (term_spec(), 0u8..6, term_spec()).prop_map(|(a, op, b)| LitSpec::Cmp(a, op, b)),
+    ]
+}
+
+fn build_lit(spec: &LitSpec, syms: &Symbols) -> BodyLiteral {
+    match spec {
+        LitSpec::Pos(a) => BodyLiteral::pos(build_atom(a, syms)),
+        LitSpec::Neg(a) => BodyLiteral::not(build_atom(a, syms)),
+        LitSpec::Cmp(a, op, b) => BodyLiteral::Comparison {
+            lhs: build_term(a, syms),
+            op: [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Neq]
+                [*op as usize % 6],
+            rhs: build_term(b, syms),
+        },
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RuleSpec {
+    choice: bool,
+    heads: Vec<AtomSpec>,
+    body: Vec<LitSpec>,
+}
+
+fn rule_spec() -> impl Strategy<Value = RuleSpec> {
+    (
+        any::<bool>(),
+        prop::collection::vec(atom_spec(), 0..3),
+        prop::collection::vec(lit_spec(), 0..4),
+    )
+        .prop_map(|(choice, heads, body)| RuleSpec { choice, heads, body })
+        .prop_filter("constraints must have a body; choices need atoms", |r| {
+            if r.choice {
+                !r.heads.is_empty()
+            } else {
+                !(r.heads.is_empty() && r.body.is_empty())
+            }
+        })
+}
+
+fn build_rule(spec: &RuleSpec, syms: &Symbols) -> Rule {
+    let heads: Vec<Atom> = spec.heads.iter().map(|h| build_atom(h, syms)).collect();
+    let head = if spec.choice { Head::Choice(heads) } else { Head::Disjunction(heads) };
+    Rule { head, body: spec.body.iter().map(|l| build_lit(l, syms)).collect() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(specs in prop::collection::vec(rule_spec(), 1..6)) {
+        let syms = Symbols::new();
+        let program = Program::from_rules(specs.iter().map(|s| build_rule(s, &syms)).collect());
+        let printed = program.display(&syms).to_string();
+        let reparsed = parse_program(&syms, &printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert_eq!(&program.rules, &reparsed.rules, "printed:\n{}", printed);
+    }
+}

@@ -1,0 +1,176 @@
+//! Clause storage with two-watched-literal scheme support.
+
+use crate::lit::Lit;
+
+/// Index of a clause in the [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClauseRef(pub u32);
+
+impl ClauseRef {
+    /// Sentinel for "no reason" (decision or level-0 assignment).
+    pub const NONE: ClauseRef = ClauseRef(u32::MAX);
+
+    /// The index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A clause; `lits[0]` and `lits[1]` are the watched literals.
+#[derive(Debug)]
+pub struct Clause {
+    /// The literals.
+    pub lits: Vec<Lit>,
+    /// True for learnt (conflict/loop/blocking) clauses, which are eligible
+    /// for deletion.
+    pub learnt: bool,
+    /// Literal block distance at learning time (deletion heuristic).
+    pub lbd: u32,
+    /// Tombstone flag set by clause-DB reduction.
+    pub deleted: bool,
+}
+
+/// Watcher entry: the clause plus a "blocker" literal that often decides
+/// satisfaction without touching the clause memory.
+#[derive(Clone, Copy, Debug)]
+pub struct Watcher {
+    /// Watched clause.
+    pub clause: ClauseRef,
+    /// A literal whose truth implies the clause is satisfied.
+    pub blocker: Lit,
+}
+
+/// Arena of clauses plus per-literal watcher lists.
+#[derive(Debug, Default)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// watches[lit.code()] = clauses currently watching `lit`.
+    pub watches: Vec<Vec<Watcher>>,
+    /// Number of live learnt clauses.
+    pub learnt_count: usize,
+}
+
+impl ClauseDb {
+    /// An empty database sized for `n_vars` variables.
+    pub fn new(n_vars: usize) -> Self {
+        ClauseDb { clauses: Vec::new(), watches: vec![Vec::new(); 2 * n_vars], learnt_count: 0 }
+    }
+
+    /// Grows watcher lists for newly added variables.
+    pub fn grow(&mut self, n_vars: usize) {
+        self.watches.resize(2 * n_vars, Vec::new());
+    }
+
+    /// The clause behind `r`.
+    #[inline]
+    pub fn clause(&self, r: ClauseRef) -> &Clause {
+        &self.clauses[r.idx()]
+    }
+
+    /// Mutable access to the clause behind `r`.
+    #[inline]
+    pub fn clause_mut(&mut self, r: ClauseRef) -> &mut Clause {
+        &mut self.clauses[r.idx()]
+    }
+
+    /// Number of clauses (including tombstones).
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True when no clause is stored.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Adds a clause of ≥2 literals and registers the watches on the first
+    /// two. The caller must have placed suitable literals at positions 0/1.
+    pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are handled by the trail");
+        let r = ClauseRef(u32::try_from(self.clauses.len()).expect("clause DB overflow"));
+        self.watches[lits[0].negate().code()].push(Watcher { clause: r, blocker: lits[1] });
+        self.watches[lits[1].negate().code()].push(Watcher { clause: r, blocker: lits[0] });
+        if learnt {
+            self.learnt_count += 1;
+        }
+        self.clauses.push(Clause { lits, learnt, lbd, deleted: false });
+        r
+    }
+
+    /// Marks `r` deleted; watcher entries are purged by [`ClauseDb::rebuild_watches`].
+    pub fn delete(&mut self, r: ClauseRef) {
+        let c = &mut self.clauses[r.idx()];
+        if !c.deleted {
+            c.deleted = true;
+            if c.learnt {
+                self.learnt_count -= 1;
+            }
+        }
+    }
+
+    /// Rebuilds all watcher lists from live clauses (after a reduction).
+    pub fn rebuild_watches(&mut self) {
+        for w in self.watches.iter_mut() {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            let r = ClauseRef(i as u32);
+            self.watches[c.lits[0].negate().code()].push(Watcher { clause: r, blocker: c.lits[1] });
+            self.watches[c.lits[1].negate().code()].push(Watcher { clause: r, blocker: c.lits[0] });
+        }
+    }
+
+    /// Live learnt clause refs, for the reduction policy.
+    pub fn learnt_refs(&self) -> Vec<ClauseRef> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn add_registers_watches() {
+        let mut db = ClauseDb::new(3);
+        let lits = vec![Lit::pos(Var(0)), Lit::neg(Var(1)), Lit::pos(Var(2))];
+        let r = db.add(lits, false, 0);
+        // Watchers live on the negations of the first two literals.
+        assert_eq!(db.watches[Lit::neg(Var(0)).code()].len(), 1);
+        assert_eq!(db.watches[Lit::pos(Var(1)).code()].len(), 1);
+        assert_eq!(db.watches[Lit::neg(Var(2)).code()].len(), 0);
+        assert_eq!(db.clause(r).lits.len(), 3);
+    }
+
+    #[test]
+    fn delete_and_rebuild() {
+        let mut db = ClauseDb::new(2);
+        let a = db.add(vec![Lit::pos(Var(0)), Lit::pos(Var(1))], true, 2);
+        let _b = db.add(vec![Lit::neg(Var(0)), Lit::neg(Var(1))], true, 2);
+        assert_eq!(db.learnt_count, 2);
+        db.delete(a);
+        assert_eq!(db.learnt_count, 1);
+        db.rebuild_watches();
+        let total: usize = db.watches.iter().map(Vec::len).sum();
+        assert_eq!(total, 2, "only the live clause is watched");
+    }
+
+    #[test]
+    fn learnt_refs_skips_tombstones() {
+        let mut db = ClauseDb::new(2);
+        let a = db.add(vec![Lit::pos(Var(0)), Lit::pos(Var(1))], true, 2);
+        db.add(vec![Lit::neg(Var(0)), Lit::pos(Var(1))], false, 0);
+        db.delete(a);
+        assert!(db.learnt_refs().is_empty());
+    }
+}

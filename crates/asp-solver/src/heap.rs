@@ -1,0 +1,165 @@
+//! Indexed max-heap over variable activities (the MiniSat order heap).
+
+use crate::lit::Var;
+
+/// Binary max-heap keyed by externally stored activities, with an index map
+/// for `decrease`/`contains` in O(1) and sift operations in O(log n).
+#[derive(Debug, Default)]
+pub struct VarOrder {
+    heap: Vec<Var>,
+    /// position[v] = index in `heap`, or usize::MAX when absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarOrder {
+    /// An empty order over `n` variables.
+    pub fn new(n: usize) -> Self {
+        VarOrder { heap: Vec::with_capacity(n), position: vec![ABSENT; n] }
+    }
+
+    /// Number of queued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no variable is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `v` is queued.
+    pub fn contains(&self, v: Var) -> bool {
+        self.position[v.idx()] != ABSENT
+    }
+
+    /// Inserts `v` (no-op when present).
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.idx()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Pops the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.position[top.idx()] = ABSENT;
+        let last = self.heap.pop().expect("heap non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.idx()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&pos) = self.position.get(v.idx()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap (used after global activity rescaling, which
+    /// preserves order, so this is rarely needed — kept for completeness).
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let vars: Vec<Var> = self.heap.drain(..).collect();
+        for p in self.position.iter_mut() {
+            *p = ABSENT;
+        }
+        for v in vars {
+            self.insert(v, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].idx()] <= activity[self.heap[parent].idx()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && activity[self.heap[l].idx()] > activity[self.heap[best].idx()]
+            {
+                best = l;
+            }
+            if r < self.heap.len() && activity[self.heap[r].idx()] > activity[self.heap[best].idx()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a].idx()] = a;
+        self.position[self.heap[b].idx()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarOrder::new(5);
+        for i in 0..5 {
+            h.insert(Var(i), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarOrder::new(2);
+        h.insert(Var(0), &activity);
+        h.insert(Var(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn bumped_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarOrder::new(3);
+        for i in 0..3 {
+            h.insert(Var(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(Var(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0];
+        let mut h = VarOrder::new(1);
+        assert!(!h.contains(Var(0)));
+        h.insert(Var(0), &activity);
+        assert!(h.contains(Var(0)));
+        h.pop(&activity);
+        assert!(!h.contains(Var(0)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Boolean variables and literals for the CDCL engine.
+
+use std::fmt;
+
+/// A solver variable. Variables `0..n_atoms` correspond 1:1 to ground atoms;
+/// higher indices are auxiliary body variables from the Clark completion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a sign. Encoded as `var << 1 | sign` with
+/// `sign = 1` for negative, so literals index watcher lists densely.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`true` = negated).
+    #[inline]
+    pub fn new(v: Var, negative: bool) -> Lit {
+        Lit(v.0 << 1 | negative as u32)
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True for a negative literal.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[inline]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index for watcher lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "¬" } else { "" }, self.var().0)
+    }
+}
+
+/// Three-valued assignment state of a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Unassigned.
+    Undef,
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+}
+
+impl LBool {
+    /// Truth value of a literal given its variable's value.
+    #[inline]
+    pub fn of_lit(self, lit: Lit) -> LBool {
+        match (self, lit.is_neg()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, false) | (LBool::False, true) => LBool::True,
+            (LBool::True, true) | (LBool::False, false) => LBool::False,
+        }
+    }
+
+    /// From a boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        let v = Var(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(p.negate(), n);
+        assert_eq!(n.negate(), p);
+        assert_eq!(Lit::new(v, true), n);
+        assert_ne!(p.code(), n.code());
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        let v = Var(0);
+        assert_eq!(LBool::True.of_lit(Lit::pos(v)), LBool::True);
+        assert_eq!(LBool::True.of_lit(Lit::neg(v)), LBool::False);
+        assert_eq!(LBool::False.of_lit(Lit::neg(v)), LBool::True);
+        assert_eq!(LBool::Undef.of_lit(Lit::pos(v)), LBool::Undef);
+    }
+}

@@ -1,0 +1,179 @@
+//! Stability (unfounded-set) checking for total assignments.
+//!
+//! Completion models of non-tight programs may contain positive loops with no
+//! external support. At each total assignment the checker computes the least
+//! model of the reduct; atoms true in the assignment but missing from the
+//! least model form an unfounded set, from which loop clauses
+//! `¬a ∨ ⋁ externalBodies(U)` are derived — exactly the loop nogoods of
+//! conflict-driven ASP solving, generated lazily.
+
+use crate::lit::{LBool, Lit, Var};
+use crate::translate::NormRule;
+
+/// Loop clauses refuting the current (unstable) total assignment. Empty means
+/// the assignment is a stable model.
+pub fn check_stability(
+    rules: &[NormRule],
+    n_atoms: usize,
+    value: impl Fn(Var) -> LBool,
+) -> Vec<Vec<Lit>> {
+    // Rules active in the reduct with a true body: body_var true means all
+    // positive atoms true and all negated atoms false under the assignment.
+    let active: Vec<&NormRule> =
+        rules.iter().filter(|r| value(r.body_var) == LBool::True).collect();
+
+    // Least model M of the (restricted) reduct via counting fixpoint. Only
+    // atoms true in the assignment matter: M ⊆ true(A).
+    let mut in_m = vec![false; n_atoms];
+    let mut remaining: Vec<usize> = active.iter().map(|r| r.pos.len()).collect();
+    let mut watchers: Vec<Vec<usize>> = vec![Vec::new(); n_atoms];
+    let mut queue: Vec<Var> = Vec::new();
+    for (ri, r) in active.iter().enumerate() {
+        if r.pos.is_empty() {
+            if !in_m[r.head.idx()] {
+                in_m[r.head.idx()] = true;
+                queue.push(r.head);
+            }
+        } else {
+            for &p in &r.pos {
+                watchers[p.idx()].push(ri);
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for &ri in &watchers[a.idx()] {
+            let dups = active[ri].pos.iter().filter(|&&p| p == a).count();
+            remaining[ri] = remaining[ri].saturating_sub(dups);
+            if remaining[ri] == 0 {
+                remaining[ri] = usize::MAX;
+                let h = active[ri].head;
+                if !in_m[h.idx()] {
+                    in_m[h.idx()] = true;
+                    queue.push(h);
+                }
+            }
+        }
+    }
+
+    // Unfounded set: true atoms that the reduct cannot derive.
+    let unfounded: Vec<Var> = (0..n_atoms)
+        .map(|i| Var(i as u32))
+        .filter(|&v| value(v) == LBool::True && !in_m[v.idx()])
+        .collect();
+    if unfounded.is_empty() {
+        return Vec::new();
+    }
+
+    // External bodies of the unfounded set: rules whose head is in U but
+    // whose positive body does not touch U. All of them are false under the
+    // current assignment (otherwise the head would be in M).
+    let mut in_u = vec![false; n_atoms];
+    for &v in &unfounded {
+        in_u[v.idx()] = true;
+    }
+    let mut external: Vec<Lit> = Vec::new();
+    for r in rules {
+        if in_u[r.head.idx()] && !r.pos.iter().any(|p| in_u[p.idx()]) {
+            let l = Lit::pos(r.body_var);
+            if !external.contains(&l) {
+                external.push(l);
+            }
+        }
+    }
+
+    // One loop clause per unfounded atom (capped: each clause alone already
+    // refutes the current assignment).
+    const MAX_CLAUSES: usize = 64;
+    unfounded
+        .iter()
+        .take(MAX_CLAUSES)
+        .map(|&a| {
+            let mut clause = Vec::with_capacity(external.len() + 1);
+            clause.push(Lit::neg(a));
+            clause.extend(external.iter().copied());
+            clause
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(head: u32, pos: &[u32], neg: &[u32], body: u32) -> NormRule {
+        NormRule {
+            head: Var(head),
+            pos: pos.iter().map(|&v| Var(v)).collect(),
+            neg: neg.iter().map(|&v| Var(v)).collect(),
+            body_var: Var(body),
+        }
+    }
+
+    #[test]
+    fn self_supporting_loop_is_unfounded() {
+        // a :- b. b :- a.  Assignment: a, b true; both bodies true.
+        let rules = vec![rule(0, &[1], &[], 2), rule(1, &[0], &[], 3)];
+        let clauses = check_stability(&rules, 2, |_| LBool::True);
+        assert_eq!(clauses.len(), 2);
+        // No external bodies: unit refutations ¬a and ¬b.
+        assert_eq!(clauses[0].len(), 1);
+        assert!(clauses[0][0].is_neg());
+    }
+
+    #[test]
+    fn externally_supported_loop_is_stable() {
+        // a :- b. b :- a. a :- c. c.  All true.
+        let rules = vec![
+            rule(0, &[1], &[], 3),
+            rule(1, &[0], &[], 4),
+            rule(0, &[2], &[], 5),
+            rule(2, &[], &[], 6),
+        ];
+        let clauses = check_stability(&rules, 3, |_| LBool::True);
+        assert!(clauses.is_empty());
+    }
+
+    #[test]
+    fn false_atoms_are_ignored() {
+        // a :- b. b :- a. Everything false: stable (empty model).
+        let rules = vec![rule(0, &[1], &[], 2), rule(1, &[0], &[], 3)];
+        let clauses = check_stability(&rules, 2, |_| LBool::False);
+        assert!(clauses.is_empty());
+    }
+
+    #[test]
+    fn loop_clause_includes_external_bodies() {
+        // a :- b. b :- a. a :- c (c false => body var 5 false).
+        // Assignment: a, b true, c false; loop bodies true, external false.
+        let rules = vec![
+            rule(0, &[1], &[], 3),
+            rule(1, &[0], &[], 4),
+            rule(0, &[2], &[], 5),
+        ];
+        let value = |v: Var| match v.0 {
+            0 | 1 => LBool::True,  // a, b
+            2 => LBool::False,     // c
+            3 | 4 => LBool::True,  // loop bodies
+            _ => LBool::False,     // external body
+        };
+        let clauses = check_stability(&rules, 3, value);
+        assert_eq!(clauses.len(), 2);
+        // Clause for `a` must offer the external body as the way out.
+        let for_a = clauses.iter().find(|c| c[0] == Lit::neg(Var(0))).unwrap();
+        assert!(for_a.contains(&Lit::pos(Var(5))));
+    }
+
+    #[test]
+    fn partially_true_loop() {
+        // a :- b. b :- a. a true, b false: a's body (b) is false, so body
+        // vars are false; a is unfounded with no active rules.
+        let rules = vec![rule(0, &[1], &[], 2), rule(1, &[0], &[], 3)];
+        let value = |v: Var| match v.0 {
+            0 => LBool::True,
+            _ => LBool::False,
+        };
+        let clauses = check_stability(&rules, 2, value);
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0][0], Lit::neg(Var(0)));
+    }
+}

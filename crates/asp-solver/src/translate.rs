@@ -1,0 +1,314 @@
+//! Translation of a ground program into completion clauses plus the shifted
+//! normal-rule list used by the stability checker.
+//!
+//! Disjunctive heads are *shifted* (`a | b :- B` becomes `a :- B, not b` and
+//! `b :- B, not a`), which is sound and complete exactly for head-cycle-free
+//! programs; non-HCF programs are rejected with a clear error, as documented
+//! in DESIGN.md.
+
+use crate::lit::{Lit, Var};
+use asp_core::{AspError, AtomId, FastMap, GroundProgram, Symbols};
+use sr_graph::{scc_ids, DiGraph};
+
+/// A shifted normal rule over solver variables.
+#[derive(Clone, Debug)]
+pub struct NormRule {
+    /// Head atom variable.
+    pub head: Var,
+    /// Positive body atom variables.
+    pub pos: Vec<Var>,
+    /// Negative body atom variables (default negation).
+    pub neg: Vec<Var>,
+    /// The auxiliary body variable for this rule's body.
+    pub body_var: Var,
+}
+
+/// Result of translating a [`GroundProgram`].
+#[derive(Debug)]
+pub struct Translation {
+    /// Number of atom variables (`Var(i)` ⇔ `AtomId(i)` for `i < n_atoms`).
+    pub n_atoms: usize,
+    /// Total variables including body auxiliaries.
+    pub n_vars: usize,
+    /// Completion clauses (may contain units).
+    pub clauses: Vec<Vec<Lit>>,
+    /// Shifted normal rules for unfounded-set checking.
+    pub rules: Vec<NormRule>,
+    /// True when the positive dependency graph is acyclic — completion models
+    /// are then exactly the stable models and no stability check is needed.
+    pub tight: bool,
+    /// True when grounding already derived a contradiction.
+    pub trivially_unsat: bool,
+}
+
+/// Translates `gp`; fails on non-head-cycle-free disjunction.
+pub fn translate(syms: &Symbols, gp: &GroundProgram) -> Result<Translation, AspError> {
+    let n_atoms = gp.atoms.len();
+
+    check_head_cycle_free(syms, gp)?;
+
+    // Shift disjunctive rules into normal rules.
+    struct Shifted {
+        head: Option<AtomId>,
+        pos: Vec<AtomId>,
+        neg: Vec<AtomId>,
+    }
+    let mut shifted: Vec<Shifted> = Vec::with_capacity(gp.rules.len());
+    let mut trivially_unsat = false;
+    for rule in &gp.rules {
+        match rule.head.len() {
+            0 => {
+                if rule.pos.is_empty() && rule.neg.is_empty() {
+                    trivially_unsat = true;
+                }
+                shifted.push(Shifted {
+                    head: None,
+                    pos: rule.pos.clone(),
+                    neg: rule.neg.clone(),
+                });
+            }
+            1 => shifted.push(Shifted {
+                head: Some(rule.head[0]),
+                pos: rule.pos.clone(),
+                neg: rule.neg.clone(),
+            }),
+            _ => {
+                for (i, &h) in rule.head.iter().enumerate() {
+                    let mut neg = rule.neg.clone();
+                    neg.extend(rule.head.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &a)| a));
+                    shifted.push(Shifted { head: Some(h), pos: rule.pos.clone(), neg });
+                }
+            }
+        }
+    }
+
+    // Canonicalize bodies and allocate body variables (deduplicated).
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut rules: Vec<NormRule> = Vec::new();
+    let mut body_vars: FastMap<(Vec<AtomId>, Vec<AtomId>), Var> = FastMap::default();
+    let mut next_var = n_atoms as u32;
+    let mut bodies_of: Vec<Vec<Var>> = vec![Vec::new(); n_atoms];
+    let atom_lit = |a: AtomId| Lit::pos(Var(a.0));
+
+    for s in &mut shifted {
+        s.pos.sort_unstable();
+        s.pos.dedup();
+        s.neg.sort_unstable();
+        s.neg.dedup();
+        // A body containing both `a` and `not a` can never fire.
+        if s.pos.iter().any(|p| s.neg.binary_search(p).is_ok()) {
+            continue;
+        }
+        match s.head {
+            None => {
+                // Constraint: direct clause ¬p1 ∨ ... ∨ q1 ∨ ...
+                let mut clause: Vec<Lit> =
+                    s.pos.iter().map(|&a| atom_lit(a).negate()).collect();
+                clause.extend(s.neg.iter().map(|&a| atom_lit(a)));
+                clauses.push(clause);
+            }
+            Some(h) => {
+                let key = (s.pos.clone(), s.neg.clone());
+                let body_var = *body_vars.entry(key).or_insert_with(|| {
+                    let v = Var(next_var);
+                    next_var += 1;
+                    // Body definition clauses: b ↔ conjunction.
+                    let b = Lit::pos(v);
+                    let mut long: Vec<Lit> = vec![b];
+                    for &p in &s.pos {
+                        clauses.push(vec![b.negate(), atom_lit(p)]);
+                        long.push(atom_lit(p).negate());
+                    }
+                    for &q in &s.neg {
+                        clauses.push(vec![b.negate(), atom_lit(q).negate()]);
+                        long.push(atom_lit(q));
+                    }
+                    clauses.push(long);
+                    v
+                });
+                // Body implies head.
+                clauses.push(vec![Lit::neg(body_var), atom_lit(h)]);
+                let hv = Var(h.0);
+                bodies_of[hv.idx()].push(body_var);
+                rules.push(NormRule {
+                    head: hv,
+                    pos: s.pos.iter().map(|a| Var(a.0)).collect(),
+                    neg: s.neg.iter().map(|a| Var(a.0)).collect(),
+                    body_var,
+                });
+            }
+        }
+    }
+
+    // Support (completion) clauses: atom → one of its bodies.
+    for (i, bodies) in bodies_of.iter().enumerate() {
+        let a = Lit::pos(Var(i as u32));
+        let mut clause = Vec::with_capacity(bodies.len() + 1);
+        clause.push(a.negate());
+        clause.extend(bodies.iter().map(|&b| Lit::pos(b)));
+        clauses.push(clause);
+    }
+
+    let tight = is_tight(&rules, n_atoms);
+
+    Ok(Translation {
+        n_atoms,
+        n_vars: next_var as usize,
+        clauses,
+        rules,
+        tight,
+        trivially_unsat,
+    })
+}
+
+/// Rejects programs where two atoms of one disjunctive head share an SCC of
+/// the positive dependency graph.
+fn check_head_cycle_free(syms: &Symbols, gp: &GroundProgram) -> Result<(), AspError> {
+    if !gp.rules.iter().any(|r| r.head.len() > 1) {
+        return Ok(());
+    }
+    let mut g = DiGraph::new(gp.atoms.len());
+    for rule in &gp.rules {
+        for &h in &rule.head {
+            for &p in &rule.pos {
+                g.add_edge(p.0 as usize, h.0 as usize);
+            }
+        }
+    }
+    let scc = scc_ids(&g);
+    for rule in &gp.rules {
+        if rule.head.len() < 2 {
+            continue;
+        }
+        for i in 0..rule.head.len() {
+            for j in (i + 1)..rule.head.len() {
+                if scc[rule.head[i].idx()] == scc[rule.head[j].idx()] {
+                    return Err(AspError::NotHeadCycleFree {
+                        detail: format!(
+                            "head atoms {} and {} are positively interdependent",
+                            gp.atoms.resolve(rule.head[i]).display(syms),
+                            gp.atoms.resolve(rule.head[j]).display(syms),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tightness: no cycle in the positive atom dependency graph.
+fn is_tight(rules: &[NormRule], n_atoms: usize) -> bool {
+    let mut g = DiGraph::new(n_atoms);
+    for r in rules {
+        for &p in &r.pos {
+            if p == r.head {
+                return false; // self-loop
+            }
+            g.add_edge(p.idx(), r.head.idx());
+        }
+    }
+    let ids = scc_ids(&g);
+    let max = ids.iter().copied().max().map_or(0, |m| m + 1);
+    max == n_atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp_core::{GroundAtom, GroundRule, GroundTerm};
+
+    fn program(rules: Vec<(Vec<&str>, Vec<&str>, Vec<&str>)>) -> (Symbols, GroundProgram) {
+        let syms = Symbols::new();
+        let mut gp = GroundProgram::default();
+        let id = |gp: &mut GroundProgram, name: &str| {
+            gp.atoms.intern(GroundAtom::new(syms.intern(name), vec![GroundTerm::Int(0)]))
+        };
+        for (head, pos, neg) in rules {
+            let head = head.into_iter().map(|n| id(&mut gp, n)).collect();
+            let pos = pos.into_iter().map(|n| id(&mut gp, n)).collect();
+            let neg = neg.into_iter().map(|n| id(&mut gp, n)).collect();
+            gp.rules.push(GroundRule { head, pos, neg });
+        }
+        (syms, gp)
+    }
+
+    #[test]
+    fn fact_produces_unit_support() {
+        let (syms, gp) = program(vec![(vec!["a"], vec![], vec![])]);
+        let t = translate(&syms, &gp).unwrap();
+        assert_eq!(t.n_atoms, 1);
+        assert_eq!(t.rules.len(), 1);
+        assert!(t.tight);
+        // Unit clause for the empty body variable must exist.
+        assert!(t.clauses.iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn bodies_are_deduplicated() {
+        let (syms, gp) = program(vec![
+            (vec!["a"], vec!["c"], vec![]),
+            (vec!["b"], vec!["c"], vec![]),
+        ]);
+        let t = translate(&syms, &gp).unwrap();
+        // atoms a, b, c plus exactly ONE body variable.
+        assert_eq!(t.n_vars, t.n_atoms + 1);
+        assert_eq!(t.rules[0].body_var, t.rules[1].body_var);
+    }
+
+    #[test]
+    fn self_blocking_body_is_dropped() {
+        let (syms, gp) = program(vec![(vec!["a"], vec!["b"], vec!["b"])]);
+        let t = translate(&syms, &gp).unwrap();
+        assert!(t.rules.is_empty());
+        // a has no support: ¬a unit.
+        assert!(t.clauses.iter().any(|c| c == &vec![Lit::neg(Var(0))]));
+    }
+
+    #[test]
+    fn positive_loop_is_not_tight() {
+        let (syms, gp) = program(vec![
+            (vec!["a"], vec!["b"], vec![]),
+            (vec!["b"], vec!["a"], vec![]),
+        ]);
+        let t = translate(&syms, &gp).unwrap();
+        assert!(!t.tight);
+    }
+
+    #[test]
+    fn negative_loop_is_tight() {
+        let (syms, gp) = program(vec![
+            (vec!["a"], vec![], vec!["b"]),
+            (vec!["b"], vec![], vec!["a"]),
+        ]);
+        let t = translate(&syms, &gp).unwrap();
+        assert!(t.tight);
+    }
+
+    #[test]
+    fn shifting_produces_one_rule_per_head() {
+        let (syms, gp) = program(vec![(vec!["a", "b"], vec!["c"], vec![])]);
+        let t = translate(&syms, &gp).unwrap();
+        assert_eq!(t.rules.len(), 2);
+        assert!(t.rules.iter().all(|r| r.neg.len() == 1));
+    }
+
+    #[test]
+    fn head_cycles_are_rejected() {
+        // a | b.  a :- b.  b :- a.  (a and b in one positive SCC)
+        let (syms, gp) = program(vec![
+            (vec!["a", "b"], vec![], vec![]),
+            (vec!["a"], vec!["b"], vec![]),
+            (vec!["b"], vec!["a"], vec![]),
+        ]);
+        let err = translate(&syms, &gp).unwrap_err();
+        assert!(matches!(err, AspError::NotHeadCycleFree { .. }));
+    }
+
+    #[test]
+    fn empty_constraint_is_trivially_unsat() {
+        let (syms, gp) = program(vec![(vec![], vec![], vec![])]);
+        let t = translate(&syms, &gp).unwrap();
+        assert!(t.trivially_unsat);
+    }
+}

@@ -1,0 +1,155 @@
+//! Conformance of the CDCL solver against a brute-force stable-model
+//! enumerator on randomly generated ground normal programs.
+
+use asp_core::{GroundAtom, GroundProgram, GroundRule, GroundTerm, Symbols};
+use asp_solver::{solve_ground, SolverConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Brute force: S is a stable model of a normal program iff S is the least
+/// model of the reduct P^S and no constraint fires under S.
+fn brute_force_stable_models(gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
+    let n = gp.atoms.len();
+    assert!(n <= 16, "brute force explodes past 16 atoms");
+    let mut models = Vec::new();
+    'subsets: for mask in 0u32..(1 << n) {
+        let in_s = |a: u32| mask & (1 << a) != 0;
+        // Constraints must not fire.
+        for r in &gp.rules {
+            if r.head.is_empty()
+                && r.pos.iter().all(|p| in_s(p.0))
+                && r.neg.iter().all(|q| !in_s(q.0))
+            {
+                continue 'subsets;
+            }
+        }
+        // Least model of the reduct.
+        let mut lm = vec![false; n];
+        loop {
+            let mut changed = false;
+            for r in &gp.rules {
+                if r.head.len() != 1 {
+                    continue;
+                }
+                if r.neg.iter().all(|q| !in_s(q.0))
+                    && r.pos.iter().all(|p| lm[p.idx()])
+                    && !lm[r.head[0].idx()]
+                {
+                    lm[r.head[0].idx()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let lm_mask: u32 =
+            lm.iter().enumerate().map(|(i, &b)| if b { 1 << i } else { 0 }).sum();
+        if lm_mask == mask {
+            models.push((0..n as u32).filter(|&a| in_s(a)).collect());
+        }
+    }
+    models
+}
+
+fn solver_models(syms: &Symbols, gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
+    let res = solve_ground(syms, gp, &SolverConfig::default()).unwrap();
+    let mut out: Vec<BTreeSet<u32>> = res
+        .answer_sets
+        .iter()
+        .map(|ans| {
+            ans.atoms()
+                .iter()
+                .map(|a| gp.atoms.get(a).expect("answer atom must be interned").0)
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Builds a ground program over `n_atoms` 0-ary-ish atoms from rule specs
+/// `(head_or_none, pos, neg)`.
+fn build(
+    n_atoms: u32,
+    rules: &[(Option<u32>, Vec<u32>, Vec<u32>)],
+) -> (Symbols, GroundProgram) {
+    let syms = Symbols::new();
+    let mut gp = GroundProgram::default();
+    for i in 0..n_atoms {
+        gp.atoms.intern(GroundAtom::new(syms.intern(&format!("a{i}")), vec![GroundTerm::Int(0)]));
+    }
+    for (head, pos, neg) in rules {
+        gp.rules.push(GroundRule {
+            head: head.map(asp_core::AtomId).into_iter().collect(),
+            pos: pos.iter().map(|&p| asp_core::AtomId(p)).collect(),
+            neg: neg.iter().map(|&q| asp_core::AtomId(q)).collect(),
+        });
+    }
+    (syms, gp)
+}
+
+#[test]
+fn brute_force_agrees_on_even_loop() {
+    // a0 :- not a1. a1 :- not a0.
+    let (syms, gp) =
+        build(2, &[(Some(0), vec![], vec![1]), (Some(1), vec![], vec![0])]);
+    let mut expected = brute_force_stable_models(&gp);
+    expected.sort();
+    assert_eq!(expected.len(), 2);
+    assert_eq!(solver_models(&syms, &gp), expected);
+}
+
+#[test]
+fn brute_force_agrees_on_positive_loop() {
+    // a0 :- a1. a1 :- a0. Only the empty model.
+    let (syms, gp) =
+        build(2, &[(Some(0), vec![1], vec![]), (Some(1), vec![0], vec![])]);
+    let mut expected = brute_force_stable_models(&gp);
+    expected.sort();
+    assert_eq!(expected, vec![BTreeSet::new()]);
+    assert_eq!(solver_models(&syms, &gp), expected);
+}
+
+#[test]
+fn brute_force_agrees_on_odd_loop() {
+    let (syms, gp) = build(1, &[(Some(0), vec![], vec![0])]);
+    assert!(brute_force_stable_models(&gp).is_empty());
+    assert!(solver_models(&syms, &gp).is_empty());
+}
+
+/// Strategy: random normal programs over up to 5 atoms with up to 7 rules,
+/// each rule having up to 2 positive and 2 negative body literals, plus
+/// occasional constraints — a space dense in loops, choices and conflicts.
+fn program_strategy() -> impl Strategy<Value = (u32, Vec<(Option<u32>, Vec<u32>, Vec<u32>)>)> {
+    let rule = (
+        prop::option::weighted(0.9, 0u32..5),
+        prop::collection::vec(0u32..5, 0..=2),
+        prop::collection::vec(0u32..5, 0..=2),
+    );
+    (Just(5u32), prop::collection::vec(rule, 1..=7))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn solver_matches_brute_force((n_atoms, rules) in program_strategy()) {
+        let (syms, gp) = build(n_atoms, &rules);
+        let mut expected = brute_force_stable_models(&gp);
+        expected.sort();
+        let actual = solver_models(&syms, &gp);
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn facts_always_appear_in_every_model((n_atoms, rules) in program_strategy()) {
+        let (syms, mut gp) = build(n_atoms, &rules);
+        // Make atom 0 a fact; every model must contain it (or be absent if
+        // the program is unsat).
+        gp.rules.push(GroundRule { head: vec![asp_core::AtomId(0)], pos: vec![], neg: vec![] });
+        for m in solver_models(&syms, &gp) {
+            prop_assert!(m.contains(&0));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Combinatorial stress tests with known solution counts: the solver must
+//! enumerate exactly the right number of stable models on classic encodings
+//! that exercise choice rules, constraints, disjunction, arithmetic and
+//! non-trivial search.
+
+use asp_core::Symbols;
+use asp_parser::parse_program;
+use asp_solver::{solve, SolverConfig};
+
+fn count_models(src: &str) -> usize {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, src).unwrap();
+    solve(&syms, &program, &[], &SolverConfig::default()).unwrap().answer_sets.len()
+}
+
+fn queens_program(n: usize) -> String {
+    format!(
+        "#const n = {n}.\n\
+         row(1..n). col(1..n).\n\
+         {{ q(R,C) }} :- row(R), col(C).\n\
+         placed(R) :- q(R,C).\n\
+         :- row(R), not placed(R).\n\
+         :- q(R,C1), q(R,C2), C1 < C2.\n\
+         :- q(R1,C), q(R2,C), R1 < R2.\n\
+         :- q(R1,C1), q(R2,C2), R1 < R2, C2 = C1 + R2 - R1.\n\
+         :- q(R1,C1), q(R2,C2), R1 < R2, C2 = C1 - R2 + R1.\n"
+    )
+}
+
+#[test]
+fn four_queens_has_two_solutions() {
+    assert_eq!(count_models(&queens_program(4)), 2);
+}
+
+#[test]
+fn five_queens_has_ten_solutions() {
+    assert_eq!(count_models(&queens_program(5)), 10);
+}
+
+#[test]
+fn six_queens_has_four_solutions() {
+    assert_eq!(count_models(&queens_program(6)), 4);
+}
+
+#[test]
+fn three_queens_is_unsat() {
+    assert_eq!(count_models(&queens_program(3)), 0);
+}
+
+fn coloring_program(edges: &[(u32, u32)], nodes: u32) -> String {
+    let mut src = String::new();
+    for v in 1..=nodes {
+        src.push_str(&format!("node({v}).\n"));
+    }
+    for (a, b) in edges {
+        src.push_str(&format!("edge({a},{b}).\n"));
+    }
+    src.push_str(
+        "color(X, r) | color(X, g) | color(X, b) :- node(X).\n\
+         :- edge(X,Y), color(X,C), color(Y,C).\n",
+    );
+    src
+}
+
+#[test]
+fn triangle_has_six_colorings() {
+    assert_eq!(count_models(&coloring_program(&[(1, 2), (2, 3), (1, 3)], 3)), 6);
+}
+
+#[test]
+fn k4_is_not_three_colorable() {
+    let k4 = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)];
+    assert_eq!(count_models(&coloring_program(&k4, 4)), 0);
+}
+
+#[test]
+fn path_graph_colorings() {
+    // P3 (path with 3 nodes): 3 * 2 * 2 = 12 proper 3-colorings.
+    assert_eq!(count_models(&coloring_program(&[(1, 2), (2, 3)], 3)), 12);
+}
+
+#[test]
+fn cycle_c5_colorings() {
+    // Chromatic polynomial of C5 at k=3: (3-1)^5 + (3-1)*(-1)^5 = 30.
+    let c5 = [(1, 2), (2, 3), (3, 4), (4, 5), (1, 5)];
+    assert_eq!(count_models(&coloring_program(&c5, 5)), 30);
+}
+
+#[test]
+fn independent_sets_of_a_path() {
+    // Independent sets of P4 = Fibonacci(6) = 8 (including the empty set).
+    let src = "
+        node(1). node(2). node(3). node(4).
+        edge(1,2). edge(2,3). edge(3,4).
+        { in(X) } :- node(X).
+        :- edge(X,Y), in(X), in(Y).
+    ";
+    assert_eq!(count_models(src), 8);
+}
+
+#[test]
+fn hamiltonian_cycles_of_k4() {
+    // Directed Hamiltonian cycles of K4: (4-1)! = 6. The encoding uses
+    // recursive reachability (non-tight!) to force connectivity.
+    let mut src = String::new();
+    for v in 1..=4 {
+        src.push_str(&format!("node({v}).\n"));
+    }
+    for a in 1..=4u32 {
+        for b in 1..=4u32 {
+            if a != b {
+                src.push_str(&format!("arc({a},{b}).\n"));
+            }
+        }
+    }
+    src.push_str(
+        "{ go(X,Y) } :- arc(X,Y).\n\
+         :- go(X,Y1), go(X,Y2), Y1 < Y2.\n\
+         :- go(X1,Y), go(X2,Y), X1 < X2.\n\
+         out_ok(X) :- go(X,Y).\n\
+         in_ok(Y) :- go(X,Y).\n\
+         :- node(X), not out_ok(X).\n\
+         :- node(X), not in_ok(X).\n\
+         reach(1).\n\
+         reach(Y) :- reach(X), go(X,Y).\n\
+         :- node(X), not reach(X).\n",
+    );
+    assert_eq!(count_models(&src), 6);
+}
+
+#[test]
+fn schur_like_partition_count() {
+    // Partition {1..4} into 2 sum-free-ish sets: forbid x + x = z within a
+    // part for pairs we can express (x,z both in 1..4 and z = 2x).
+    let src = "
+        n(1). n(2). n(3). n(4).
+        part(X, a) | part(X, b) :- n(X).
+        :- part(X, P), part(Z, P), Z = 2 * X.
+    ";
+    // Every assignment where x and 2x are separated: 1,2 separated; 2,4
+    // separated. 1 has 2 choices; 2 determined by 1; 4 determined by 2;
+    // 3 free => 2 * 2 = 4 models.
+    assert_eq!(count_models(src), 4);
+}
+
+#[test]
+fn deep_negation_chain() {
+    // Alternating negation chain p0 <- not p1 <- not p2 ... with a fact at
+    // the end: exactly one model, truth alternating.
+    let mut src = String::new();
+    let n = 30;
+    for i in 0..n {
+        src.push_str(&format!("p{i} :- not p{}.\n", i + 1));
+    }
+    src.push_str(&format!("p{n}.\n"));
+    let syms = Symbols::new();
+    let program = parse_program(&syms, &src).unwrap();
+    let result = solve(&syms, &program, &[], &SolverConfig::default()).unwrap();
+    assert_eq!(result.answer_sets.len(), 1);
+    let ans = result.answer_sets[0].display(&syms).to_string();
+    assert!(ans.contains(&format!("p{n}")));
+    assert!(!ans.contains("p29 "), "p29 must be false (p30 true): {ans}");
+}
+
+#[test]
+fn large_tight_program_is_fast() {
+    // 2000-fact chain program: linear propagation, no search.
+    let mut src = String::new();
+    for i in 0..2000 {
+        src.push_str(&format!("e({i}).\n"));
+    }
+    src.push_str("h(X) :- e(X), X > 1000.\n");
+    let syms = Symbols::new();
+    let program = parse_program(&syms, &src).unwrap();
+    let t0 = std::time::Instant::now();
+    let result = solve(&syms, &program, &[], &SolverConfig::default()).unwrap();
+    assert_eq!(result.answer_sets.len(), 1);
+    assert_eq!(result.answer_sets[0].len(), 2000 + 999);
+    assert!(t0.elapsed().as_secs() < 5, "took {:?}", t0.elapsed());
+}

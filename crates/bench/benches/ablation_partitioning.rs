@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! * Algorithm 1 (plan-driven grouping) vs random splitting vs atom-level
+//!   partitioning, as pure partitioning cost;
+//! * Louvain at different resolutions on synthetic community graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{ExperimentBench, ExperimentConfig, PROGRAM_P};
+use sr_core::{atom_level_partition, Partitioner, PlanPartitioner, RandomPartitioner, UnknownPredicate};
+use sr_graph::{louvain, UnGraph};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn partitioning(c: &mut Criterion) {
+    let cfg = ExperimentConfig::paper(PROGRAM_P, GeneratorKind::Correlated);
+    let bench = ExperimentBench::build(&cfg).expect("build");
+    let plan_part =
+        PlanPartitioner::new(bench.analysis.plan.clone(), UnknownPredicate::Partition0);
+    let ran_part = RandomPartitioner::new(2, 7);
+    let mut generator = paper_generator(GeneratorKind::Correlated, 9);
+
+    let mut group = c.benchmark_group("ablation_partitioning");
+    group.sample_size(20);
+    for &size in &[10_000usize, 40_000] {
+        let window = Window::new(size as u64, generator.window(size));
+        group.bench_with_input(BenchmarkId::new("algorithm1_plan", size), &window, |b, w| {
+            b.iter(|| black_box(plan_part.partition(w)));
+        });
+        group.bench_with_input(BenchmarkId::new("random_k2", size), &window, |b, w| {
+            b.iter(|| black_box(ran_part.partition(w)));
+        });
+        let no_self_loops = HashSet::new();
+        group.bench_with_input(BenchmarkId::new("atom_level", size), &window, |b, w| {
+            b.iter(|| black_box(atom_level_partition(&w.items, &no_self_loops, 8)));
+        });
+    }
+    group.finish();
+}
+
+/// Ring of `k` cliques of size `m`, the classic Louvain stress shape.
+fn ring_of_cliques(k: usize, m: usize) -> UnGraph {
+    let mut g = UnGraph::new(k * m);
+    for c in 0..k {
+        let base = c * m;
+        for i in 0..m {
+            for j in (i + 1)..m {
+                g.add_edge(base + i, base + j, 1.0);
+            }
+        }
+        let next_base = ((c + 1) % k) * m;
+        g.add_edge(base, next_base, 1.0);
+    }
+    g
+}
+
+fn louvain_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_louvain");
+    group.sample_size(20);
+    for &(k, m) in &[(10usize, 10usize), (50, 10), (100, 20)] {
+        let g = ring_of_cliques(k, m);
+        for &resolution in &[0.5f64, 1.0, 2.0] {
+            let label = format!("k{k}_m{m}_res{resolution}");
+            group.bench_function(BenchmarkId::new("louvain", &label), |b| {
+                b.iter(|| black_box(louvain(&g, resolution)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioning, louvain_bench);
+criterion_main!(benches);

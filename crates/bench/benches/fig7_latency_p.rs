@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 7: reasoning latency on program P for the
+//! series R, PR_Dep, PR_Ran_k2 and PR_Ran_k5 across window sizes.
+//!
+//! The full 8-point × 6-series sweep lives in the `repro` binary; this bench
+//! times a representative subset with Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{ExperimentBench, ExperimentConfig, PROGRAM_P};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let cfg = ExperimentConfig::paper(PROGRAM_P, GeneratorKind::Correlated);
+    let mut bench = ExperimentBench::build(&cfg).expect("build reasoners");
+    let mut generator = paper_generator(GeneratorKind::Correlated, 2017);
+
+    let mut group = c.benchmark_group("fig7_latency_p");
+    group.sample_size(10);
+    for &size in &[5_000usize, 20_000, 40_000] {
+        let window = Window::new(size as u64, generator.window(size));
+        group.bench_with_input(BenchmarkId::new("R", size), &window, |b, w| {
+            b.iter(|| black_box(bench.r.process(w).expect("R")));
+        });
+        group.bench_with_input(BenchmarkId::new("PR_Dep", size), &window, |b, w| {
+            b.iter(|| black_box(bench.pr_dep.process(w).expect("PR_Dep")));
+        });
+        // pr_ran holds k = 2, 3, 4, 5 in order; bench the extremes.
+        for ki in [0usize, 3] {
+            let k = bench.pr_ran[ki].0;
+            let label = format!("PR_Ran_k{k}");
+            group.bench_with_input(BenchmarkId::new(&label, size), &window, |b, w| {
+                b.iter(|| black_box(bench.pr_ran[ki].1.process(w).expect("PR_Ran")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

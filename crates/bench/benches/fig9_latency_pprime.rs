@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 9: reasoning latency on program P' (connected
+//! input dependency graph, duplicated `car_number`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{program_p_prime, ExperimentBench, ExperimentConfig};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+use std::hint::black_box;
+
+fn fig9(c: &mut Criterion) {
+    let program = program_p_prime();
+    let cfg = ExperimentConfig::paper(&program, GeneratorKind::Correlated);
+    let mut bench = ExperimentBench::build(&cfg).expect("build reasoners");
+    assert_eq!(
+        bench.analysis.plan.duplicated(),
+        vec!["car_number"],
+        "P' must duplicate car_number"
+    );
+    let mut generator = paper_generator(GeneratorKind::Correlated, 2017);
+
+    let mut group = c.benchmark_group("fig9_latency_pprime");
+    group.sample_size(10);
+    for &size in &[5_000usize, 20_000, 40_000] {
+        let window = Window::new(size as u64, generator.window(size));
+        group.bench_with_input(BenchmarkId::new("R", size), &window, |b, w| {
+            b.iter(|| black_box(bench.r.process(w).expect("R")));
+        });
+        group.bench_with_input(BenchmarkId::new("PR_Dep", size), &window, |b, w| {
+            b.iter(|| black_box(bench.pr_dep.process(w).expect("PR_Dep")));
+        });
+        for ki in [0usize, 3] {
+            let k = bench.pr_ran[ki].0;
+            let label = format!("PR_Ran_k{k}");
+            group.bench_with_input(BenchmarkId::new(&label, size), &window, |b, w| {
+                b.iter(|| black_box(bench.pr_ran[ki].1.process(w).expect("PR_Ran")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Component microbenchmarks: grounding, solving, RDF transformation and the
+//! design-time analysis, isolating where window latency goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::PROGRAM_P;
+use sr_core::{AnalysisConfig, DependencyAnalysis};
+use sr_stream::{paper_generator, GeneratorKind};
+use std::hint::black_box;
+
+fn micro(c: &mut Criterion) {
+    let syms = asp_core::Symbols::new();
+    let program = asp_parser::parse_program(&syms, PROGRAM_P).expect("parse");
+    let inpre = program.edb_predicates();
+    let grounder = asp_grounder::Grounder::new(&syms, &program).expect("compile");
+    let format_cfg = sr_rdf::FormatConfig::from_input_signature(&syms, &inpre);
+    let mut format = sr_rdf::FormatProcessor::new(&syms, &format_cfg);
+    let mut generator = paper_generator(GeneratorKind::Correlated, 5);
+
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(10);
+    for &size in &[5_000usize, 20_000] {
+        let triples = generator.window(size);
+        group.bench_with_input(BenchmarkId::new("transform", size), &triples, |b, t| {
+            b.iter(|| black_box(format.window_to_facts(t)));
+        });
+        let facts = format.window_to_facts(&triples);
+        group.bench_with_input(BenchmarkId::new("ground", size), &facts, |b, f| {
+            b.iter(|| black_box(grounder.ground(f).expect("ground")));
+        });
+        let ground = grounder.ground(&facts).expect("ground");
+        group.bench_with_input(BenchmarkId::new("solve", size), &ground, |b, g| {
+            b.iter(|| {
+                black_box(
+                    asp_solver::solve_ground(&syms, g, &asp_solver::SolverConfig::default())
+                        .expect("solve"),
+                )
+            });
+        });
+    }
+    group.bench_function("design_time_analysis", |b| {
+        b.iter(|| {
+            black_box(
+                DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
+                    .expect("analyze"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Timing diagnostics: stage breakdown for R and PR_Dep across window sizes.
+//! Not part of the figure reproduction; used to validate the latency model.
+
+use sr_bench::{ExperimentBench, ExperimentConfig, PROGRAM_P};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let sizes = if sizes.is_empty() { vec![5_000, 10_000, 20_000, 40_000] } else { sizes };
+    let cfg = ExperimentConfig::paper(PROGRAM_P, GeneratorKind::Correlated);
+    let mut bench = ExperimentBench::build(&cfg).expect("build");
+    let mut generator = paper_generator(GeneratorKind::Correlated, 1);
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "window", "R total", "R xform", "R ground", "R solve", "PR total", "PR part", "PR xform",
+        "PR ground", "PR solve", "PR comb"
+    );
+    for (i, &size) in sizes.iter().enumerate() {
+        let window = Window::new(i as u64, generator.window(size));
+        // Warm up both reasoners on this window, then measure.
+        let _ = bench.r.process(&window).unwrap();
+        let _ = bench.pr_dep.process(&window).unwrap();
+        let r = bench.r.process(&window).unwrap();
+        let pr = bench.pr_dep.process(&window).unwrap();
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} | {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            size,
+            ms(r.timing.total),
+            ms(r.timing.transform),
+            ms(r.timing.ground),
+            ms(r.timing.solve),
+            ms(pr.timing.total),
+            ms(pr.timing.partition),
+            ms(pr.timing.transform),
+            ms(pr.timing.ground),
+            ms(pr.timing.solve),
+            ms(pr.timing.combine),
+        );
+        println!(
+            "          partitions: {:?}, solver stats R: atoms {} clauses {}",
+            pr.partition_sizes, r.solve_stats.atoms, r.solve_stats.clauses
+        );
+    }
+}

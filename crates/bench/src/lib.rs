@@ -1,0 +1,14 @@
+//! Benchmark harness for the ICDE'17 reproduction: experiment grid runner,
+//! table/CSV reporting and the paper's programs. The `repro` binary
+//! regenerates Figures 7-10 plus the ablations; Criterion benches under
+//! `benches/` time the same pipelines.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod programs;
+pub mod report;
+
+pub use experiment::{run, Cell, ExperimentBench, ExperimentConfig, ExperimentResult, Series};
+pub use programs::{program_p_prime, PROGRAM_P, RULE_R7};
+pub use report::{csv, table, Measure};

@@ -1,0 +1,122 @@
+//! Table rendering and CSV export for experiment results.
+
+use crate::experiment::ExperimentResult;
+use std::fmt::Write as _;
+
+/// Which measure to tabulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Measure {
+    /// Mean latency in milliseconds (Figures 7 and 9).
+    LatencyMs,
+    /// Mean accuracy in `[0, 1]` (Figures 8 and 10).
+    Accuracy,
+}
+
+impl Measure {
+    fn value(self, cell: &crate::experiment::Cell) -> f64 {
+        match self {
+            Measure::LatencyMs => cell.median_latency(),
+            Measure::Accuracy => cell.mean_accuracy(),
+        }
+    }
+
+    fn fmt(self, v: f64) -> String {
+        match self {
+            Measure::LatencyMs => format!("{v:.2}"),
+            Measure::Accuracy => format!("{v:.3}"),
+        }
+    }
+}
+
+/// Renders an aligned text table, one row per window size, one column per
+/// series — the same layout as the paper's figures read off their axes.
+pub fn table(result: &ExperimentResult, measure: Measure, skip_r_for_accuracy: bool) -> String {
+    let mut out = String::new();
+    let series: Vec<usize> = (0..result.series.len())
+        .filter(|&i| {
+            !(skip_r_for_accuracy
+                && measure == Measure::Accuracy
+                && result.series[i] == crate::experiment::Series::R)
+        })
+        .collect();
+    let _ = write!(out, "{:>12}", "window");
+    for &si in &series {
+        let _ = write!(out, " {:>12}", result.series[si].label());
+    }
+    let _ = writeln!(out);
+    for (wi, &size) in result.window_sizes.iter().enumerate() {
+        let _ = write!(out, "{size:>12}");
+        for &si in &series {
+            let _ = write!(out, " {:>12}", measure.fmt(measure.value(&result.cells[wi][si])));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders CSV with both measures per cell.
+pub fn csv(result: &ExperimentResult) -> String {
+    let mut out = String::from("window,series,latency_ms,accuracy\n");
+    for (wi, &size) in result.window_sizes.iter().enumerate() {
+        for (si, series) in result.series.iter().enumerate() {
+            let cell = &result.cells[wi][si];
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{:.4}",
+                size,
+                series.label(),
+                cell.median_latency(),
+                cell.mean_accuracy()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Cell, ExperimentResult, Series};
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            window_sizes: vec![100, 200],
+            series: vec![Series::R, Series::PrDep],
+            cells: vec![
+                vec![
+                    Cell { latency_ms: vec![10.0], accuracy: vec![1.0] },
+                    Cell { latency_ms: vec![5.0], accuracy: vec![1.0] },
+                ],
+                vec![
+                    Cell { latency_ms: vec![20.0], accuracy: vec![1.0] },
+                    Cell { latency_ms: vec![11.0], accuracy: vec![0.9] },
+                ],
+            ],
+            duplication_ratio: 0.0,
+            duplicated_predicates: vec![],
+        }
+    }
+
+    #[test]
+    fn table_layout() {
+        let t = table(&sample(), Measure::LatencyMs, false);
+        assert!(t.contains("PR_Dep"));
+        assert!(t.contains("10.00"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn accuracy_table_can_skip_r() {
+        let t = table(&sample(), Measure::Accuracy, true);
+        let header = t.lines().next().unwrap();
+        assert!(!header.contains(" R"));
+        assert!(header.contains("PR_Dep"));
+    }
+
+    #[test]
+    fn csv_has_all_cells() {
+        let c = csv(&sample());
+        assert_eq!(c.lines().count(), 1 + 4);
+        assert!(c.contains("200,PR_Dep,11.0000,0.9000"));
+    }
+}

@@ -1,0 +1,196 @@
+//! The paper's accuracy metric (Section III) and answer projection.
+//!
+//! For a non-monotonic reasoner with multiple answers, the accuracy of a
+//! candidate answer `ans_i` against the reference answers `{ans_j}` is
+//! `max_j |ans_i ∩ ans_j| / |ans_j|`; window accuracy aggregates by the mean
+//! over candidate answers (the paper plots a single number per window).
+//!
+//! Accuracy is computed over *projected* answers. The paper's plots compare
+//! derived events (every partitioning preserves the raw input facts, which
+//! would otherwise drown the signal); [`Projection::derived`] is therefore
+//! the evaluation default, with `#show`-based and explicit projections
+//! available.
+
+use asp_core::{AnswerSet, FastSet, Predicate, Program, Symbols};
+
+/// A predicate projection applied to answer sets before comparison.
+#[derive(Clone, Debug)]
+pub enum Projection {
+    /// Keep everything.
+    All,
+    /// Keep atoms whose predicate is in the set.
+    Keep(FastSet<Predicate>),
+    /// Drop atoms whose predicate is in the set.
+    Exclude(FastSet<Predicate>),
+}
+
+impl Projection {
+    /// Derived-atoms projection: drop the input predicates.
+    pub fn derived(inpre: &[Predicate]) -> Self {
+        Projection::Exclude(inpre.iter().copied().collect())
+    }
+
+    /// Projection from a program's `#show` directives (falls back to
+    /// [`Projection::All`] when the program shows everything).
+    pub fn shows(program: &Program) -> Self {
+        if program.shows.is_empty() {
+            Projection::All
+        } else {
+            Projection::Keep(program.shows.iter().copied().collect())
+        }
+    }
+
+    /// Applies the projection.
+    pub fn apply(&self, ans: &AnswerSet, syms: &Symbols) -> AnswerSet {
+        match self {
+            Projection::All => ans.clone(),
+            Projection::Keep(set) => ans.project_to(syms, set),
+            Projection::Exclude(set) => ans.project(syms, |p| !set.contains(p)),
+        }
+    }
+
+    /// Applies the projection to a list of answers.
+    pub fn apply_all(&self, answers: &[AnswerSet], syms: &Symbols) -> Vec<AnswerSet> {
+        answers.iter().map(|a| self.apply(a, syms)).collect()
+    }
+}
+
+/// Accuracy of one candidate answer against reference answers.
+pub fn answer_accuracy(candidate: &AnswerSet, reference: &[AnswerSet]) -> f64 {
+    if reference.is_empty() {
+        return if candidate.is_empty() { 1.0 } else { 0.0 };
+    }
+    reference
+        .iter()
+        .map(|r| {
+            if r.is_empty() {
+                if candidate.is_empty() {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                candidate.intersection_size(r) as f64 / r.len() as f64
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Window accuracy: mean per-candidate accuracy after projection.
+pub fn window_accuracy(
+    syms: &Symbols,
+    reference: &[AnswerSet],
+    candidate: &[AnswerSet],
+    projection: &Projection,
+) -> f64 {
+    let reference = projection.apply_all(reference, syms);
+    let candidate = projection.apply_all(candidate, syms);
+    if candidate.is_empty() {
+        // No candidate answers at all: perfect only if the reference agrees.
+        return if reference.is_empty() { 1.0 } else { 0.0 };
+    }
+    let sum: f64 = candidate.iter().map(|c| answer_accuracy(c, &reference)).sum();
+    sum / candidate.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp_core::{GroundAtom, GroundTerm};
+
+    fn ans(syms: &Symbols, atoms: &[(&str, &str)]) -> AnswerSet {
+        AnswerSet::new(
+            atoms
+                .iter()
+                .map(|(p, a)| {
+                    GroundAtom::new(syms.intern(p), vec![GroundTerm::Const(syms.intern(a))])
+                })
+                .collect(),
+            syms,
+        )
+    }
+
+    #[test]
+    fn identical_answers_have_accuracy_one() {
+        let syms = Symbols::new();
+        let a = ans(&syms, &[("jam", "x"), ("fire", "y")]);
+        assert_eq!(answer_accuracy(&a, std::slice::from_ref(&a)), 1.0);
+    }
+
+    #[test]
+    fn missing_atoms_reduce_accuracy() {
+        let syms = Symbols::new();
+        let reference = ans(&syms, &[("jam", "x"), ("fire", "y")]);
+        let half = ans(&syms, &[("jam", "x")]);
+        assert_eq!(answer_accuracy(&half, &[reference]), 0.5);
+    }
+
+    #[test]
+    fn extra_wrong_atoms_do_not_inflate_the_ratio() {
+        // The paper's metric counts reference coverage; spurious atoms leave
+        // the intersection unchanged.
+        let syms = Symbols::new();
+        let reference = ans(&syms, &[("jam", "x")]);
+        let noisy = ans(&syms, &[("jam", "x"), ("jam", "WRONG")]);
+        assert_eq!(answer_accuracy(&noisy, &[reference]), 1.0);
+    }
+
+    #[test]
+    fn max_over_multiple_references() {
+        let syms = Symbols::new();
+        let r1 = ans(&syms, &[("a", "1"), ("b", "1")]);
+        let r2 = ans(&syms, &[("c", "1")]);
+        let cand = ans(&syms, &[("c", "1")]);
+        assert_eq!(answer_accuracy(&cand, &[r1, r2]), 1.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let syms = Symbols::new();
+        let empty = AnswerSet::default();
+        let nonempty = ans(&syms, &[("a", "1")]);
+        assert_eq!(answer_accuracy(&empty, &[]), 1.0);
+        assert_eq!(answer_accuracy(&nonempty, &[]), 0.0);
+        assert_eq!(answer_accuracy(&empty, std::slice::from_ref(&empty)), 1.0);
+        assert_eq!(answer_accuracy(&nonempty, std::slice::from_ref(&empty)), 0.0);
+    }
+
+    #[test]
+    fn window_accuracy_averages_candidates() {
+        let syms = Symbols::new();
+        let reference = vec![ans(&syms, &[("a", "1"), ("b", "1")])];
+        let c1 = ans(&syms, &[("a", "1"), ("b", "1")]);
+        let c2 = ans(&syms, &[("a", "1")]);
+        let acc = window_accuracy(&syms, &reference, &[c1, c2], &Projection::All);
+        assert!((acc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_projection_hides_inputs() {
+        let syms = Symbols::new();
+        let input_pred = Predicate::new(syms.intern("speed"), 1);
+        let reference = vec![ans(&syms, &[("speed", "s1"), ("jam", "x")])];
+        // Candidate preserves inputs but misses the derived jam.
+        let candidate = vec![ans(&syms, &[("speed", "s1")])];
+        let all = window_accuracy(&syms, &reference, &candidate, &Projection::All);
+        let derived = window_accuracy(
+            &syms,
+            &reference,
+            &candidate,
+            &Projection::derived(&[input_pred]),
+        );
+        assert!(all > 0.4, "inputs mask the error: {all}");
+        assert_eq!(derived, 0.0, "projection exposes the missing event");
+    }
+
+    #[test]
+    fn shows_projection_uses_program_directives() {
+        let syms = Symbols::new();
+        let program =
+            asp_parser::parse_program(&syms, "#show jam/1.\njam(X) :- slow(X).").unwrap();
+        let p = Projection::shows(&program);
+        let a = ans(&syms, &[("jam", "x"), ("slow", "x")]);
+        let projected = p.apply(&a, &syms);
+        assert_eq!(projected.len(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! The **combining handler** (Section III):
+//!
+//! `Ans_P(W) = { ⋃_{i=1..n} ans_i  :  ans_i ∈ Ans_P(W_i) }`
+//!
+//! — every combined answer picks one answer set from each partition and
+//! unions them. With multi-answer partitions this is a cross product, capped
+//! at a configurable size.
+
+use crate::config::CombinePolicy;
+use asp_core::{AnswerSet, Symbols};
+
+/// Combines per-partition answers. Returns the combined answers and the
+/// number of partitions with no answer set.
+pub fn combine(
+    syms: &Symbols,
+    per_partition: &[Vec<AnswerSet>],
+    policy: CombinePolicy,
+    max_combined: usize,
+) -> (Vec<AnswerSet>, usize) {
+    let unsat = per_partition.iter().filter(|a| a.is_empty()).count();
+    if unsat > 0 && policy == CombinePolicy::Strict {
+        // The set comprehension is empty when some Ans_P(W_i) is empty.
+        return (Vec::new(), unsat);
+    }
+    let mut acc: Vec<AnswerSet> = vec![AnswerSet::default()];
+    for answers in per_partition {
+        if answers.is_empty() {
+            continue; // SkipUnsat
+        }
+        if answers.len() == 1 {
+            // Dominant fast path: union in place without cross product.
+            for a in acc.iter_mut() {
+                *a = a.union(&answers[0], syms);
+            }
+            continue;
+        }
+        let mut next = Vec::with_capacity((acc.len() * answers.len()).min(max_combined));
+        'outer: for base in &acc {
+            for ans in answers {
+                next.push(base.union(ans, syms));
+                if next.len() >= max_combined {
+                    break 'outer;
+                }
+            }
+        }
+        acc = next;
+    }
+    // Distinct partitions may combine to identical unions.
+    acc.dedup();
+    (acc, unsat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asp_core::{GroundAtom, GroundTerm};
+
+    fn ans(syms: &Symbols, names: &[&str]) -> AnswerSet {
+        AnswerSet::new(
+            names
+                .iter()
+                .map(|n| GroundAtom::new(syms.intern(n), vec![GroundTerm::Int(1)]))
+                .collect(),
+            syms,
+        )
+    }
+
+    #[test]
+    fn single_answers_union() {
+        let syms = Symbols::new();
+        let parts = vec![vec![ans(&syms, &["a"])], vec![ans(&syms, &["b"])]];
+        let (combined, unsat) = combine(&syms, &parts, CombinePolicy::Strict, 16);
+        assert_eq!(unsat, 0);
+        assert_eq!(combined.len(), 1);
+        assert_eq!(combined[0].len(), 2);
+    }
+
+    #[test]
+    fn cross_product_of_multi_answer_partitions() {
+        let syms = Symbols::new();
+        let parts = vec![
+            vec![ans(&syms, &["a1"]), ans(&syms, &["a2"])],
+            vec![ans(&syms, &["b1"]), ans(&syms, &["b2"])],
+        ];
+        let (combined, _) = combine(&syms, &parts, CombinePolicy::Strict, 16);
+        assert_eq!(combined.len(), 4);
+    }
+
+    #[test]
+    fn cap_limits_cross_product() {
+        let syms = Symbols::new();
+        let many: Vec<AnswerSet> = (0..10).map(|i| ans(&syms, &[&format!("x{i}")])).collect();
+        let parts = vec![many.clone(), many];
+        let (combined, _) = combine(&syms, &parts, CombinePolicy::Strict, 7);
+        assert_eq!(combined.len(), 7);
+    }
+
+    #[test]
+    fn strict_empties_on_unsat_partition() {
+        let syms = Symbols::new();
+        let parts = vec![vec![ans(&syms, &["a"])], vec![]];
+        let (combined, unsat) = combine(&syms, &parts, CombinePolicy::Strict, 16);
+        assert!(combined.is_empty());
+        assert_eq!(unsat, 1);
+    }
+
+    #[test]
+    fn skip_unsat_keeps_other_partitions() {
+        let syms = Symbols::new();
+        let parts = vec![vec![ans(&syms, &["a"])], vec![]];
+        let (combined, unsat) = combine(&syms, &parts, CombinePolicy::SkipUnsat, 16);
+        assert_eq!(unsat, 1);
+        assert_eq!(combined.len(), 1);
+        assert_eq!(combined[0].len(), 1);
+    }
+
+    #[test]
+    fn identical_unions_deduplicate() {
+        let syms = Symbols::new();
+        let parts = vec![
+            vec![ans(&syms, &["a"]), ans(&syms, &["a"])],
+            vec![ans(&syms, &["b"])],
+        ];
+        let (combined, _) = combine(&syms, &parts, CombinePolicy::Strict, 16);
+        assert_eq!(combined.len(), 1);
+    }
+
+    #[test]
+    fn no_partitions_yields_single_empty_answer() {
+        let syms = Symbols::new();
+        let (combined, unsat) = combine(&syms, &[], CombinePolicy::Strict, 16);
+        assert_eq!(unsat, 0);
+        assert_eq!(combined.len(), 1);
+        assert!(combined[0].is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Configuration knobs for the dependency analysis and the reasoners.
+
+use serde::{Deserialize, Serialize};
+
+/// How to break ties (and optionally weigh costs) when choosing which
+/// boundary node set to duplicate in the decomposing process.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub enum DuplicationPolicy {
+    /// The paper's rule: duplicate the smaller `exnodes` set; ties go to the
+    /// community with the smaller id (the paper is silent on ties).
+    #[default]
+    SmallerSet,
+    /// Cost-aware ablation: duplicate the set with the smaller *expected
+    /// instance count*, using per-predicate stream frequencies (predicate
+    /// name → relative frequency). Falls back to set size when a frequency
+    /// is unknown.
+    FewerInstances(Vec<(String, f64)>),
+}
+
+/// Configuration of the design-time dependency analysis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Louvain resolution (the paper uses 1.0, footnote 8).
+    pub resolution: f64,
+    /// Keep `E_P1` multiplicities as edge weights (extension; the paper's
+    /// graphs are unweighted).
+    pub weighted_edges: bool,
+    /// Duplication tie-breaking policy.
+    pub duplication: DuplicationPolicy,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            resolution: 1.0,
+            weighted_edges: false,
+            duplication: DuplicationPolicy::SmallerSet,
+        }
+    }
+}
+
+/// What to do with window items whose predicate is absent from the
+/// partitioning plan (e.g. stream noise that slipped past the query
+/// processor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum UnknownPredicate {
+    /// Route to partition 0 (they cannot fire any rule anyway).
+    #[default]
+    Partition0,
+    /// Drop the item.
+    Drop,
+    /// Copy into every partition.
+    Broadcast,
+}
+
+/// How the parallel reasoner schedules its partitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ParallelMode {
+    /// One long-lived worker thread per partition (the paper's Figure 6).
+    #[default]
+    Threads,
+    /// Process partitions sequentially in the caller thread — the
+    /// chunk-processing regime of \[12\], also handy for deterministic tests.
+    Sequential,
+}
+
+/// Combining-handler semantics when a partition has no answer set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CombinePolicy {
+    /// Paper-literal: `Ans(W) = { ⋃ ans_i : ans_i ∈ Ans(W_i) }` — an
+    /// unsatisfiable partition empties the combined answer.
+    #[default]
+    Strict,
+    /// Treat an unsatisfiable partition as contributing the empty answer set
+    /// (its items are simply lost), which is often the pragmatic choice.
+    SkipUnsat,
+}
+
+/// Configuration of the parallel reasoner PR.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReasonerConfig {
+    /// Cap on enumerated answer sets per (sub-)window; 0 = all.
+    pub max_models: usize,
+    /// Cap on combined answer sets produced by the combining handler.
+    pub max_combined: usize,
+    /// Scheduling mode.
+    pub mode: ParallelMode,
+    /// Unknown-predicate routing.
+    pub unknown: UnknownPredicate,
+    /// Combining semantics.
+    pub combine: CombinePolicy,
+}
+
+impl Default for ReasonerConfig {
+    fn default() -> Self {
+        ReasonerConfig {
+            max_models: 0,
+            max_combined: 64,
+            mode: ParallelMode::Threads,
+            unknown: UnknownPredicate::Partition0,
+            combine: CombinePolicy::Strict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let a = AnalysisConfig::default();
+        assert_eq!(a.resolution, 1.0);
+        assert!(!a.weighted_edges);
+        assert_eq!(a.duplication, DuplicationPolicy::SmallerSet);
+        let r = ReasonerConfig::default();
+        assert_eq!(r.mode, ParallelMode::Threads);
+        assert_eq!(r.combine, CombinePolicy::Strict);
+    }
+}

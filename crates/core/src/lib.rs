@@ -1,0 +1,44 @@
+//! The paper's primary contribution: **input dependency analysis** for
+//! partitioning the input windows of a non-monotonic stream reasoner, and
+//! the **extended StreamRule** architecture that exploits it (partitioning
+//! handler, parallel reasoners, combining handler, accuracy metric).
+//!
+//! Design-time: [`DependencyAnalysis::analyze`] builds the extended
+//! dependency graph (Definition 1), the input dependency graph
+//! (Definition 2) and the partitioning plan (Section II-B decomposing
+//! process). Run-time: [`ParallelReasoner`] applies Algorithm 1 per window
+//! and combines per-partition answer sets; [`accuracy`] implements the
+//! evaluation metric of Section III.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod analysis;
+pub mod atom_level;
+pub mod combine;
+pub mod config;
+pub mod decompose;
+pub mod extended;
+pub mod input_graph;
+pub mod parallel;
+pub mod partition;
+pub mod pipeline;
+pub mod plan;
+pub mod reasoner;
+
+pub use accuracy::{answer_accuracy, window_accuracy, Projection};
+pub use analysis::DependencyAnalysis;
+pub use atom_level::{atom_level_partition, AtomLevelPartitioner};
+pub use combine::combine;
+pub use config::{
+    AnalysisConfig, CombinePolicy, DuplicationPolicy, ParallelMode, ReasonerConfig,
+    UnknownPredicate,
+};
+pub use decompose::{decompose, to_plan, Decomposition, DecompositionMethod};
+pub use extended::ExtendedDepGraph;
+pub use input_graph::InputDepGraph;
+pub use parallel::ParallelReasoner;
+pub use partition::{Partitioner, PlanPartitioner, RandomPartitioner};
+pub use pipeline::{AnyReasoner, PipelineOutput, StreamRulePipeline};
+pub use plan::PartitioningPlan;
+pub use reasoner::{ReasonerOutput, SingleReasoner, Timing};

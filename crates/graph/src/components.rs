@@ -1,0 +1,87 @@
+//! Connected components of undirected graphs.
+
+use crate::ungraph::UnGraph;
+use crate::unionfind::UnionFind;
+
+/// Connected components of `g`, each sorted ascending, ordered by smallest
+/// member. Isolated nodes form singleton components.
+pub fn connected_components(g: &UnGraph) -> Vec<Vec<usize>> {
+    component_union_find(g).groups()
+}
+
+/// `result[v]` = index of `v`'s component in the [`connected_components`]
+/// ordering.
+pub fn component_ids(g: &UnGraph) -> Vec<usize> {
+    let comps = connected_components(g);
+    let mut ids = vec![0usize; g.node_count()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            ids[v] = ci;
+        }
+    }
+    ids
+}
+
+/// True when every pair of nodes is connected (the empty graph and singleton
+/// graph count as connected).
+pub fn is_connected(g: &UnGraph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+fn component_union_find(g: &UnGraph) -> UnionFind {
+    let mut uf = UnionFind::new(g.node_count());
+    for (u, v, _) in g.edges() {
+        uf.union(u, v);
+    }
+    uf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> UnGraph {
+        let mut g = UnGraph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn finds_two_components() {
+        let comps = connected_components(&two_triangles());
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert!(!is_connected(&two_triangles()));
+    }
+
+    #[test]
+    fn bridge_connects_components() {
+        let mut g = two_triangles();
+        g.add_edge(2, 3, 1.0);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut g = UnGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+        assert_eq!(component_ids(&g), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn self_loops_do_not_merge_anything() {
+        let mut g = UnGraph::new(2);
+        g.add_edge(0, 0, 1.0);
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&UnGraph::new(0)));
+        assert!(is_connected(&UnGraph::new(1)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Directed graph with reachability queries.
+
+/// An unweighted directed graph over dense node indices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    out: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// An empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph { out: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.out.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Adds the edge `u -> v` (duplicates are ignored).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.out.len() && v < self.out.len(), "edge endpoint out of range");
+        if !self.out[u].contains(&v) {
+            self.out[u].push(v);
+            self.edge_count += 1;
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Successors of `u` in insertion order.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.out[u]
+    }
+
+    /// True when the edge `u -> v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out[u].contains(&v)
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        let mut rev = DiGraph::new(self.node_count());
+        for (u, outs) in self.out.iter().enumerate() {
+            for &v in outs {
+                rev.add_edge(v, u);
+            }
+        }
+        rev
+    }
+
+    /// Nodes reachable from `start` including `start` itself (reflexive
+    /// closure), as a membership bitmap.
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.out[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// For every node `v`, the set of `sources` members that reach `v`
+    /// (reflexively). Returned as `result[v] = bitmask over sources` when
+    /// `sources.len() <= 64`, which covers input-predicate sets comfortably;
+    /// larger source sets fall back to a boolean matrix.
+    pub fn reverse_reachability(&self, sources: &[usize]) -> Vec<Vec<bool>> {
+        let n = self.node_count();
+        let mut result = vec![vec![false; sources.len()]; n];
+        for (si, &s) in sources.iter().enumerate() {
+            let reach = self.reachable_from(s);
+            for (v, hit) in reach.into_iter().enumerate() {
+                if hit {
+                    result[v][si] = true;
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_is_reflexive_and_transitive() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let r = g.reachable_from(0);
+        assert_eq!(r, vec![true, true, true, false]);
+        let r3 = g.reachable_from(3);
+        assert_eq!(r3, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let rev = g.reversed();
+        assert!(rev.has_edge(1, 0));
+        assert!(rev.has_edge(2, 1));
+        assert!(!rev.has_edge(0, 1));
+    }
+
+    #[test]
+    fn reverse_reachability_indexes_by_source() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let rr = g.reverse_reachability(&[0, 1]);
+        assert_eq!(rr[2], vec![true, true]);
+        assert_eq!(rr[3], vec![true, true]);
+        assert_eq!(rr[0], vec![true, false]);
+        assert_eq!(rr[1], vec![false, true]);
+    }
+
+    #[test]
+    fn cycles_are_handled() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        assert_eq!(g.reachable_from(0), vec![true, true, true]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph algorithms for the stream-reasoning stack: undirected/directed
+//! graphs, connected components, Tarjan SCC, reachability, union-find and
+//! Louvain modularity community detection.
+//!
+//! Nothing here knows about predicates or rules; node indices are dense
+//! `usize` and callers keep their own label maps. That keeps the crate
+//! reusable by both the grounder (SCC evaluation order) and the input
+//! dependency analysis (components + Louvain).
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod digraph;
+pub mod louvain;
+pub mod scc;
+pub mod ungraph;
+pub mod unionfind;
+
+pub use components::{component_ids, connected_components, is_connected};
+pub use digraph::DiGraph;
+pub use louvain::{louvain, modularity, LouvainResult};
+pub use scc::{scc_ids, tarjan_scc};
+pub use ungraph::UnGraph;
+pub use unionfind::UnionFind;

@@ -1,0 +1,300 @@
+//! Louvain community detection (Blondel et al. 2008) with the resolution
+//! parameter of Lambiotte et al. — the paper's decomposing process runs this
+//! with resolution 1.0 on the input dependency graph.
+//!
+//! The implementation is deterministic: nodes are visited in index order and
+//! ties break toward the smallest community id, so the same graph always
+//! yields the same partitioning plan.
+
+use crate::ungraph::UnGraph;
+
+/// Result of a Louvain run.
+#[derive(Clone, Debug)]
+pub struct LouvainResult {
+    /// `assignment[v]` = community id of node `v`; ids are dense, ordered by
+    /// smallest member node.
+    pub assignment: Vec<usize>,
+    /// Communities as sorted node lists, ordered by smallest member.
+    pub communities: Vec<Vec<usize>>,
+    /// Modularity of the final partition at the requested resolution.
+    pub modularity: f64,
+    /// Number of aggregation levels performed.
+    pub levels: usize,
+}
+
+/// Runs Louvain on `g` with the given `resolution` (γ). Higher resolutions
+/// produce more, smaller communities; the paper uses 1.0.
+pub fn louvain(g: &UnGraph, resolution: f64) -> LouvainResult {
+    assert!(resolution > 0.0, "resolution must be positive");
+    let n = g.node_count();
+    if n == 0 {
+        return LouvainResult {
+            assignment: Vec::new(),
+            communities: Vec::new(),
+            modularity: 0.0,
+            levels: 0,
+        };
+    }
+
+    // node_to_comm maps ORIGINAL nodes to communities of the current level.
+    let mut node_to_comm: Vec<usize> = (0..n).collect();
+    let mut work = g.clone();
+    let mut levels = 0usize;
+
+    loop {
+        let (assignment, moved) = local_move(&work, resolution);
+        if !moved {
+            break;
+        }
+        levels += 1;
+        let (compact, count) = compact_ids(&assignment);
+        // Dense community id of each node of the current working graph.
+        let dense: Vec<usize> = assignment.iter().map(|&c| compact[c]).collect();
+        for c in node_to_comm.iter_mut() {
+            *c = dense[*c];
+        }
+        work = aggregate(&work, &dense, count);
+        // When every node stayed its own community the next local_move cannot
+        // improve, and the loop exits via `moved == false`.
+    }
+
+    let (compact, count) = compact_ids(&node_to_comm);
+    let assignment: Vec<usize> = node_to_comm.iter().map(|&c| compact[c]).collect();
+    // Re-compact ordered by smallest original member for a stable public id
+    // ordering.
+    let assignment = order_by_smallest_member(&assignment, count);
+    let count = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut communities: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for (v, &c) in assignment.iter().enumerate() {
+        communities[c].push(v);
+    }
+    let modularity = modularity(g, &assignment, resolution);
+    LouvainResult { assignment, communities, modularity, levels }
+}
+
+/// Modularity `Q` of `assignment` on `g` at resolution γ. Self-loop weight `w`
+/// contributes `2w` to its node's degree (standard convention).
+pub fn modularity(g: &UnGraph, assignment: &[usize], resolution: f64) -> f64 {
+    let two_m: f64 = (0..g.node_count()).map(|v| g.degree(v)).sum();
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let ncomm = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut internal = vec![0.0f64; ncomm]; // Σ A_ij for i,j in c
+    let mut tot = vec![0.0f64; ncomm]; // Σ k_i for i in c
+    for v in 0..g.node_count() {
+        tot[assignment[v]] += g.degree(v);
+    }
+    for (u, v, w) in g.edges() {
+        if assignment[u] == assignment[v] {
+            internal[assignment[u]] += 2.0 * w; // A_uv + A_vu, or A_uu = 2w
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..ncomm {
+        q += internal[c] / two_m - resolution * (tot[c] / two_m) * (tot[c] / two_m);
+    }
+    q
+}
+
+/// One level of greedy local moves. Returns the per-node community assignment
+/// and whether any node moved.
+fn local_move(g: &UnGraph, resolution: f64) -> (Vec<usize>, bool) {
+    let n = g.node_count();
+    let two_m: f64 = (0..n).map(|v| g.degree(v)).sum();
+    let mut comm: Vec<usize> = (0..n).collect();
+    if two_m == 0.0 {
+        return (comm, false);
+    }
+    let degree: Vec<f64> = (0..n).map(|v| g.degree(v)).collect();
+    let mut tot: Vec<f64> = degree.clone();
+    let mut moved_any = false;
+
+    // neighbor-community weight scratch, reset sparsely between nodes.
+    let mut w_to: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    loop {
+        let mut moved_this_pass = false;
+        for v in 0..n {
+            let own = comm[v];
+            // Gather edge weight from v to each neighboring community
+            // (self-loops excluded: they move with v).
+            for (u, w) in g.neighbors(v) {
+                if u == v {
+                    continue;
+                }
+                let c = comm[u];
+                if w_to[c] == 0.0 {
+                    touched.push(c);
+                }
+                w_to[c] += w;
+            }
+            tot[own] -= degree[v];
+            let mut best_comm = own;
+            let mut best_gain = w_to[own] - resolution * tot[own] * degree[v] / two_m;
+            for &c in &touched {
+                let gain = w_to[c] - resolution * tot[c] * degree[v] / two_m;
+                // Strictly-better with smallest-id tie-break keeps the result
+                // deterministic.
+                if gain > best_gain + 1e-12 || (gain > best_gain - 1e-12 && c < best_comm) {
+                    best_gain = gain;
+                    best_comm = c;
+                }
+            }
+            tot[best_comm] += degree[v];
+            if best_comm != own {
+                comm[v] = best_comm;
+                moved_this_pass = true;
+                moved_any = true;
+            }
+            for &c in &touched {
+                w_to[c] = 0.0;
+            }
+            touched.clear();
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+    (comm, moved_any)
+}
+
+/// Renumbers arbitrary community labels to dense `0..count`, first-seen order.
+fn compact_ids(assignment: &[usize]) -> (Vec<usize>, usize) {
+    let max = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut map = vec![usize::MAX; max];
+    let mut next = 0usize;
+    for &c in assignment {
+        if map[c] == usize::MAX {
+            map[c] = next;
+            next += 1;
+        }
+    }
+    (map, next)
+}
+
+/// Reorders community ids so that community 0 contains the smallest node, etc.
+fn order_by_smallest_member(assignment: &[usize], count: usize) -> Vec<usize> {
+    let mut first_member = vec![usize::MAX; count];
+    for (v, &c) in assignment.iter().enumerate() {
+        if first_member[c] == usize::MAX {
+            first_member[c] = v;
+        }
+    }
+    let mut order: Vec<usize> = (0..count).collect();
+    order.sort_by_key(|&c| first_member[c]);
+    let mut rank = vec![0usize; count];
+    for (r, &c) in order.iter().enumerate() {
+        rank[c] = r;
+    }
+    assignment.iter().map(|&c| rank[c]).collect()
+}
+
+/// Builds the community-aggregated graph: one node per community, inter-
+/// community weights summed, intra-community weight (including old
+/// self-loops) becoming the new self-loop. `dense[v]` is the dense community
+/// id of node `v`.
+fn aggregate(g: &UnGraph, dense: &[usize], count: usize) -> UnGraph {
+    let mut agg = UnGraph::new(count);
+    for (u, v, w) in g.edges() {
+        let (cu, cv) = (dense[u], dense[v]);
+        agg.add_edge(cu.min(cv), cu.max(cv), w);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_with_bridge() -> UnGraph {
+        let mut g = UnGraph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            g.add_edge(u, v, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn detects_two_triangles() {
+        let res = louvain(&two_triangles_with_bridge(), 1.0);
+        assert_eq!(res.communities.len(), 2);
+        assert_eq!(res.communities[0], vec![0, 1, 2]);
+        assert_eq!(res.communities[1], vec![3, 4, 5]);
+        assert!(res.modularity > 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_stays_singletons() {
+        let g = UnGraph::new(4);
+        let res = louvain(&g, 1.0);
+        assert_eq!(res.communities.len(), 4);
+        assert_eq!(res.modularity, 0.0);
+    }
+
+    #[test]
+    fn single_clique_is_one_community() {
+        let mut g = UnGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+        let res = louvain(&g, 1.0);
+        assert_eq!(res.communities.len(), 1);
+    }
+
+    #[test]
+    fn high_resolution_splits_more() {
+        let g = two_triangles_with_bridge();
+        let coarse = louvain(&g, 0.1);
+        let fine = louvain(&g, 4.0);
+        assert!(fine.communities.len() >= coarse.communities.len());
+    }
+
+    #[test]
+    fn modularity_of_partition_beats_singletons_on_clustered_graph() {
+        let g = two_triangles_with_bridge();
+        let res = louvain(&g, 1.0);
+        let singletons: Vec<usize> = (0..g.node_count()).collect();
+        assert!(res.modularity > modularity(&g, &singletons, 1.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_triangles_with_bridge();
+        let a = louvain(&g, 1.0);
+        let b = louvain(&g, 1.0);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn self_loops_do_not_crash_and_stay_internal() {
+        let mut g = two_triangles_with_bridge();
+        g.add_edge(1, 1, 2.0);
+        let res = louvain(&g, 1.0);
+        assert_eq!(res.communities.len(), 2);
+    }
+
+    #[test]
+    fn paper_shape_graph_splits_car_number_side() {
+        // The P' input dependency graph shape: two triangles, car_number (node
+        // 1) additionally linked to every node of the second triangle.
+        let mut g = UnGraph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v, 1.0);
+        }
+        for v in 3..6 {
+            g.add_edge(1, v, 1.0);
+        }
+        let res = louvain(&g, 1.0);
+        assert_eq!(res.communities.len(), 2, "expected a 2-way split, got {:?}", res.communities);
+        // Nodes 0 and 2 must sit together, and 3,4,5 together.
+        assert_eq!(res.assignment[0], res.assignment[2]);
+        assert_eq!(res.assignment[3], res.assignment[4]);
+        assert_eq!(res.assignment[4], res.assignment[5]);
+        assert_ne!(res.assignment[0], res.assignment[3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Tarjan's strongly connected components, iterative (no recursion so deep
+//! rule chains cannot overflow the stack).
+
+use crate::digraph::DiGraph;
+
+/// Strongly connected components of `g` in **reverse topological order**
+/// (every edge leaving a component points to an earlier entry in the result).
+/// Callers that need "dependencies first" — e.g. the grounder, whose edges
+/// point from body predicates to heads — should iterate the result backwards.
+pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos < g.successors(v).len() {
+                let w = g.successors(v)[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// `result[v]` = index of `v`'s SCC in [`tarjan_scc`]'s ordering.
+pub fn scc_ids(g: &DiGraph) -> Vec<usize> {
+    let sccs = tarjan_scc(g);
+    let mut ids = vec![0usize; g.node_count()];
+    for (i, comp) in sccs.iter().enumerate() {
+        for &v in comp {
+            ids[v] = i;
+        }
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_yields_singletons_in_reverse_topological_order() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs, vec![vec![3], vec![0, 1, 2]]);
+        let ids = scc_ids(&g);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[3]);
+    }
+
+    #[test]
+    fn reverse_topological_invariant_holds() {
+        // Random-ish DAG of components: {0,1} -> {2} -> {3,4}; edges point to
+        // earlier components in the output.
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 3);
+        let sccs = tarjan_scc(&g);
+        let ids = scc_ids(&g);
+        for u in 0..5 {
+            for &v in g.successors(u) {
+                assert!(ids[u] >= ids[v], "edge {u}->{v} must not point forward");
+            }
+        }
+        assert_eq!(sccs.len(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs, vec![vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), n);
+    }
+}

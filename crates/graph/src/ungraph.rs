@@ -1,0 +1,156 @@
+//! Weighted undirected graph with self-loops and merged parallel edges.
+
+use std::collections::BTreeMap;
+
+/// A weighted undirected graph over dense node indices `0..n`.
+///
+/// Adding an edge that already exists accumulates its weight; this is exactly
+/// what the input dependency graph wants when several rules connect the same
+/// predicate pair (the weight then reflects coupling strength, which Louvain
+/// exploits). Self-loops are kept — the paper's Definition 2 produces them for
+/// negated and joined predicates.
+#[derive(Clone, Debug, Default)]
+pub struct UnGraph {
+    /// `adj[u]` maps neighbor -> accumulated weight. BTreeMap keeps neighbor
+    /// iteration deterministic, which keeps Louvain and the partitioning plan
+    /// byte-stable across runs.
+    adj: Vec<BTreeMap<usize, f64>>,
+    edges: usize,
+}
+
+impl UnGraph {
+    /// An empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        UnGraph { adj: vec![BTreeMap::new(); n], edges: 0 }
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(BTreeMap::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct edges (self-loops count once).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds weight `w` to the edge `{u, v}` (creating it if absent).
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        let fresh = !self.adj[u].contains_key(&v);
+        *self.adj[u].entry(v).or_insert(0.0) += w;
+        if u != v {
+            *self.adj[v].entry(u).or_insert(0.0) += w;
+        }
+        if fresh {
+            self.edges += 1;
+        }
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.adj.get(u).and_then(|m| m.get(&v)).copied()
+    }
+
+    /// True when the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// True when `u` has a self-loop.
+    pub fn has_self_loop(&self, u: usize) -> bool {
+        self.has_edge(u, u)
+    }
+
+    /// Neighbors of `u` with edge weights (includes `u` itself for
+    /// self-loops), in ascending neighbor order.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj[u].iter().map(|(&v, &w)| (v, w))
+    }
+
+    /// Weighted degree of `u`; self-loops count twice, per the standard
+    /// modularity convention.
+    pub fn degree(&self, u: usize) -> f64 {
+        self.adj[u]
+            .iter()
+            .map(|(&v, &w)| if v == u { 2.0 * w } else { w })
+            .sum()
+    }
+
+    /// Sum of all edge weights (self-loops counted once).
+    pub fn total_weight(&self) -> f64 {
+        let mut sum = 0.0;
+        for (u, m) in self.adj.iter().enumerate() {
+            for (&v, &w) in m {
+                if v >= u {
+                    sum += w;
+                }
+            }
+        }
+        sum
+    }
+
+    /// All edges `(u, v, w)` with `u <= v`, in deterministic order.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for (u, m) in self.adj.iter().enumerate() {
+            for (&v, &w) in m {
+                if v >= u {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_merge_weights() {
+        let mut g = UnGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 2.0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+        assert_eq!(g.edge_weight(1, 0), Some(3.0));
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_degree() {
+        let mut g = UnGraph::new(2);
+        g.add_edge(0, 0, 1.5);
+        g.add_edge(0, 1, 1.0);
+        assert!(g.has_self_loop(0));
+        assert_eq!(g.degree(0), 4.0);
+        assert_eq!(g.degree(1), 1.0);
+        assert_eq!(g.total_weight(), 2.5);
+    }
+
+    #[test]
+    fn edges_listing_is_deterministic() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(2, 1, 1.0);
+        g.add_edge(0, 3, 1.0);
+        g.add_edge(1, 1, 1.0);
+        assert_eq!(g.edges(), vec![(0, 3, 1.0), (1, 1, 1.0), (1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = UnGraph::new(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1.0);
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(a, b));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the graph algorithms.
+
+use proptest::prelude::*;
+use sr_graph::{connected_components, louvain, modularity, tarjan_scc, DiGraph, UnGraph};
+
+fn edges_strategy(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+fn ungraph(n: usize, edges: &[(usize, usize)]) -> UnGraph {
+    let mut g = UnGraph::new(n);
+    for &(u, v) in edges {
+        g.add_edge(u, v, 1.0);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Components partition the node set and adjacent nodes share one.
+    #[test]
+    fn components_form_a_partition(edges in edges_strategy(12, 30)) {
+        let g = ungraph(12, &edges);
+        let comps = connected_components(&g);
+        let mut seen = [false; 12];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "node {v} in two components");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let ids = sr_graph::component_ids(&g);
+        for &(u, v) in &edges {
+            prop_assert_eq!(ids[u], ids[v], "edge endpoints must share a component");
+        }
+    }
+
+    /// Louvain returns a dense, total assignment whose modularity is at
+    /// least that of the all-singletons partition.
+    #[test]
+    fn louvain_assignment_is_valid(edges in edges_strategy(12, 30)) {
+        let g = ungraph(12, &edges);
+        let res = louvain(&g, 1.0);
+        prop_assert_eq!(res.assignment.len(), 12);
+        let k = res.communities.len();
+        for &c in &res.assignment {
+            prop_assert!(c < k);
+        }
+        // Every community non-empty and sorted by smallest member.
+        for (i, comm) in res.communities.iter().enumerate() {
+            prop_assert!(!comm.is_empty(), "community {i} empty");
+        }
+        let singletons: Vec<usize> = (0..12).collect();
+        prop_assert!(
+            res.modularity >= modularity(&g, &singletons, 1.0) - 1e-9,
+            "louvain must not be worse than singletons"
+        );
+    }
+
+    /// Louvain never separates the endpoints of a bridge in a two-clique
+    /// dumbbell... but it must keep cliques together.
+    #[test]
+    fn louvain_keeps_cliques_together(clique_size in 3usize..6) {
+        let n = clique_size * 2;
+        let mut g = UnGraph::new(n);
+        for base in [0, clique_size] {
+            for i in 0..clique_size {
+                for j in (i + 1)..clique_size {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        g.add_edge(0, clique_size, 1.0);
+        let res = louvain(&g, 1.0);
+        prop_assert_eq!(res.communities.len(), 2);
+        for c in 0..2usize {
+            let comm = &res.communities[c];
+            let base = comm[0];
+            for &v in comm {
+                prop_assert_eq!(v / clique_size, base / clique_size, "clique split: {:?}", res.communities);
+            }
+        }
+    }
+
+    /// SCC ids never increase along an edge (reverse topological order).
+    #[test]
+    fn scc_order_is_reverse_topological(edges in edges_strategy(12, 40)) {
+        let mut g = DiGraph::new(12);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        let sccs = tarjan_scc(&g);
+        let mut id = [0usize; 12];
+        for (i, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                id[v] = i;
+            }
+        }
+        for &(u, v) in &edges {
+            prop_assert!(id[u] >= id[v], "edge {u}->{v} goes forward in SCC order");
+        }
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 12);
+    }
+
+    /// Reachability is reflexive, and every reachable node is connected via
+    /// edges (spot-check through re-traversal).
+    #[test]
+    fn reachability_agrees_with_bfs(edges in edges_strategy(10, 25), start in 0usize..10) {
+        let mut g = DiGraph::new(10);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        let reach = g.reachable_from(start);
+        prop_assert!(reach[start]);
+        // BFS cross-check.
+        let mut seen = vec![false; 10];
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.successors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        prop_assert_eq!(reach, seen);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests: N-Triples write→parse roundtrip and triple↔fact
+//! translation stability.
+
+use proptest::prelude::*;
+use sr_rdf::{ntriples, FormatConfig, FormatProcessor, Node, Triple};
+
+fn iri_strategy() -> impl Strategy<Value = Node> {
+    "[a-z][a-z0-9_/#:.]{0,20}"
+        .prop_filter("IRIs must not contain >", |s| !s.contains('>'))
+        .prop_map(|s| Node::iri(&s))
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    prop_oneof![
+        iri_strategy(),
+        // Literals may contain quotes/backslashes/newlines — escaping must hold.
+        any::<String>()
+            .prop_filter("keep literals printable-ish", |s| !s.contains('\r'))
+            .prop_map(|s| Node::literal(&s)),
+        any::<i64>().prop_map(Node::Int),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    (iri_strategy(), iri_strategy(), node_strategy()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ntriples_roundtrip(doc in prop::collection::vec(triple_strategy(), 0..20)) {
+        // Newlines in literals are not representable line-by-line; the writer
+        // escapes them, so they roundtrip fine.
+        let text = ntriples::write(&doc);
+        let parsed = ntriples::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- text ---\n{text}"));
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn triple_to_fact_is_deterministic(t in triple_strategy()) {
+        let syms = asp_core::Symbols::new();
+        let mut p1 = FormatProcessor::new(&syms, &FormatConfig::default());
+        let mut p2 = FormatProcessor::new(&syms, &FormatConfig::default());
+        prop_assert_eq!(p1.triple_to_fact(&t), p2.triple_to_fact(&t));
+    }
+
+    #[test]
+    fn binary_fact_roundtrips_subject_and_predicate(s in iri_strategy(), p in iri_strategy()) {
+        let syms = asp_core::Symbols::new();
+        let mut proc = FormatProcessor::new(&syms, &FormatConfig::default());
+        let t = Triple::new(s.clone(), p.clone(), Node::Int(7));
+        let fact = proc.triple_to_fact(&t);
+        let back = proc.fact_to_triple(&fact).unwrap();
+        prop_assert_eq!(back.predicate_name(), p.local_name());
+        prop_assert_eq!(back.s.local_name(), s.local_name());
+        prop_assert_eq!(back.o, Node::Int(7));
+    }
+}

@@ -1,0 +1,83 @@
+//! The stream query processor — the CQELS stand-in of the 2-tier StreamRule
+//! architecture. It filters the raw RDF stream down to the triples whose
+//! predicate is in the reasoner's input signature `inpre(P)`.
+
+use asp_core::{Predicate, Symbols};
+use sr_rdf::Triple;
+use std::collections::HashSet;
+
+/// Predicate-filter query processor.
+#[derive(Clone, Debug)]
+pub struct QueryProcessor {
+    allowed: HashSet<String>,
+    matched: u64,
+    dropped: u64,
+}
+
+impl QueryProcessor {
+    /// Accepts triples whose predicate local-name is in `predicates`.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(predicates: I) -> Self {
+        QueryProcessor {
+            allowed: predicates.into_iter().map(Into::into).collect(),
+            matched: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Builds the filter from a program's input signature.
+    pub fn from_input_signature(syms: &Symbols, inpre: &[Predicate]) -> Self {
+        Self::new(inpre.iter().map(|p| syms.resolve(p.name).to_string()))
+    }
+
+    /// Filters one item.
+    pub fn accept(&mut self, triple: &Triple) -> bool {
+        let ok = self.allowed.contains(triple.predicate_name());
+        if ok {
+            self.matched += 1;
+        } else {
+            self.dropped += 1;
+        }
+        ok
+    }
+
+    /// Filters a batch, keeping accepted triples.
+    pub fn filter(&mut self, triples: Vec<Triple>) -> Vec<Triple> {
+        triples.into_iter().filter(|t| self.accept(t)).collect()
+    }
+
+    /// `(matched, dropped)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.matched, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_rdf::Node;
+
+    fn triple(p: &str) -> Triple {
+        Triple::new(Node::iri("s"), Node::iri(&format!("http://t#{p}")), Node::Int(1))
+    }
+
+    #[test]
+    fn filters_by_predicate() {
+        let mut q = QueryProcessor::new(["average_speed", "car_number"]);
+        assert!(q.accept(&triple("average_speed")));
+        assert!(!q.accept(&triple("weather")));
+        let kept = q.filter(vec![triple("car_number"), triple("noise")]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(q.counters(), (2, 2));
+    }
+
+    #[test]
+    fn from_signature_uses_predicate_names() {
+        let syms = Symbols::new();
+        let program =
+            asp_parser::parse_program(&syms, "jam(X) :- slow(X), not light(X).").unwrap();
+        let mut q = QueryProcessor::from_input_signature(&syms, &program.edb_predicates());
+        assert!(q.accept(&triple("slow")));
+        assert!(q.accept(&triple("light")));
+        assert!(!q.accept(&triple("jam")));
+    }
+}

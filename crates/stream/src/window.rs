@@ -1,0 +1,253 @@
+//! Input windows: the unit of work the reasoner processes per computation
+//! (paper §I: "an input window W is a set of input data items that the
+//! reasoner R processes per computation").
+
+use sr_rdf::Triple;
+
+/// A timestamped stream item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamItem {
+    /// The payload triple.
+    pub triple: Triple,
+    /// Arrival time in milliseconds since stream start.
+    pub timestamp_ms: u64,
+}
+
+/// An input window handed to a reasoner.
+#[derive(Clone, Debug, Default)]
+pub struct Window {
+    /// Monotone window sequence number.
+    pub id: u64,
+    /// The data items.
+    pub items: Vec<Triple>,
+}
+
+impl Window {
+    /// Builds a window.
+    pub fn new(id: u64, items: Vec<Triple>) -> Self {
+        Window { id, items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Tuple-based (count-based) windower: emits a window every `size` items —
+/// the windowing model used throughout the paper's evaluation.
+#[derive(Debug)]
+pub struct TupleWindower {
+    size: usize,
+    next_id: u64,
+    buffer: Vec<Triple>,
+}
+
+impl TupleWindower {
+    /// A windower emitting windows of `size` items. `size` must be positive.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        TupleWindower { size, next_id: 0, buffer: Vec::with_capacity(size) }
+    }
+
+    /// Feeds one item; returns a full window when the buffer fills up.
+    pub fn push(&mut self, item: Triple) -> Option<Window> {
+        self.buffer.push(item);
+        if self.buffer.len() >= self.size {
+            let items = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.size));
+            let w = Window::new(self.next_id, items);
+            self.next_id += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// Flushes a partial window (stream end).
+    pub fn flush(&mut self) -> Option<Window> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let items = std::mem::take(&mut self.buffer);
+        let w = Window::new(self.next_id, items);
+        self.next_id += 1;
+        Some(w)
+    }
+}
+
+/// Sliding tuple window: emits a window of the last `size` items every
+/// `slide` arrivals. `slide == size` degenerates to [`TupleWindower`]
+/// (tumbling); `slide < size` re-processes overlapping items, the classic
+/// CQELS-style sliding regime.
+#[derive(Debug)]
+pub struct SlidingWindower {
+    size: usize,
+    slide: usize,
+    next_id: u64,
+    since_emit: usize,
+    buffer: std::collections::VecDeque<Triple>,
+}
+
+impl SlidingWindower {
+    /// A windower of `size` items sliding by `slide`. Both must be positive;
+    /// `slide` may exceed `size` (sampling windows with gaps).
+    pub fn new(size: usize, slide: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        assert!(slide > 0, "slide must be positive");
+        SlidingWindower {
+            size,
+            slide,
+            next_id: 0,
+            since_emit: 0,
+            buffer: std::collections::VecDeque::with_capacity(size),
+        }
+    }
+
+    /// Feeds one item; emits the current window content every `slide` items
+    /// once at least `size` items have been seen.
+    pub fn push(&mut self, item: Triple) -> Option<Window> {
+        if self.buffer.len() == self.size {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(item);
+        self.since_emit += 1;
+        if self.buffer.len() == self.size && self.since_emit >= self.slide {
+            self.since_emit = 0;
+            let w = Window::new(self.next_id, self.buffer.iter().cloned().collect());
+            self.next_id += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+}
+
+/// Time-based windower: emits a window whenever the incoming item's
+/// timestamp crosses the next window boundary.
+#[derive(Debug)]
+pub struct TimeWindower {
+    width_ms: u64,
+    next_id: u64,
+    boundary_ms: u64,
+    buffer: Vec<Triple>,
+}
+
+impl TimeWindower {
+    /// A windower with windows of `width_ms` milliseconds.
+    pub fn new(width_ms: u64) -> Self {
+        assert!(width_ms > 0, "window width must be positive");
+        TimeWindower { width_ms, next_id: 0, boundary_ms: width_ms, buffer: Vec::new() }
+    }
+
+    /// Feeds one timestamped item.
+    pub fn push(&mut self, item: StreamItem) -> Option<Window> {
+        let mut emitted = None;
+        if item.timestamp_ms >= self.boundary_ms {
+            let items = std::mem::take(&mut self.buffer);
+            emitted = Some(Window::new(self.next_id, items));
+            self.next_id += 1;
+            while item.timestamp_ms >= self.boundary_ms {
+                self.boundary_ms += self.width_ms;
+            }
+        }
+        self.buffer.push(item.triple);
+        emitted
+    }
+
+    /// Flushes the trailing window.
+    pub fn flush(&mut self) -> Option<Window> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let items = std::mem::take(&mut self.buffer);
+        let w = Window::new(self.next_id, items);
+        self.next_id += 1;
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_rdf::Node;
+
+    fn t(i: i64) -> Triple {
+        Triple::new(Node::Int(i), Node::iri("p"), Node::Int(i))
+    }
+
+    #[test]
+    fn tuple_windows_fill_and_emit() {
+        let mut w = TupleWindower::new(3);
+        assert!(w.push(t(1)).is_none());
+        assert!(w.push(t(2)).is_none());
+        let win = w.push(t(3)).expect("third item completes the window");
+        assert_eq!(win.id, 0);
+        assert_eq!(win.len(), 3);
+        assert!(w.push(t(4)).is_none());
+        let tail = w.flush().expect("partial window flushed");
+        assert_eq!(tail.id, 1);
+        assert_eq!(tail.len(), 1);
+        assert!(w.flush().is_none());
+    }
+
+    #[test]
+    fn time_windows_split_on_boundaries() {
+        let mut w = TimeWindower::new(100);
+        assert!(w.push(StreamItem { triple: t(1), timestamp_ms: 10 }).is_none());
+        assert!(w.push(StreamItem { triple: t(2), timestamp_ms: 60 }).is_none());
+        let win = w.push(StreamItem { triple: t(3), timestamp_ms: 130 }).unwrap();
+        assert_eq!(win.len(), 2);
+        // Items far in the future skip empty windows without emitting many.
+        let win2 = w.push(StreamItem { triple: t(4), timestamp_ms: 1000 }).unwrap();
+        assert_eq!(win2.len(), 1);
+        assert_eq!(w.flush().unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_tuple_window_panics() {
+        TupleWindower::new(0);
+    }
+
+    #[test]
+    fn sliding_window_overlaps() {
+        let mut w = SlidingWindower::new(3, 1);
+        assert!(w.push(t(1)).is_none());
+        assert!(w.push(t(2)).is_none());
+        let w0 = w.push(t(3)).expect("first full window");
+        assert_eq!(w0.items, vec![t(1), t(2), t(3)]);
+        let w1 = w.push(t(4)).expect("slides by one");
+        assert_eq!(w1.items, vec![t(2), t(3), t(4)]);
+        assert_eq!(w1.id, 1);
+    }
+
+    #[test]
+    fn sliding_equals_tumbling_when_slide_is_size() {
+        let mut sliding = SlidingWindower::new(2, 2);
+        let mut tumbling = TupleWindower::new(2);
+        for i in 0..6 {
+            let a = sliding.push(t(i));
+            let b = tumbling.push(t(i));
+            assert_eq!(a.map(|w| w.items), b.map(|w| w.items));
+        }
+    }
+
+    #[test]
+    fn sliding_with_gap_samples() {
+        // size 2, slide 3: emit every third item, window = last 2 items.
+        let mut w = SlidingWindower::new(2, 3);
+        assert!(w.push(t(1)).is_none());
+        assert!(w.push(t(2)).is_none());
+        let w0 = w.push(t(3)).expect("third item emits");
+        assert_eq!(w0.items, vec![t(2), t(3)]);
+        assert!(w.push(t(4)).is_none());
+        assert!(w.push(t(5)).is_none());
+        let w1 = w.push(t(6)).expect("sixth item emits");
+        assert_eq!(w1.items, vec![t(5), t(6)]);
+    }
+}

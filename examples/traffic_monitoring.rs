@@ -1,0 +1,93 @@
+//! Live traffic monitoring: the full extended StreamRule pipeline of
+//! Figure 6 running against a rate-limited synthetic city-traffic stream.
+//! The stream query processor filters raw triples, the partitioning handler
+//! splits each window by the dependency plan, parallel reasoners detect
+//! traffic jams and car fires, and the combining handler unions the answers
+//! into notifications.
+//!
+//! Run with: `cargo run --release --example traffic_monitoring`
+
+use std::time::Duration;
+use stream_reasoner::prelude::*;
+
+const PROGRAM_P: &str = r#"
+    very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+    many_cars(X)       :- car_number(X,Y), Y > 40.
+    traffic_jam(X)     :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+    car_fire(X)        :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+    give_notification(X) :- traffic_jam(X).
+    give_notification(X) :- car_fire(X).
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, PROGRAM_P)?;
+
+    let (mut pipeline, analysis) = StreamRulePipeline::with_dependency_partitioning(
+        &syms,
+        &program,
+        &AnalysisConfig::default(),
+        ReasonerConfig::default(),
+    )?;
+    let pipeline = &mut pipeline;
+    println!(
+        "Extended StreamRule ready: {} parallel reasoners, duplicated predicates: {:?}",
+        analysis.plan.communities,
+        analysis.plan.duplicated()
+    );
+
+    // A live source: 2,000-item windows of correlated traffic data arriving
+    // every 100 ms.
+    let generator = paper_generator(GeneratorKind::Correlated, 2026);
+    let (rx, producer) = stream_reasoner::sr_stream::spawn_source(
+        generator,
+        stream_reasoner::sr_stream::SourceConfig {
+            window_size: 2_000,
+            interval: Duration::from_millis(100),
+            windows: 5,
+        },
+    );
+
+    let projection = Projection::derived(&analysis.inpre);
+    for window in rx {
+        let out = pipeline.process_window(&window)?;
+        let answers = &out.output.answers;
+        let events: Vec<String> = answers
+            .first()
+            .map(|ans| {
+                projection
+                    .apply(ans, &syms)
+                    .atoms()
+                    .iter()
+                    .filter(|a| {
+                        let name = syms.resolve(a.pred);
+                        name.starts_with("give_notification")
+                            || name.starts_with("traffic_jam")
+                            || name.starts_with("car_fire")
+                    })
+                    .map(|a| a.display(&syms).to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        println!(
+            "window {:>2} ({} items) -> {:>3} events in {:>7.2} ms \
+             (partition {:>5.2} ms | critical ground {:>6.2} ms | solve {:>6.2} ms | combine {:>5.2} ms)",
+            window.id,
+            window.len(),
+            events.len(),
+            out.output.timing.total.as_secs_f64() * 1e3,
+            out.output.timing.partition.as_secs_f64() * 1e3,
+            out.output.timing.ground.as_secs_f64() * 1e3,
+            out.output.timing.solve.as_secs_f64() * 1e3,
+            out.output.timing.combine.as_secs_f64() * 1e3,
+        );
+        for e in events.iter().take(5) {
+            println!("    {e}");
+        }
+        if events.len() > 5 {
+            println!("    ... and {} more", events.len() - 5);
+        }
+    }
+    producer.join().expect("source thread");
+    Ok(())
+}

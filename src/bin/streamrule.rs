@@ -1,0 +1,257 @@
+//! `streamrule` — command-line front end for the stream reasoner.
+//!
+//! ```text
+//! streamrule solve <program.lp> [--models N] [--facts data.lp]
+//! streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
+//! streamrule generate --out data.nt [--kind faithful|correlated|sparse]
+//!                     [--size N] [--windows K] [--seed S]
+//! streamrule run <program.lp> --data data.nt [--window N]
+//!                [--mode single|dep|random:K] [--events]
+//! ```
+//!
+//! `run` reads an N-Triples file, cuts it into tuple windows, processes each
+//! window with the chosen reasoner and prints the answers with timing.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use stream_reasoner::prelude::*;
+use stream_reasoner::sr_rdf::ntriples;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  streamrule solve <program.lp> [--models N] [--facts data.lp]
+  streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
+  streamrule generate --out data.nt [--kind faithful|correlated|sparse] [--size N] [--windows K] [--seed S]
+  streamrule run <program.lp> --data data.nt [--window N] [--mode single|dep|random:K] [--events]";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    args.iter().find(|a| !a.starts_with("--")).map(String::as_str)
+}
+
+fn load_program(path: &str, syms: &Symbols) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(syms, &src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `solve`: plain ASP solving (the engine standalone).
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("missing program file")?;
+    let syms = Symbols::new();
+    let mut program = load_program(path, &syms)?;
+    if let Some(facts_path) = flag_value(args, "--facts") {
+        let facts = load_program(facts_path, &syms)?;
+        program.rules.extend(facts.rules);
+    }
+    let max_models: usize = match flag_value(args, "--models") {
+        Some(v) => v.parse().map_err(|_| format!("bad --models value `{v}`"))?,
+        None => 0,
+    };
+    let cfg = SolverConfig { max_models, ..Default::default() };
+    let t0 = std::time::Instant::now();
+    let result = solve(&syms, &program, &[], &cfg).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    let projection = Projection::shows(&program);
+    if result.answer_sets.is_empty() {
+        println!("UNSATISFIABLE");
+    } else {
+        for (i, ans) in result.answer_sets.iter().enumerate() {
+            println!("Answer {}: {}", i + 1, projection.apply(ans, &syms).display(&syms));
+        }
+        println!("SATISFIABLE ({} answer set(s))", result.answer_sets.len());
+    }
+    println!(
+        "atoms {} | vars {} | clauses {} | conflicts {} | decisions {} | {:.2} ms",
+        result.stats.atoms,
+        result.stats.vars,
+        result.stats.clauses,
+        result.stats.conflicts,
+        result.stats.decisions,
+        elapsed.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `analyze`: the design-time phase — graphs, plan, verification.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("missing program file")?;
+    let syms = Symbols::new();
+    let program = load_program(path, &syms)?;
+    let resolution: f64 = match flag_value(args, "--resolution") {
+        Some(v) => v.parse().map_err(|_| format!("bad --resolution value `{v}`"))?,
+        None => 1.0,
+    };
+    let cfg = AnalysisConfig {
+        resolution,
+        weighted_edges: has_flag(args, "--weighted"),
+        ..Default::default()
+    };
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &cfg).map_err(|e| e.to_string())?;
+    if has_flag(args, "--dot") {
+        println!("// extended dependency graph");
+        print!("{}", analysis.extended.to_dot(&syms));
+        println!("// input dependency graph");
+        print!("{}", analysis.input_graph.to_dot(&syms));
+        return Ok(());
+    }
+    println!("input predicates ({}):", analysis.inpre.len());
+    for p in &analysis.inpre {
+        println!("  {}", p.display(&syms));
+    }
+    println!("\npartitioning plan:");
+    print!("{}", analysis.plan);
+    let violations = analysis.verify_plan(&syms);
+    if violations.is_empty() {
+        println!("\njoin-coverage check: PASS");
+    } else {
+        println!("\njoin-coverage check: {} violation(s)", violations.len());
+        for v in violations {
+            println!("  {v}");
+        }
+    }
+    Ok(())
+}
+
+/// `generate`: write a synthetic workload as N-Triples.
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("missing --out file")?;
+    let kind = match flag_value(args, "--kind").unwrap_or("sparse") {
+        "faithful" => GeneratorKind::Faithful,
+        "correlated" => GeneratorKind::Correlated,
+        "sparse" => GeneratorKind::CorrelatedSparse,
+        other => return Err(format!("unknown generator kind `{other}`")),
+    };
+    let size: usize = flag_value(args, "--size").unwrap_or("5000").parse().map_err(|_| "bad --size")?;
+    let windows: usize =
+        flag_value(args, "--windows").unwrap_or("1").parse().map_err(|_| "bad --windows")?;
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("2017").parse().map_err(|_| "bad --seed")?;
+    let mut generator = paper_generator(kind, seed);
+    let mut text = String::new();
+    for w in 0..windows {
+        text.push_str(&format!("# window {w}\n"));
+        text.push_str(&ntriples::write(&generator.window(size)));
+    }
+    std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {windows} window(s) x {size} triples to {out}");
+    Ok(())
+}
+
+/// `run`: the streaming pipeline over an N-Triples file.
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("missing program file")?;
+    let data = flag_value(args, "--data").ok_or("missing --data file")?;
+    let syms = Symbols::new();
+    let program = load_program(path, &syms)?;
+    let window_size: usize =
+        flag_value(args, "--window").unwrap_or("5000").parse().map_err(|_| "bad --window")?;
+    let mode = flag_value(args, "--mode").unwrap_or("dep");
+
+    let text = std::fs::read_to_string(data).map_err(|e| format!("cannot read {data}: {e}"))?;
+    let triples = ntriples::parse(&text).map_err(|e| e.to_string())?;
+    println!("loaded {} triples from {data}", triples.len());
+
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
+        .map_err(|e| e.to_string())?;
+    let mut reasoner: Box<dyn FnMut(&Window) -> Result<ReasonerOutput, String>> = match mode {
+        "single" => {
+            let mut r = SingleReasoner::new(&syms, &program, None, SolverConfig::default())
+                .map_err(|e| e.to_string())?;
+            Box::new(move |w| r.process(w).map_err(|e| e.to_string()))
+        }
+        "dep" => {
+            let partitioner = Arc::new(PlanPartitioner::new(
+                analysis.plan.clone(),
+                UnknownPredicate::Partition0,
+            ));
+            let mut pr = ParallelReasoner::new(
+                &syms,
+                &program,
+                Some(&analysis.inpre),
+                partitioner,
+                ReasonerConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            Box::new(move |w| pr.process(w).map_err(|e| e.to_string()))
+        }
+        random if random.starts_with("random:") => {
+            let k: usize =
+                random["random:".len()..].parse().map_err(|_| "bad --mode random:K")?;
+            let mut pr = ParallelReasoner::new(
+                &syms,
+                &program,
+                Some(&analysis.inpre),
+                Arc::new(RandomPartitioner::new(k, 2017)),
+                ReasonerConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            Box::new(move |w| pr.process(w).map_err(|e| e.to_string()))
+        }
+        other => return Err(format!("unknown --mode `{other}`")),
+    };
+
+    let projection = if has_flag(args, "--events") {
+        Projection::derived(&analysis.inpre)
+    } else {
+        Projection::All
+    };
+
+    let mut windower = TupleWindower::new(window_size);
+    let mut windows: Vec<Window> = Vec::new();
+    for t in triples {
+        if let Some(w) = windower.push(t) {
+            windows.push(w);
+        }
+    }
+    if let Some(w) = windower.flush() {
+        windows.push(w);
+    }
+    for window in &windows {
+        let out = reasoner(window)?;
+        println!(
+            "window {} ({} items): {} answer set(s) in {:.2} ms",
+            window.id,
+            window.len(),
+            out.answers.len(),
+            out.timing.total.as_secs_f64() * 1e3
+        );
+        for ans in out.answers.iter().take(2) {
+            let shown = projection.apply(ans, &syms);
+            let rendered = shown.display(&syms).to_string();
+            if rendered.len() > 400 {
+                println!("  {}...}}", &rendered[..400]);
+            } else {
+                println!("  {rendered}");
+            }
+        }
+    }
+    Ok(())
+}
