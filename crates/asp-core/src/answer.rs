@@ -52,10 +52,7 @@ impl AnswerSet {
 
     /// Restricts the answer set to atoms whose predicate satisfies `keep`.
     pub fn project(&self, syms: &Symbols, keep: impl Fn(&Predicate) -> bool) -> AnswerSet {
-        AnswerSet::new(
-            self.atoms.iter().filter(|a| keep(&a.predicate())).cloned().collect(),
-            syms,
-        )
+        AnswerSet::new(self.atoms.iter().filter(|a| keep(&a.predicate())).cloned().collect(), syms)
     }
 
     /// Restricts the answer set to the given predicates.

@@ -65,11 +65,7 @@ impl Atom {
 
     /// The atom's predicate.
     pub fn predicate(&self) -> Predicate {
-        Predicate {
-            name: self.pred,
-            arity: self.args.len() as u32,
-            strong_neg: self.strong_neg,
-        }
+        Predicate { name: self.pred, arity: self.args.len() as u32, strong_neg: self.strong_neg }
     }
 
     /// True when all arguments are ground.
@@ -135,11 +131,7 @@ impl GroundAtom {
 
     /// The atom's predicate.
     pub fn predicate(&self) -> Predicate {
-        Predicate {
-            name: self.pred,
-            arity: self.args.len() as u32,
-            strong_neg: self.strong_neg,
-        }
+        Predicate { name: self.pred, arity: self.args.len() as u32, strong_neg: self.strong_neg }
     }
 
     /// Lifts the ground atom into the non-ground [`Atom`] space.
@@ -234,10 +226,7 @@ mod tests {
         let syms = Symbols::new();
         let g = GroundAtom::new(
             syms.intern("car_location"),
-            vec![
-                GroundTerm::Const(syms.intern("car1")),
-                GroundTerm::Const(syms.intern("dangan")),
-            ],
+            vec![GroundTerm::Const(syms.intern("car1")), GroundTerm::Const(syms.intern("dangan"))],
         );
         let a = g.to_atom();
         assert!(a.is_ground());

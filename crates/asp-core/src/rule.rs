@@ -133,13 +133,9 @@ impl fmt::Display for BodyLiteralDisplay<'_> {
                 }
                 write!(f, "{}", atom.display(self.syms))
             }
-            BodyLiteral::Comparison { lhs, op, rhs } => write!(
-                f,
-                "{}{}{}",
-                lhs.display(self.syms),
-                op.symbol(),
-                rhs.display(self.syms)
-            ),
+            BodyLiteral::Comparison { lhs, op, rhs } => {
+                write!(f, "{}{}{}", lhs.display(self.syms), op.symbol(), rhs.display(self.syms))
+            }
         }
     }
 }
@@ -331,10 +327,8 @@ mod tests {
         let a = syms_and_atom("p", &syms);
         let c = Rule::constraint(vec![BodyLiteral::pos(a.clone())]);
         assert_eq!(c.display(&syms).to_string(), " :- p(X).");
-        let ch = Rule {
-            head: Head::Choice(vec![a.clone(), syms_and_atom("q", &syms)]),
-            body: vec![],
-        };
+        let ch =
+            Rule { head: Head::Choice(vec![a.clone(), syms_and_atom("q", &syms)]), body: vec![] };
         assert_eq!(ch.display(&syms).to_string(), "{p(X); q(X)}.");
     }
 

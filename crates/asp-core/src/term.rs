@@ -27,12 +27,12 @@ impl ArithOp {
             ArithOp::Add => Ok(lhs.wrapping_add(rhs)),
             ArithOp::Sub => Ok(lhs.wrapping_sub(rhs)),
             ArithOp::Mul => Ok(lhs.wrapping_mul(rhs)),
-            ArithOp::Div => lhs
-                .checked_div(rhs)
-                .ok_or_else(|| AspError::Eval("division by zero".into())),
-            ArithOp::Mod => lhs
-                .checked_rem(rhs)
-                .ok_or_else(|| AspError::Eval("modulo by zero".into())),
+            ArithOp::Div => {
+                lhs.checked_div(rhs).ok_or_else(|| AspError::Eval("division by zero".into()))
+            }
+            ArithOp::Mod => {
+                lhs.checked_rem(rhs).ok_or_else(|| AspError::Eval("modulo by zero".into()))
+            }
         }
     }
 
@@ -154,19 +154,19 @@ pub fn ground_term_cmp(syms: &Symbols, a: &GroundTerm, b: &GroundTerm) -> std::c
         (GroundTerm::Const(x), GroundTerm::Const(y)) => syms.resolve(*x).cmp(&syms.resolve(*y)),
         (GroundTerm::Const(_), _) => Ordering::Less,
         (_, GroundTerm::Const(_)) => Ordering::Greater,
-        (GroundTerm::Func(f, fa), GroundTerm::Func(g, ga)) => syms
-            .resolve(*f)
-            .cmp(&syms.resolve(*g))
-            .then_with(|| fa.len().cmp(&ga.len()))
-            .then_with(|| {
-                for (x, y) in fa.iter().zip(ga.iter()) {
-                    let ord = ground_term_cmp(syms, x, y);
-                    if ord != Ordering::Equal {
-                        return ord;
+        (GroundTerm::Func(f, fa), GroundTerm::Func(g, ga)) => {
+            syms.resolve(*f).cmp(&syms.resolve(*g)).then_with(|| fa.len().cmp(&ga.len())).then_with(
+                || {
+                    for (x, y) in fa.iter().zip(ga.iter()) {
+                        let ord = ground_term_cmp(syms, x, y);
+                        if ord != Ordering::Equal {
+                            return ord;
+                        }
                     }
-                }
-                Ordering::Equal
-            }),
+                    Ordering::Equal
+                },
+            )
+        }
     }
 }
 
@@ -192,13 +192,9 @@ impl fmt::Display for TermDisplay<'_> {
                 }
                 write!(f, ")")
             }
-            Term::BinOp(op, l, r) => write!(
-                f,
-                "({}{}{})",
-                l.display(self.syms),
-                op.symbol(),
-                r.display(self.syms)
-            ),
+            Term::BinOp(op, l, r) => {
+                write!(f, "({}{}{})", l.display(self.syms), op.symbol(), r.display(self.syms))
+            }
             Term::Interval(lo, hi) => write!(f, "{lo}..{hi}"),
         }
     }
@@ -281,10 +277,7 @@ mod tests {
     #[test]
     fn display_roundtrip_shapes() {
         let syms = Symbols::new();
-        let t = Term::Func(
-            syms.intern("loc"),
-            vec![Term::Var(syms.intern("X")), Term::Int(3)],
-        );
+        let t = Term::Func(syms.intern("loc"), vec![Term::Var(syms.intern("X")), Term::Int(3)]);
         assert_eq!(t.display(&syms).to_string(), "loc(X,3)");
         let g = GroundTerm::Func(
             syms.intern("loc"),

@@ -78,7 +78,9 @@ impl CTerm {
                 let lv = l.eval(subst)?;
                 let rv = r.eval(subst)?;
                 match (lv, rv) {
-                    (GroundTerm::Int(a), GroundTerm::Int(b)) => Ok(GroundTerm::Int(op.apply(a, b)?)),
+                    (GroundTerm::Int(a), GroundTerm::Int(b)) => {
+                        Ok(GroundTerm::Int(op.apply(a, b)?))
+                    }
                     _ => Err(AspError::Eval("arithmetic on non-integer terms".into())),
                 }
             }
@@ -190,7 +192,11 @@ impl CompiledRule {
 
 /// Compiles `rule` (at `rule_idx` in its program), performing the safety
 /// check. `syms` is needed only to render error messages.
-pub fn compile_rule(syms: &Symbols, rule: &Rule, rule_idx: usize) -> Result<CompiledRule, AspError> {
+pub fn compile_rule(
+    syms: &Symbols,
+    rule: &Rule,
+    rule_idx: usize,
+) -> Result<CompiledRule, AspError> {
     // Intervals are a parser-level feature (expanded there); reject any that
     // arrive via a hand-built AST instead of panicking deep in compilation.
     fn has_interval(t: &Term) -> bool {
@@ -316,19 +322,22 @@ fn first_unbound(t: &CTerm, bound: &[bool]) -> Option<u32> {
 /// `forced_first` (which must be a positive atom) to be matched first — the
 /// semi-naive delta designation. Fails with the slot of an unbindable
 /// variable when the body is unsafe.
-pub fn make_plan(body: &[CLit], var_count: u32, forced_first: Option<usize>) -> Result<Vec<Step>, u32> {
+pub fn make_plan(
+    body: &[CLit],
+    var_count: u32,
+    forced_first: Option<usize>,
+) -> Result<Vec<Step>, u32> {
     let n = body.len();
     let mut used = vec![false; n];
     let mut bound = vec![false; var_count as usize];
     let mut plan: Vec<Step> = Vec::with_capacity(n);
 
     let push_match = |i: usize,
-                          used: &mut Vec<bool>,
-                          bound: &mut Vec<bool>,
-                          plan: &mut Vec<Step>| {
+                      used: &mut Vec<bool>,
+                      bound: &mut Vec<bool>,
+                      plan: &mut Vec<Step>| {
         let CLit::Pos(atom) = &body[i] else { unreachable!("match step on non-positive literal") };
-        let static_bound: Box<[bool]> =
-            atom.args.iter().map(|a| a.bound_under(bound)).collect();
+        let static_bound: Box<[bool]> = atom.args.iter().map(|a| a.bound_under(bound)).collect();
         for a in atom.args.iter() {
             a.mark_bindable(bound);
         }
@@ -420,12 +429,8 @@ pub fn make_plan(body: &[CLit], var_count: u32, forced_first: Option<usize>) -> 
                 continue;
             }
             let slot = match &body[i] {
-                CLit::Pos(a) | CLit::Neg(a) => {
-                    a.args.iter().find_map(|t| first_unbound(t, &bound))
-                }
-                CLit::Cmp(l, _, r) => {
-                    first_unbound(l, &bound).or_else(|| first_unbound(r, &bound))
-                }
+                CLit::Pos(a) | CLit::Neg(a) => a.args.iter().find_map(|t| first_unbound(t, &bound)),
+                CLit::Cmp(l, _, r) => first_unbound(l, &bound).or_else(|| first_unbound(r, &bound)),
             };
             if let Some(slot) = slot {
                 return Err(slot);
@@ -444,9 +449,7 @@ pub fn compare(lhs: &GroundTerm, op: CmpOp, rhs: &GroundTerm) -> Result<bool, As
         CmpOp::Neq => Ok(lhs != rhs),
         _ => match (lhs, rhs) {
             (GroundTerm::Int(a), GroundTerm::Int(b)) => Ok(op.eval(a.cmp(b))),
-            _ => Err(AspError::Eval(
-                "ordered comparison requires integer operands".into(),
-            )),
+            _ => Err(AspError::Eval("ordered comparison requires integer operands".into())),
         },
     }
 }
@@ -490,7 +493,10 @@ mod tests {
         let syms = Symbols::new();
         let rule = parse_rule(&syms, "p(Y) :- q(X).").unwrap();
         let err = compile_rule(&syms, &rule, 0).unwrap_err();
-        assert!(matches!(err, AspError::UnsafeRule { ref variable, .. } if variable == "Y"), "{err}");
+        assert!(
+            matches!(err, AspError::UnsafeRule { ref variable, .. } if variable == "Y"),
+            "{err}"
+        );
     }
 
     #[test]

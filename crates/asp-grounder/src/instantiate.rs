@@ -52,12 +52,13 @@ impl Grounder {
         // instantiated jointly.
         let mut pred_ids: FastMap<Predicate, usize> = FastMap::default();
         let mut preds: Vec<Predicate> = Vec::new();
-        let id_of = |p: Predicate, pred_ids: &mut FastMap<Predicate, usize>, preds: &mut Vec<Predicate>| {
-            *pred_ids.entry(p).or_insert_with(|| {
-                preds.push(p);
-                preds.len() - 1
-            })
-        };
+        let id_of =
+            |p: Predicate, pred_ids: &mut FastMap<Predicate, usize>, preds: &mut Vec<Predicate>| {
+                *pred_ids.entry(p).or_insert_with(|| {
+                    preds.push(p);
+                    preds.len() - 1
+                })
+            };
         let mut edges: Vec<(usize, usize)> = Vec::new();
         for c in &compiled {
             let head_ids: Vec<usize> =
@@ -112,7 +113,8 @@ impl Grounder {
                 for (si, step) in plan.iter_mut().enumerate() {
                     if let Step::Match { atom, source, .. } = step {
                         if comp.preds.contains(&atom.pred) {
-                            *source = if delta_first && si == 0 { Source::Delta } else { Source::Live };
+                            *source =
+                                if delta_first && si == 0 { Source::Delta } else { Source::Live };
                         }
                     }
                 }
@@ -132,12 +134,7 @@ impl Grounder {
             comp.rules.push(CompRule { compiled_idx: idx, round0, deltas });
         }
 
-        Ok(Grounder {
-            syms: syms.clone(),
-            compiled,
-            components,
-            constraint_ids,
-        })
+        Ok(Grounder { syms: syms.clone(), compiled, components, constraint_ids })
     }
 
     /// Instantiates the program against `facts` (the input window plus any
@@ -266,7 +263,7 @@ impl Eval<'_> {
         rule: &CompiledRule,
         plan: &[Step],
         idx: usize,
-        subst: &mut Vec<Option<GroundTerm>>,
+        subst: &mut [Option<GroundTerm>],
         key: u32,
     ) -> Result<(), AspError> {
         let Some(step) = plan.get(idx) else {
@@ -288,8 +285,7 @@ impl Eval<'_> {
                 for c in candidates {
                     // Clone the tuple: emitting may push into this relation
                     // and reallocate its backing storage.
-                    let tuple: Box<[GroundTerm]> =
-                        self.relations[&atom.pred].tuple(c).into();
+                    let tuple: Box<[GroundTerm]> = self.relations[&atom.pred].tuple(c).into();
                     let mark = self.trail.len();
                     let ok = self.unify_args(&atom.args, &tuple, subst)?;
                     if ok {
@@ -392,13 +388,11 @@ impl Eval<'_> {
     fn emit(
         &mut self,
         rule: &CompiledRule,
-        subst: &mut Vec<Option<GroundTerm>>,
+        subst: &mut [Option<GroundTerm>],
         key: u32,
     ) -> Result<(), AspError> {
-        let bindings: Box<[GroundTerm]> = subst
-            .iter()
-            .map(|s| s.clone().unwrap_or(GroundTerm::Int(i64::MIN)))
-            .collect();
+        let bindings: Box<[GroundTerm]> =
+            subst.iter().map(|s| s.clone().unwrap_or(GroundTerm::Int(i64::MIN))).collect();
         if !self.seen.insert((key, bindings)) {
             return Ok(());
         }
@@ -420,11 +414,8 @@ impl Eval<'_> {
                 CLit::Cmp(..) => {}
             }
         }
-        let heads: Vec<GroundAtom> = rule
-            .heads
-            .iter()
-            .map(|h| eval_atom(h, subst))
-            .collect::<Result<_, _>>()?;
+        let heads: Vec<GroundAtom> =
+            rule.heads.iter().map(|h| eval_atom(h, subst)).collect::<Result<_, _>>()?;
 
         if rule.choice {
             for h in &heads {
@@ -450,10 +441,7 @@ impl Eval<'_> {
     }
 
     fn insert_possible(&mut self, atom: &GroundAtom) {
-        self.relations
-            .entry(atom.predicate())
-            .or_default()
-            .insert(atom.args.clone());
+        self.relations.entry(atom.predicate()).or_default().insert(atom.args.clone());
     }
 
     fn complement(&self, atom: &GroundAtom) -> GroundAtom {

@@ -163,7 +163,7 @@ mod tests {
         let mut r = Relation::new();
         r.insert(vec![GroundTerm::Int(1), a.clone()].into());
         r.insert(vec![GroundTerm::Int(2), a.clone()].into());
-        let hits = r.lookup(0b10, &[a.clone()], 0, 2);
+        let hits = r.lookup(0b10, std::slice::from_ref(&a), 0, 2);
         assert_eq!(hits, vec![0, 1]);
     }
 }

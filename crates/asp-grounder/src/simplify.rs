@@ -31,7 +31,10 @@ pub struct ProtoRule {
 
 /// Runs the certain/possible simplification and builds the final
 /// [`GroundProgram`].
-pub fn finalize(relations: &FastMap<Predicate, Relation>, mut proto: Vec<ProtoRule>) -> GroundProgram {
+pub fn finalize(
+    relations: &FastMap<Predicate, Relation>,
+    mut proto: Vec<ProtoRule>,
+) -> GroundProgram {
     let possible = |a: &GroundAtom| -> bool {
         relations.get(&a.predicate()).is_some_and(|r| r.contains(&a.args))
     };
@@ -44,15 +47,17 @@ pub fn finalize(relations: &FastMap<Predicate, Relation>, mut proto: Vec<ProtoRu
     // 2. Certain fixpoint with counting.
     let mut certain_ids: FastMap<GroundAtom, usize> = FastMap::default();
     let mut certain_list: Vec<GroundAtom> = Vec::new();
-    let mark_certain =
-        |a: &GroundAtom, list: &mut Vec<GroundAtom>, ids: &mut FastMap<GroundAtom, usize>| -> bool {
-            if ids.contains_key(a) {
-                return false;
-            }
-            ids.insert(a.clone(), list.len());
-            list.push(a.clone());
-            true
-        };
+    let mark_certain = |a: &GroundAtom,
+                        list: &mut Vec<GroundAtom>,
+                        ids: &mut FastMap<GroundAtom, usize>|
+     -> bool {
+        if ids.contains_key(a) {
+            return false;
+        }
+        ids.insert(a.clone(), list.len());
+        list.push(a.clone());
+        true
+    };
 
     // watchers[atom] = indices of eligible rules waiting on it.
     let mut watchers: FastMap<GroundAtom, Vec<usize>> = FastMap::default();
@@ -108,12 +113,8 @@ pub fn finalize(relations: &FastMap<Predicate, Relation>, mut proto: Vec<ProtoRu
             continue; // already satisfied (single head: emitted as a fact)
         }
         let head: Vec<AtomId> = rule.heads.iter().map(|a| out.atoms.intern(a.clone())).collect();
-        let pos: Vec<AtomId> = rule
-            .pos
-            .iter()
-            .filter(|a| !certain(a))
-            .map(|a| out.atoms.intern(a.clone()))
-            .collect();
+        let pos: Vec<AtomId> =
+            rule.pos.iter().filter(|a| !certain(a)).map(|a| out.atoms.intern(a.clone())).collect();
         let neg: Vec<AtomId> = rule.neg.iter().map(|a| out.atoms.intern(a.clone())).collect();
         let ground = GroundRule { head, pos, neg };
         if emitted.insert(ground.clone()) {
@@ -216,7 +217,7 @@ mod tests {
     fn empty_constraint_survives_as_unsat_marker() {
         let syms = Symbols::new();
         let f = atom(&syms, "f", 1);
-        let rels = relations_for(&[f.clone()]);
+        let rels = relations_for(std::slice::from_ref(&f));
         let proto = vec![
             ProtoRule { heads: vec![f.clone()], pos: vec![], neg: vec![] },
             ProtoRule { heads: vec![], pos: vec![f.clone()], neg: vec![] },

@@ -76,8 +76,7 @@ fn negation_on_underivable_atom_is_simplified_away() {
 
 #[test]
 fn negation_on_fact_kills_rule() {
-    let (syms, gp) =
-        ground("jam(X) :- slow(X), not light(X).", &[("slow", &[7]), ("light", &[7])]);
+    let (syms, gp) = ground("jam(X) :- slow(X), not light(X).", &[("slow", &[7]), ("light", &[7])]);
     assert!(!fact_strings(&syms, &gp).contains(&"jam(7)".to_string()));
     // The rule must be gone entirely, not kept with the literal.
     assert!(!atom_strings(&syms, &gp).contains(&"jam(7)".to_string()));

@@ -2,21 +2,15 @@
 
 use crate::lexer::{lex, Spanned, Tok};
 use asp_core::{
-    ArithOp, AspError, Atom, BodyLiteral, CmpOp, Head, Predicate, Program, Rule, Sym, Symbols,
-    Term,
+    ArithOp, AspError, Atom, BodyLiteral, CmpOp, Head, Predicate, Program, Rule, Sym, Symbols, Term,
 };
 
 /// Parses a full program. Symbols (predicate/constant/variable names) are
 /// interned into `syms`.
 pub fn parse_program(syms: &Symbols, src: &str) -> Result<Program, AspError> {
     let tokens = lex(src)?;
-    let mut p = Parser {
-        syms,
-        tokens,
-        pos: 0,
-        anon_counter: 0,
-        consts: std::collections::HashMap::new(),
-    };
+    let mut p =
+        Parser { syms, tokens, pos: 0, anon_counter: 0, consts: std::collections::HashMap::new() };
     let program = p.program()?;
     Ok(normalize_strong_negation(syms, program))
 }
@@ -112,9 +106,9 @@ impl<'a> Parser<'a> {
                     }
                     produced += (hi - lo + 1) as usize;
                     if produced > MAX_EXPANSION {
-                        return Err(self.error(format!(
-                            "interval expansion exceeds {MAX_EXPANSION} rules"
-                        )));
+                        return Err(
+                            self.error(format!("interval expansion exceeds {MAX_EXPANSION} rules"))
+                        );
                     }
                     for v in lo..=hi {
                         queue.push(replace_first_interval(&r, v));
@@ -138,9 +132,9 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::Eq)?;
                 let value = self.term()?;
                 if !value.is_ground() {
-                    return Err(self.error(format!(
-                        "#const {const_name} must be bound to a ground term"
-                    )));
+                    return Err(
+                        self.error(format!("#const {const_name} must be bound to a ground term"))
+                    );
                 }
                 self.expect(&Tok::Dot)?;
                 self.consts.insert(const_name, value);
@@ -650,8 +644,7 @@ mod tests {
     fn intervals_expand_facts() {
         let (syms, p) = parse("num(1..4).");
         assert_eq!(p.rules.len(), 4);
-        let rendered: Vec<String> =
-            p.rules.iter().map(|r| r.display(&syms).to_string()).collect();
+        let rendered: Vec<String> = p.rules.iter().map(|r| r.display(&syms).to_string()).collect();
         assert_eq!(rendered, vec!["num(1).", "num(2).", "num(3).", "num(4)."]);
     }
 
@@ -672,8 +665,7 @@ mod tests {
     #[test]
     fn interval_bounds_can_be_expressions() {
         let (syms, p) = parse("n(2+1..2*2).");
-        let rendered: Vec<String> =
-            p.rules.iter().map(|r| r.display(&syms).to_string()).collect();
+        let rendered: Vec<String> = p.rules.iter().map(|r| r.display(&syms).to_string()).collect();
         assert_eq!(rendered, vec!["n(3).", "n(4)."]);
     }
 
@@ -686,8 +678,7 @@ mod tests {
     #[test]
     fn const_directive_substitutes() {
         let (syms, p) = parse("#const n = 3.\nsize(n). bound(X) :- v(X), X < n.");
-        let rendered: Vec<String> =
-            p.rules.iter().map(|r| r.display(&syms).to_string()).collect();
+        let rendered: Vec<String> = p.rules.iter().map(|r| r.display(&syms).to_string()).collect();
         assert_eq!(rendered[0], "size(3).");
         assert!(rendered[1].contains("X<3"), "{}", rendered[1]);
     }

@@ -38,11 +38,9 @@ fn build_term(spec: &TermSpec, syms: &Symbols) -> Term {
             syms.intern(&format!("f{f}")),
             args.iter().map(|a| build_term(a, syms)).collect(),
         ),
-        TermSpec::Add(a, b) => Term::BinOp(
-            ArithOp::Add,
-            Box::new(build_term(a, syms)),
-            Box::new(build_term(b, syms)),
-        ),
+        TermSpec::Add(a, b) => {
+            Term::BinOp(ArithOp::Add, Box::new(build_term(a, syms)), Box::new(build_term(b, syms)))
+        }
     }
 }
 

@@ -245,8 +245,7 @@ impl Engine {
         self.values[v.idx()] = LBool::from_bool(!lit.is_neg());
         // Level-0 assignments never participate in conflict analysis, so
         // their reasons are dropped — this keeps clause deletion safe.
-        self.reason[v.idx()] =
-            if self.decision_level() == 0 { ClauseRef::NONE } else { reason };
+        self.reason[v.idx()] = if self.decision_level() == 0 { ClauseRef::NONE } else { reason };
         self.level[v.idx()] = self.decision_level();
         self.trail.push(lit);
     }
@@ -416,12 +415,9 @@ impl Engine {
                 kept.push(l);
                 continue;
             }
-            let redundant = self
-                .db
-                .clause(r)
-                .lits
-                .iter()
-                .all(|&q| q == l.negate() || self.seen[q.var().idx()] || self.level[q.var().idx()] == 0);
+            let redundant = self.db.clause(r).lits.iter().all(|&q| {
+                q == l.negate() || self.seen[q.var().idx()] || self.level[q.var().idx()] == 0
+            });
             if !redundant {
                 kept.push(l);
             } else {

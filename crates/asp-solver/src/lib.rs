@@ -110,8 +110,7 @@ pub fn solve_ground(
             SearchOutcome::Model => {
                 if !tr.tight {
                     stats.stability_checks += 1;
-                    let loops =
-                        stability::check_stability(&tr.rules, tr.n_atoms, |v| eng.value(v));
+                    let loops = stability::check_stability(&tr.rules, tr.n_atoms, |v| eng.value(v));
                     if !loops.is_empty() {
                         stats.unstable_models += 1;
                         eng.backtrack(0);

@@ -145,16 +145,12 @@ mod tests {
     fn loop_clause_includes_external_bodies() {
         // a :- b. b :- a. a :- c (c false => body var 5 false).
         // Assignment: a, b true, c false; loop bodies true, external false.
-        let rules = vec![
-            rule(0, &[1], &[], 3),
-            rule(1, &[0], &[], 4),
-            rule(0, &[2], &[], 5),
-        ];
+        let rules = vec![rule(0, &[1], &[], 3), rule(1, &[0], &[], 4), rule(0, &[2], &[], 5)];
         let value = |v: Var| match v.0 {
-            0 | 1 => LBool::True,  // a, b
-            2 => LBool::False,     // c
-            3 | 4 => LBool::True,  // loop bodies
-            _ => LBool::False,     // external body
+            0 | 1 => LBool::True, // a, b
+            2 => LBool::False,    // c
+            3 | 4 => LBool::True, // loop bodies
+            _ => LBool::False,    // external body
         };
         let clauses = check_stability(&rules, 3, value);
         assert_eq!(clauses.len(), 2);

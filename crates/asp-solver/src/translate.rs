@@ -61,11 +61,7 @@ pub fn translate(syms: &Symbols, gp: &GroundProgram) -> Result<Translation, AspE
                 if rule.pos.is_empty() && rule.neg.is_empty() {
                     trivially_unsat = true;
                 }
-                shifted.push(Shifted {
-                    head: None,
-                    pos: rule.pos.clone(),
-                    neg: rule.neg.clone(),
-                });
+                shifted.push(Shifted { head: None, pos: rule.pos.clone(), neg: rule.neg.clone() });
             }
             1 => shifted.push(Shifted {
                 head: Some(rule.head[0]),
@@ -75,7 +71,9 @@ pub fn translate(syms: &Symbols, gp: &GroundProgram) -> Result<Translation, AspE
             _ => {
                 for (i, &h) in rule.head.iter().enumerate() {
                     let mut neg = rule.neg.clone();
-                    neg.extend(rule.head.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &a)| a));
+                    neg.extend(
+                        rule.head.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &a)| a),
+                    );
                     shifted.push(Shifted { head: Some(h), pos: rule.pos.clone(), neg });
                 }
             }
@@ -102,8 +100,7 @@ pub fn translate(syms: &Symbols, gp: &GroundProgram) -> Result<Translation, AspE
         match s.head {
             None => {
                 // Constraint: direct clause ¬p1 ∨ ... ∨ q1 ∨ ...
-                let mut clause: Vec<Lit> =
-                    s.pos.iter().map(|&a| atom_lit(a).negate()).collect();
+                let mut clause: Vec<Lit> = s.pos.iter().map(|&a| atom_lit(a).negate()).collect();
                 clause.extend(s.neg.iter().map(|&a| atom_lit(a)));
                 clauses.push(clause);
             }
@@ -151,14 +148,7 @@ pub fn translate(syms: &Symbols, gp: &GroundProgram) -> Result<Translation, AspE
 
     let tight = is_tight(&rules, n_atoms);
 
-    Ok(Translation {
-        n_atoms,
-        n_vars: next_var as usize,
-        clauses,
-        rules,
-        tight,
-        trivially_unsat,
-    })
+    Ok(Translation { n_atoms, n_vars: next_var as usize, clauses, rules, tight, trivially_unsat })
 }
 
 /// Rejects programs where two atoms of one disjunctive head share an SCC of
@@ -246,10 +236,8 @@ mod tests {
 
     #[test]
     fn bodies_are_deduplicated() {
-        let (syms, gp) = program(vec![
-            (vec!["a"], vec!["c"], vec![]),
-            (vec!["b"], vec!["c"], vec![]),
-        ]);
+        let (syms, gp) =
+            program(vec![(vec!["a"], vec!["c"], vec![]), (vec!["b"], vec!["c"], vec![])]);
         let t = translate(&syms, &gp).unwrap();
         // atoms a, b, c plus exactly ONE body variable.
         assert_eq!(t.n_vars, t.n_atoms + 1);
@@ -267,20 +255,16 @@ mod tests {
 
     #[test]
     fn positive_loop_is_not_tight() {
-        let (syms, gp) = program(vec![
-            (vec!["a"], vec!["b"], vec![]),
-            (vec!["b"], vec!["a"], vec![]),
-        ]);
+        let (syms, gp) =
+            program(vec![(vec!["a"], vec!["b"], vec![]), (vec!["b"], vec!["a"], vec![])]);
         let t = translate(&syms, &gp).unwrap();
         assert!(!t.tight);
     }
 
     #[test]
     fn negative_loop_is_tight() {
-        let (syms, gp) = program(vec![
-            (vec!["a"], vec![], vec!["b"]),
-            (vec!["b"], vec![], vec!["a"]),
-        ]);
+        let (syms, gp) =
+            program(vec![(vec!["a"], vec![], vec!["b"]), (vec!["b"], vec![], vec!["a"])]);
         let t = translate(&syms, &gp).unwrap();
         assert!(t.tight);
     }

@@ -43,8 +43,7 @@ fn brute_force_stable_models(gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
                 break;
             }
         }
-        let lm_mask: u32 =
-            lm.iter().enumerate().map(|(i, &b)| if b { 1 << i } else { 0 }).sum();
+        let lm_mask: u32 = lm.iter().enumerate().map(|(i, &b)| if b { 1 << i } else { 0 }).sum();
         if lm_mask == mask {
             models.push((0..n as u32).filter(|&a| in_s(a)).collect());
         }
@@ -68,12 +67,12 @@ fn solver_models(syms: &Symbols, gp: &GroundProgram) -> Vec<BTreeSet<u32>> {
     out
 }
 
+/// One generated rule: `(head_or_none, pos, neg)` over atom indices.
+type RuleTriple = (Option<u32>, Vec<u32>, Vec<u32>);
+
 /// Builds a ground program over `n_atoms` 0-ary-ish atoms from rule specs
 /// `(head_or_none, pos, neg)`.
-fn build(
-    n_atoms: u32,
-    rules: &[(Option<u32>, Vec<u32>, Vec<u32>)],
-) -> (Symbols, GroundProgram) {
+fn build(n_atoms: u32, rules: &[RuleTriple]) -> (Symbols, GroundProgram) {
     let syms = Symbols::new();
     let mut gp = GroundProgram::default();
     for i in 0..n_atoms {
@@ -92,8 +91,7 @@ fn build(
 #[test]
 fn brute_force_agrees_on_even_loop() {
     // a0 :- not a1. a1 :- not a0.
-    let (syms, gp) =
-        build(2, &[(Some(0), vec![], vec![1]), (Some(1), vec![], vec![0])]);
+    let (syms, gp) = build(2, &[(Some(0), vec![], vec![1]), (Some(1), vec![], vec![0])]);
     let mut expected = brute_force_stable_models(&gp);
     expected.sort();
     assert_eq!(expected.len(), 2);
@@ -103,8 +101,7 @@ fn brute_force_agrees_on_even_loop() {
 #[test]
 fn brute_force_agrees_on_positive_loop() {
     // a0 :- a1. a1 :- a0. Only the empty model.
-    let (syms, gp) =
-        build(2, &[(Some(0), vec![1], vec![]), (Some(1), vec![0], vec![])]);
+    let (syms, gp) = build(2, &[(Some(0), vec![1], vec![]), (Some(1), vec![0], vec![])]);
     let mut expected = brute_force_stable_models(&gp);
     expected.sort();
     assert_eq!(expected, vec![BTreeSet::new()]);
@@ -121,7 +118,7 @@ fn brute_force_agrees_on_odd_loop() {
 /// Strategy: random normal programs over up to 5 atoms with up to 7 rules,
 /// each rule having up to 2 positive and 2 negative body literals, plus
 /// occasional constraints — a space dense in loops, choices and conflicts.
-fn program_strategy() -> impl Strategy<Value = (u32, Vec<(Option<u32>, Vec<u32>, Vec<u32>)>)> {
+fn program_strategy() -> impl Strategy<Value = (u32, Vec<RuleTriple>)> {
     let rule = (
         prop::option::weighted(0.9, 0u32..5),
         prop::collection::vec(0u32..5, 0..=2),

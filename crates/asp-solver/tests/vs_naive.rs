@@ -34,10 +34,8 @@ const CONSTS: u8 = 3;
 fn spec() -> impl Strategy<Value = ProgramSpec> {
     let fact = (0..PREDS_PER_LAYER, 0..CONSTS);
     let rule = (1u8..LAYERS, 0..PREDS_PER_LAYER).prop_flat_map(|(hl, hi)| {
-        let pos_src = (0..hl + 1, 0..PREDS_PER_LAYER).prop_filter(
-            "positive bodies at most head layer",
-            move |(l, _)| *l <= hl,
-        );
+        let pos_src = (0..hl + 1, 0..PREDS_PER_LAYER)
+            .prop_filter("positive bodies at most head layer", move |(l, _)| *l <= hl);
         let neg_src = (0..hl, 0..PREDS_PER_LAYER);
         (
             Just(hl),
@@ -93,8 +91,7 @@ fn naive_perfect_model(spec: &ProgramSpec) -> BTreeSet<(String, u8)> {
                     continue;
                 }
                 for c in 0..CONSTS {
-                    let pos_ok =
-                        r.pos.iter().all(|(l, i)| model.contains(&(pred_name(*l, *i), c)));
+                    let pos_ok = r.pos.iter().all(|(l, i)| model.contains(&(pred_name(*l, *i), c)));
                     let neg_ok =
                         r.neg.iter().all(|(l, i)| !model.contains(&(pred_name(*l, *i), c)));
                     if pos_ok && neg_ok {

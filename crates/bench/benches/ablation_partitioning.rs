@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sr_bench::{ExperimentBench, ExperimentConfig, PROGRAM_P};
-use sr_core::{atom_level_partition, Partitioner, PlanPartitioner, RandomPartitioner, UnknownPredicate};
+use sr_core::{
+    atom_level_partition, Partitioner, PlanPartitioner, RandomPartitioner, UnknownPredicate,
+};
 use sr_graph::{louvain, UnGraph};
 use sr_stream::{paper_generator, GeneratorKind, Window};
 use std::collections::HashSet;
@@ -14,8 +16,7 @@ use std::hint::black_box;
 fn partitioning(c: &mut Criterion) {
     let cfg = ExperimentConfig::paper(PROGRAM_P, GeneratorKind::Correlated);
     let bench = ExperimentBench::build(&cfg).expect("build");
-    let plan_part =
-        PlanPartitioner::new(bench.analysis.plan.clone(), UnknownPredicate::Partition0);
+    let plan_part = PlanPartitioner::new(bench.analysis.plan.clone(), UnknownPredicate::Partition0);
     let ran_part = RandomPartitioner::new(2, 7);
     let mut generator = paper_generator(GeneratorKind::Correlated, 9);
 

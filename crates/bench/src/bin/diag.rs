@@ -5,10 +5,7 @@ use sr_bench::{ExperimentBench, ExperimentConfig, PROGRAM_P};
 use sr_stream::{paper_generator, GeneratorKind, Window};
 
 fn main() {
-    let sizes: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let sizes: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let sizes = if sizes.is_empty() { vec![5_000, 10_000, 20_000, 40_000] } else { sizes };
     let cfg = ExperimentConfig::paper(PROGRAM_P, GeneratorKind::Correlated);
     let mut bench = ExperimentBench::build(&cfg).expect("build");
@@ -16,8 +13,17 @@ fn main() {
 
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "window", "R total", "R xform", "R ground", "R solve", "PR total", "PR part", "PR xform",
-        "PR ground", "PR solve", "PR comb"
+        "window",
+        "R total",
+        "R xform",
+        "R ground",
+        "R solve",
+        "PR total",
+        "PR part",
+        "PR xform",
+        "PR ground",
+        "PR solve",
+        "PR comb"
     );
     for (i, &size) in sizes.iter().enumerate() {
         let window = Window::new(i as u64, generator.window(size));

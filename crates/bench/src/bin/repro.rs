@@ -15,14 +15,35 @@ use sr_bench::{
     csv, program_p_prime, run, table, ExperimentConfig, ExperimentResult, Measure, Series,
     PROGRAM_P,
 };
-use sr_core::{
-    AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode,
-};
+use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
 use std::path::Path;
 
+const USAGE: &str = "\
+repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
+
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations] [--quick]
+       repro --smoke
+       repro --help
+
+  all         every figure, the Section IV claims and the ablations (default)
+  figN        one figure's grid and CSV (written to results/)
+  claims      the Section IV headline claims on the measured grids
+  ablations   partitioning ablations beyond the paper
+  --quick     small grid (2 window sizes, 2 reps) instead of the paper grid
+  --smoke     seconds-fast end-to-end pipeline check, no files written
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
@@ -39,16 +60,36 @@ fn main() {
     }
 
     if matches!(what, "all" | "fig7") {
-        figure(p_result.as_ref().unwrap(), "fig7", "Figure 7: reasoning latency (program P), ms", Measure::LatencyMs);
+        figure(
+            p_result.as_ref().unwrap(),
+            "fig7",
+            "Figure 7: reasoning latency (program P), ms",
+            Measure::LatencyMs,
+        );
     }
     if matches!(what, "all" | "fig8") {
-        figure(p_result.as_ref().unwrap(), "fig8", "Figure 8: accuracy (program P)", Measure::Accuracy);
+        figure(
+            p_result.as_ref().unwrap(),
+            "fig8",
+            "Figure 8: accuracy (program P)",
+            Measure::Accuracy,
+        );
     }
     if matches!(what, "all" | "fig9") {
-        figure(pp_result.as_ref().unwrap(), "fig9", "Figure 9: reasoning latency (program P'), ms", Measure::LatencyMs);
+        figure(
+            pp_result.as_ref().unwrap(),
+            "fig9",
+            "Figure 9: reasoning latency (program P'), ms",
+            Measure::LatencyMs,
+        );
     }
     if matches!(what, "all" | "fig10") {
-        figure(pp_result.as_ref().unwrap(), "fig10", "Figure 10: accuracy (program P')", Measure::Accuracy);
+        figure(
+            pp_result.as_ref().unwrap(),
+            "fig10",
+            "Figure 10: accuracy (program P')",
+            Measure::Accuracy,
+        );
     }
     if matches!(what, "all" | "claims") {
         claims(p_result.as_ref().unwrap(), pp_result.as_ref().unwrap());
@@ -58,8 +99,32 @@ fn main() {
     }
 }
 
+/// CI fast path: drives the full measurement pipeline (parse → analyze →
+/// partition → parallel reasoning → combine → report) on a tiny grid so the
+/// harness itself can never silently rot, without paper-scale runtimes.
+fn smoke() {
+    let cfg = ExperimentConfig {
+        window_sizes: vec![200, 500],
+        reps: 1,
+        warmup: 0,
+        random_ks: vec![2],
+        ..ExperimentConfig::quick(PROGRAM_P, GeneratorKind::CorrelatedSparse)
+    };
+    let result = run(&cfg).expect("smoke experiment");
+    print!("{}", table(&result, Measure::LatencyMs, true));
+    print!("{}", table(&result, Measure::Accuracy, true));
+    println!(
+        "smoke ok: {} window sizes x {} series measured",
+        result.window_sizes.len(),
+        result.series.len()
+    );
+}
+
 fn experiment(program: &str, name: &str, quick: bool) -> ExperimentResult {
-    eprintln!(">>> running experiment grid for program {name} ({})", if quick { "quick" } else { "paper" });
+    eprintln!(
+        ">>> running experiment grid for program {name} ({})",
+        if quick { "quick" } else { "paper" }
+    );
     let cfg = if quick {
         ExperimentConfig::quick(program, GeneratorKind::CorrelatedSparse)
     } else {
@@ -189,16 +254,15 @@ fn ablations(quick: bool) {
         use std::sync::Arc;
 
         let program = parse_program(&syms, sr_bench::programs::LARGE_TRAFFIC).unwrap();
-        let a = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
-            .unwrap();
+        let a =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
         println!(
             "  communities: {}, duplicated: {:?}, verify: {}",
             a.plan.communities,
             a.plan.duplicated(),
             if a.verify_plan(&syms).is_empty() { "PASS" } else { "VIOLATIONS" }
         );
-        let names: Vec<String> =
-            a.inpre.iter().map(|p| syms.resolve(p.name).to_string()).collect();
+        let names: Vec<String> = a.inpre.iter().map(|p| syms.resolve(p.name).to_string()).collect();
         let mut generator = FaithfulGenerator::new(names, 4242);
         let size = if quick { 5_000 } else { 20_000 };
         let mut r = SingleReasoner::new(&syms, &program, None, SolverConfig::default()).unwrap();
@@ -233,7 +297,9 @@ fn ablations(quick: bool) {
     }
 
     println!("\n== Ablation: generator mode (program P, accuracy of PR_Ran_k2) ==");
-    for kind in [GeneratorKind::Faithful, GeneratorKind::Correlated, GeneratorKind::CorrelatedSparse] {
+    for kind in
+        [GeneratorKind::Faithful, GeneratorKind::Correlated, GeneratorKind::CorrelatedSparse]
+    {
         let cfg = ExperimentConfig {
             window_sizes: if quick { vec![5_000] } else { vec![20_000] },
             reps: if quick { 1 } else { 3 },

@@ -6,8 +6,8 @@ use asp_core::{AspError, Program, Symbols};
 use asp_solver::SolverConfig;
 use sr_core::{
     window_accuracy, AnalysisConfig, DependencyAnalysis, ParallelMode, ParallelReasoner,
-    PlanPartitioner, Projection, RandomPartitioner, ReasonerConfig, ReasonerOutput,
-    SingleReasoner, UnknownPredicate,
+    PlanPartitioner, Projection, RandomPartitioner, ReasonerConfig, ReasonerOutput, SingleReasoner,
+    UnknownPredicate,
 };
 use sr_stream::{paper_generator, GeneratorKind, Window};
 use std::sync::Arc;
@@ -72,9 +72,7 @@ impl ExperimentConfig {
             random_ks: vec![2, 3, 4, 5],
             mode: ParallelMode::Threads,
             projection_predicates: Some(
-                ["traffic_jam", "car_fire", "give_notification"]
-                    .map(str::to_string)
-                    .to_vec(),
+                ["traffic_jam", "car_fire", "give_notification"].map(str::to_string).to_vec(),
             ),
         }
     }

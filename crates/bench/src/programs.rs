@@ -72,8 +72,8 @@ mod tests {
     fn large_traffic_decomposes_into_four_communities() {
         let syms = Symbols::new();
         let program = parse_program(&syms, LARGE_TRAFFIC).unwrap();
-        let a = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
-            .unwrap();
+        let a =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
         assert_eq!(a.inpre.len(), 13);
         // traffic | vehicles∪weather (joined by close_road) | fog | bus.
         assert_eq!(a.plan.communities, 4);
@@ -101,10 +101,9 @@ mod tests {
 
         let syms = Symbols::new();
         let program = parse_program(&syms, LARGE_TRAFFIC).unwrap();
-        let a = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
-            .unwrap();
-        let names: Vec<String> =
-            a.inpre.iter().map(|p| syms.resolve(p.name).to_string()).collect();
+        let a =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+        let names: Vec<String> = a.inpre.iter().map(|p| syms.resolve(p.name).to_string()).collect();
         let mut generator = FaithfulGenerator::new(names, 9);
         let window = Window::new(0, generator.window(2_000));
 

@@ -173,12 +173,8 @@ mod tests {
         // Candidate preserves inputs but misses the derived jam.
         let candidate = vec![ans(&syms, &[("speed", "s1")])];
         let all = window_accuracy(&syms, &reference, &candidate, &Projection::All);
-        let derived = window_accuracy(
-            &syms,
-            &reference,
-            &candidate,
-            &Projection::derived(&[input_pred]),
-        );
+        let derived =
+            window_accuracy(&syms, &reference, &candidate, &Projection::derived(&[input_pred]));
         assert!(all > 0.4, "inputs mask the error: {all}");
         assert_eq!(derived, 0.0, "projection exposes the missing event");
     }
@@ -186,8 +182,7 @@ mod tests {
     #[test]
     fn shows_projection_uses_program_directives() {
         let syms = Symbols::new();
-        let program =
-            asp_parser::parse_program(&syms, "#show jam/1.\njam(X) :- slow(X).").unwrap();
+        let program = asp_parser::parse_program(&syms, "#show jam/1.\njam(X) :- slow(X).").unwrap();
         let p = Projection::shows(&program);
         let a = ans(&syms, &[("jam", "x"), ("slow", "x")]);
         let projected = p.apply(&a, &syms);

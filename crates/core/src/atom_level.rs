@@ -202,7 +202,11 @@ mod tests {
         let total: usize = parts.iter().map(Vec::len).sum();
         assert_eq!(total, 20);
         // LPT keeps buckets balanced.
-        assert!(parts.iter().all(|p| p.len() == 5), "{:?}", parts.iter().map(Vec::len).collect::<Vec<_>>());
+        assert!(
+            parts.iter().all(|p| p.len() == 5),
+            "{:?}",
+            parts.iter().map(Vec::len).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -229,8 +233,7 @@ mod tests {
         let syms = Symbols::new();
         let program = asp_parser::parse_program(&syms, PROGRAM_P).unwrap();
         let analysis =
-            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
-                .unwrap();
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
         let partitioner = Arc::new(AtomLevelPartitioner::from_analysis(
             &analysis,
             &syms,
@@ -243,13 +246,8 @@ mod tests {
             sr_stream::paper_generator(sr_stream::GeneratorKind::CorrelatedSparse, 21);
         let window = Window::new(0, generator.window(1_500));
 
-        let mut r = SingleReasoner::new(
-            &syms,
-            &program,
-            None,
-            asp_solver::SolverConfig::default(),
-        )
-        .unwrap();
+        let mut r = SingleReasoner::new(&syms, &program, None, asp_solver::SolverConfig::default())
+            .unwrap();
         let base = r.process(&window).unwrap();
         let cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
         let mut pr =

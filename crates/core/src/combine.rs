@@ -117,10 +117,7 @@ mod tests {
     #[test]
     fn identical_unions_deduplicate() {
         let syms = Symbols::new();
-        let parts = vec![
-            vec![ans(&syms, &["a"]), ans(&syms, &["a"])],
-            vec![ans(&syms, &["b"])],
-        ];
+        let parts = vec![vec![ans(&syms, &["a"]), ans(&syms, &["a"])], vec![ans(&syms, &["b"])]];
         let (combined, _) = combine(&syms, &parts, CombinePolicy::Strict, 16);
         assert_eq!(combined.len(), 1);
     }

@@ -128,8 +128,7 @@ pub fn decompose(g: &InputDepGraph, syms: &Symbols, config: &AnalysisConfig) -> 
                     }
                 }
             };
-            let (to_dup, target) =
-                if dup_first { (&ex1, c2 as u32) } else { (&ex2, c1 as u32) };
+            let (to_dup, target) = if dup_first { (&ex1, c2 as u32) } else { (&ex2, c1 as u32) };
             for &v in to_dup {
                 if !membership[v].contains(&target) {
                     membership[v].push(target);
@@ -151,12 +150,7 @@ pub fn decompose(g: &InputDepGraph, syms: &Symbols, config: &AnalysisConfig) -> 
         .collect();
     duplicated.sort_by_key(|(v, _)| *v);
 
-    Decomposition {
-        membership,
-        communities: k,
-        duplicated,
-        method: DecompositionMethod::Louvain,
-    }
+    Decomposition { membership, communities: k, duplicated, method: DecompositionMethod::Louvain }
 }
 
 /// Builds the partitioning plan (predicate names → communities) from a

@@ -87,13 +87,7 @@ impl ParallelReasoner {
                 }
             }
         }
-        Ok(ParallelReasoner {
-            syms: syms.clone(),
-            partitioner,
-            config,
-            workers,
-            sequential,
-        })
+        Ok(ParallelReasoner { syms: syms.clone(), partitioner, config, workers, sequential })
     }
 
     /// Number of parallel partitions.
@@ -150,12 +144,8 @@ impl ParallelReasoner {
         }
 
         let t_combine = Instant::now();
-        let (answers, unsat_partitions) = combine(
-            &self.syms,
-            &per_partition,
-            self.config.combine,
-            self.config.max_combined,
-        );
+        let (answers, unsat_partitions) =
+            combine(&self.syms, &per_partition, self.config.combine, self.config.max_combined);
         let combine_time = t_combine.elapsed();
 
         Ok(ReasonerOutput {
@@ -356,10 +346,8 @@ mod tests {
         let (syms, mut pr) = build_pr(ParallelMode::Threads);
         let o1 = pr.process(&motivating_window()).unwrap();
         let o2 = pr.process(&motivating_window()).unwrap();
-        let r1: Vec<String> =
-            o1.answers.iter().map(|a| a.display(&syms).to_string()).collect();
-        let r2: Vec<String> =
-            o2.answers.iter().map(|a| a.display(&syms).to_string()).collect();
+        let r1: Vec<String> = o1.answers.iter().map(|a| a.display(&syms).to_string()).collect();
+        let r2: Vec<String> = o2.answers.iter().map(|a| a.display(&syms).to_string()).collect();
         assert_eq!(r1, r2);
     }
 }

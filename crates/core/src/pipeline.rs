@@ -4,8 +4,8 @@
 
 use crate::analysis::DependencyAnalysis;
 use crate::config::{AnalysisConfig, ReasonerConfig};
-use crate::partition::{PlanPartitioner, RandomPartitioner};
 use crate::parallel::ParallelReasoner;
+use crate::partition::{PlanPartitioner, RandomPartitioner};
 use crate::reasoner::{ReasonerOutput, SingleReasoner};
 use asp_core::{AspError, Program, Symbols};
 use asp_solver::SolverConfig;
@@ -144,10 +144,7 @@ impl StreamRulePipeline {
                 .answers
                 .iter()
                 .map(|ans| {
-                    ans.atoms()
-                        .iter()
-                        .filter_map(|a| self.back.fact_to_triple(a).ok())
-                        .collect()
+                    ans.atoms().iter().filter_map(|a| self.back.fact_to_triple(a).ok()).collect()
                 })
                 .collect()
         } else {
@@ -215,12 +212,10 @@ mod tests {
     fn solutions_round_trip_to_triples() {
         let syms = Symbols::new();
         let program = parse_program(&syms, PROGRAM_P).unwrap();
-        let mut pipe =
-            StreamRulePipeline::single(&syms, &program).unwrap().emit_triples(true);
+        let mut pipe = StreamRulePipeline::single(&syms, &program).unwrap().emit_triples(true);
         let out = pipe.process_raw(raw_items()).unwrap();
         assert_eq!(out.solutions.len(), 1);
-        let preds: Vec<&str> =
-            out.solutions[0].iter().map(|t| t.predicate_name()).collect();
+        let preds: Vec<&str> = out.solutions[0].iter().map(|t| t.predicate_name()).collect();
         assert!(preds.contains(&"give_notification"));
     }
 

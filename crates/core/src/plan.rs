@@ -34,12 +34,8 @@ impl PartitioningPlan {
 
     /// Predicates assigned to more than one community.
     pub fn duplicated(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self
-            .membership
-            .iter()
-            .filter(|(_, c)| c.len() > 1)
-            .map(|(p, _)| p.as_str())
-            .collect();
+        let mut v: Vec<&str> =
+            self.membership.iter().filter(|(_, c)| c.len() > 1).map(|(p, _)| p.as_str()).collect();
         v.sort_unstable();
         v
     }

@@ -77,10 +77,7 @@ impl UnGraph {
     /// Weighted degree of `u`; self-loops count twice, per the standard
     /// modularity convention.
     pub fn degree(&self, u: usize) -> f64 {
-        self.adj[u]
-            .iter()
-            .map(|(&v, &w)| if v == u { 2.0 * w } else { w })
-            .sum()
+        self.adj[u].iter().map(|(&v, &w)| if v == u { 2.0 * w } else { w }).sum()
     }
 
     /// Sum of all edge weights (self-loops counted once).

@@ -231,11 +231,9 @@ mod tests {
     #[test]
     fn config_from_program_marks_unary_inputs() {
         let syms = Symbols::new();
-        let program = asp_parser::parse_program(
-            &syms,
-            "jam(X) :- slow(X), many(X,Y), not light(X).",
-        )
-        .unwrap();
+        let program =
+            asp_parser::parse_program(&syms, "jam(X) :- slow(X), many(X,Y), not light(X).")
+                .unwrap();
         let cfg = FormatConfig::from_program(&syms, &program);
         assert!(cfg.unary_predicates.contains(&"slow".to_string()));
         assert!(cfg.unary_predicates.contains(&"light".to_string()));

@@ -56,9 +56,7 @@ fn parse_node(text: &str, line: usize) -> Result<(Node, &str), NtError> {
     let text = text.trim_start();
     let err = |message: String| NtError { line, message };
     if let Some(rest) = text.strip_prefix('<') {
-        let end = rest
-            .find('>')
-            .ok_or_else(|| err("unterminated IRI".to_string()))?;
+        let end = rest.find('>').ok_or_else(|| err("unterminated IRI".to_string()))?;
         return Ok((Node::iri(&rest[..end]), &rest[end + 1..]));
     }
     if let Some(rest) = text.strip_prefix('"') {
@@ -82,9 +80,7 @@ fn parse_node(text: &str, line: usize) -> Result<(Node, &str), NtError> {
         return Err(err("unterminated literal".to_string()));
     }
     // Bare integer.
-    let end = text
-        .find(|c: char| c.is_whitespace())
-        .unwrap_or(text.len());
+    let end = text.find(|c: char| c.is_whitespace()).unwrap_or(text.len());
     let token = &text[..end];
     match token.parse::<i64>() {
         Ok(v) => Ok((Node::Int(v), &text[end..])),

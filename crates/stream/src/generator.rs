@@ -18,14 +18,8 @@ use sr_rdf::{Node, Triple};
 use std::sync::Arc;
 
 /// The six input predicates of the paper's program P / P'.
-pub const PAPER_PREDICATES: [&str; 6] = [
-    "average_speed",
-    "car_number",
-    "traffic_light",
-    "car_in_smoke",
-    "car_speed",
-    "car_location",
-];
+pub const PAPER_PREDICATES: [&str; 6] =
+    ["average_speed", "car_number", "traffic_light", "car_in_smoke", "car_speed", "car_location"];
 
 /// A source of synthetic windows.
 pub trait WorkloadGenerator {
@@ -224,10 +218,12 @@ impl WorkloadGenerator for CorrelatedGenerator {
                 2 => {
                     // Only a subset of locations have lights at all; sample
                     // among the first portion of the cache for stability.
-                    let lights =
-                        ((self.location_cache.len() as f64) * cfg.traffic_light_rate).ceil() as usize;
+                    let lights = ((self.location_cache.len() as f64) * cfg.traffic_light_rate)
+                        .ceil() as usize;
                     let lights = lights.clamp(1, self.location_cache.len());
-                    let loc = Node::Iri(self.location_cache[self.rng.below(lights as u64) as usize].clone());
+                    let loc = Node::Iri(
+                        self.location_cache[self.rng.below(lights as u64) as usize].clone(),
+                    );
                     Triple::new(loc, pred, Node::Int(1))
                 }
                 // car_in_smoke(Car, high|low)
@@ -270,10 +266,8 @@ mod tests {
 
     #[test]
     fn faithful_matches_paper_description() {
-        let mut g = FaithfulGenerator::new(
-            PAPER_PREDICATES.iter().map(|s| s.to_string()).collect(),
-            1,
-        );
+        let mut g =
+            FaithfulGenerator::new(PAPER_PREDICATES.iter().map(|s| s.to_string()).collect(), 1);
         let n = 1000;
         let w = g.window(n);
         assert_eq!(w.len(), n);
@@ -343,10 +337,7 @@ mod tests {
             .filter(|t| t.predicate_name() == "car_number")
             .map(|t| t.s.local_name().to_string())
             .collect();
-        assert!(
-            speed_locs.intersection(&count_locs).count() > 0,
-            "joins require shared locations"
-        );
+        assert!(speed_locs.intersection(&count_locs).count() > 0, "joins require shared locations");
     }
 
     #[test]

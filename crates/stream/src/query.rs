@@ -73,8 +73,7 @@ mod tests {
     #[test]
     fn from_signature_uses_predicate_names() {
         let syms = Symbols::new();
-        let program =
-            asp_parser::parse_program(&syms, "jam(X) :- slow(X), not light(X).").unwrap();
+        let program = asp_parser::parse_program(&syms, "jam(X) :- slow(X), not light(X).").unwrap();
         let mut q = QueryProcessor::from_input_signature(&syms, &program.edb_predicates());
         assert!(q.accept(&triple("slow")));
         assert!(q.accept(&triple("light")));

@@ -35,12 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let window = Window::new(0, generator.window(12_000));
     // Keep only the fire-side predicates for this community.
     let fire_preds = ["car_in_smoke", "car_speed", "car_location"];
-    let items: Vec<Triple> = window
-        .items
-        .iter()
-        .filter(|t| fire_preds.contains(&t.predicate_name()))
-        .cloned()
-        .collect();
+    let items: Vec<Triple> =
+        window.items.iter().filter(|t| fire_preds.contains(&t.predicate_name())).cloned().collect();
     println!("community sub-window: {} items", items.len());
 
     // Reference answer on the whole community.

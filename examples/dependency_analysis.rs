@@ -82,10 +82,6 @@ fn describe(title: &str, src: &str, dot: bool) -> Result<(), Box<dyn std::error:
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dot = std::env::args().any(|a| a == "--dot");
     describe("Program P (Listing 1; Figures 2 and 3)", PROGRAM_P, dot)?;
-    describe(
-        "Program P' = P + r7 (Figures 4 and 5)",
-        &format!("{PROGRAM_P}{RULE_R7}"),
-        dot,
-    )?;
+    describe("Program P' = P + r7 (Figures 4 and 5)", &format!("{PROGRAM_P}{RULE_R7}"), dot)?;
     Ok(())
 }

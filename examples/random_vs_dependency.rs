@@ -17,8 +17,7 @@ const PROGRAM_P: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let size: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let size: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
     let syms = Symbols::new();
     let program = parse_program(&syms, PROGRAM_P)?;
     let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;

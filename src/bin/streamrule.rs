@@ -150,10 +150,12 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "sparse" => GeneratorKind::CorrelatedSparse,
         other => return Err(format!("unknown generator kind `{other}`")),
     };
-    let size: usize = flag_value(args, "--size").unwrap_or("5000").parse().map_err(|_| "bad --size")?;
+    let size: usize =
+        flag_value(args, "--size").unwrap_or("5000").parse().map_err(|_| "bad --size")?;
     let windows: usize =
         flag_value(args, "--windows").unwrap_or("1").parse().map_err(|_| "bad --windows")?;
-    let seed: u64 = flag_value(args, "--seed").unwrap_or("2017").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 =
+        flag_value(args, "--seed").unwrap_or("2017").parse().map_err(|_| "bad --seed")?;
     let mut generator = paper_generator(kind, seed);
     let mut text = String::new();
     for w in 0..windows {
@@ -164,6 +166,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     println!("wrote {windows} window(s) x {size} triples to {out}");
     Ok(())
 }
+
+/// A window-processing closure chosen by `--mode`.
+type WindowReasoner = Box<dyn FnMut(&Window) -> Result<ReasonerOutput, String>>;
 
 /// `run`: the streaming pipeline over an N-Triples file.
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -181,17 +186,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
         .map_err(|e| e.to_string())?;
-    let mut reasoner: Box<dyn FnMut(&Window) -> Result<ReasonerOutput, String>> = match mode {
+    let mut reasoner: WindowReasoner = match mode {
         "single" => {
             let mut r = SingleReasoner::new(&syms, &program, None, SolverConfig::default())
                 .map_err(|e| e.to_string())?;
             Box::new(move |w| r.process(w).map_err(|e| e.to_string()))
         }
         "dep" => {
-            let partitioner = Arc::new(PlanPartitioner::new(
-                analysis.plan.clone(),
-                UnknownPredicate::Partition0,
-            ));
+            let partitioner =
+                Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
             let mut pr = ParallelReasoner::new(
                 &syms,
                 &program,
@@ -203,8 +206,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             Box::new(move |w| pr.process(w).map_err(|e| e.to_string()))
         }
         random if random.starts_with("random:") => {
-            let k: usize =
-                random["random:".len()..].parse().map_err(|_| "bad --mode random:K")?;
+            let k: usize = random["random:".len()..].parse().map_err(|_| "bad --mode random:K")?;
+            if k == 0 {
+                return Err("--mode random:K needs K >= 1".into());
+            }
             let mut pr = ParallelReasoner::new(
                 &syms,
                 &program,

@@ -19,15 +19,7 @@ const PROGRAM_P: &str = r#"
 /// cars, speeds, counts, smoke levels — including degenerate values.
 fn window_strategy() -> impl Strategy<Value = Vec<(usize, String, i64)>> {
     // (predicate index, entity, numeric value)
-    prop::collection::vec(
-        (0usize..6, "[a-d]", -5i64..60),
-        0..40,
-    )
-    .prop_map(|items| {
-        items
-            .into_iter()
-            .collect()
-    })
+    prop::collection::vec((0usize..6, "[a-d]", -5i64..60), 0..40)
 }
 
 fn build_window(spec: &[(usize, String, i64)]) -> Window {
@@ -44,11 +36,9 @@ fn build_window(spec: &[(usize, String, i64)]) -> Window {
                     Node::literal(if *v % 2 == 0 { "high" } else { "low" }),
                 ),
                 "car_speed" => Triple::new(Node::iri(&format!("car{e}")), pred, Node::Int(*v)),
-                "car_location" => Triple::new(
-                    Node::iri(&format!("car{e}")),
-                    pred,
-                    Node::iri(&format!("loc{e}")),
-                ),
+                "car_location" => {
+                    Triple::new(Node::iri(&format!("car{e}")), pred, Node::iri(&format!("loc{e}")))
+                }
                 _ => Triple::new(Node::iri(&format!("loc{e}")), pred, Node::Int(*v)),
             }
         })

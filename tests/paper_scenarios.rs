@@ -149,8 +149,7 @@ fn pr_dep_exact_on_synthetic_workloads() {
         let syms = Symbols::new();
         let program = parse_program(&syms, &src).unwrap();
         let analysis =
-            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
-                .unwrap();
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
         let mut r = SingleReasoner::new(&syms, &program, None, SolverConfig::default()).unwrap();
         let mut pr = ParallelReasoner::new(
             &syms,

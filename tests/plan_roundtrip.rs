@@ -42,8 +42,7 @@ fn program_strategy() -> impl Strategy<Value = String> {
         let mut src = String::new();
         for (ri, (inputs, head, negate_last)) in rules.into_iter().enumerate() {
             let inputs: Vec<u8> = inputs.into_iter().collect();
-            let mut body: Vec<String> =
-                inputs.iter().map(|i| format!("in{i}(X)")).collect();
+            let mut body: Vec<String> = inputs.iter().map(|i| format!("in{i}(X)")).collect();
             if negate_last && body.len() > 1 {
                 let last = body.pop().unwrap();
                 body.push(format!("not {last}"));

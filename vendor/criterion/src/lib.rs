@@ -1,0 +1,263 @@
+//! Offline API-compatible subset of [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Benches written against the real criterion API compile and run unchanged:
+//! `criterion_group!`/`criterion_main!` produce a binary that takes the
+//! `--bench` flag cargo passes, runs each benchmark for a configured number
+//! of samples and reports min/median/mean wall-clock times per iteration.
+//! There is no warm-up tuning, outlier analysis or HTML report — this is a
+//! measurement harness, not a statistics engine.
+//!
+//! Useful extras honored from the command line:
+//! * a positional `<filter>` substring selects matching benchmark ids;
+//! * `--test` (passed by `cargo test --benches`) runs one iteration per
+//!   benchmark, as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `R/10000`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` once per sample, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to touch caches before measurement.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Run-wide settings parsed from the command line.
+#[derive(Clone, Debug, Default)]
+struct RunConfig {
+    /// Substring filter over benchmark ids (cargo's positional arg).
+    filter: Option<String>,
+    /// `--test`: run each benchmark once, without reporting timings.
+    test_mode: bool,
+    /// `--list`: print benchmark names without running them.
+    list_mode: bool,
+}
+
+/// Top-level harness handle, one per bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Criterion {
+    /// Parses recognized cargo/criterion flags from `std::env::args`.
+    fn from_args() -> Self {
+        let mut config = RunConfig::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => config.test_mode = true,
+                "--list" => config.list_mode = true,
+                other if other.starts_with("--") => {
+                    // Unknown criterion options (e.g. --save-baseline) are
+                    // accepted and ignored; value-taking options are rare in
+                    // CI invocations and their values start with '-' never,
+                    // so a stray value is treated as a filter below.
+                }
+                positional => config.filter = Some(positional.to_string()),
+            }
+        }
+        Criterion { config }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 20 }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark that needs no external input.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, BI, F>(&mut self, id: I, input: &BI, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        BI: ?Sized,
+        F: FnMut(&mut Bencher, &BI),
+    {
+        let id = id.into();
+        self.run(&id.id, |bencher| routine(bencher, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: F) {
+        let full_id = format!("{}/{}", self.name, id);
+        let config = &self.criterion.config;
+        if let Some(filter) = &config.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if config.list_mode {
+            println!("{full_id}: benchmark");
+            return;
+        }
+        let samples = if config.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples, durations: Vec::with_capacity(samples) };
+        routine(&mut bencher);
+        if config.test_mode {
+            println!("{full_id}: ok");
+            return;
+        }
+        report(&full_id, &mut bencher.durations);
+    }
+
+    /// Ends the group. Provided for API compatibility; reporting is eager.
+    pub fn finish(&mut self) {}
+}
+
+/// Prints a one-line min/median/mean summary for a benchmark.
+fn report(id: &str, durations: &mut [Duration]) {
+    if durations.is_empty() {
+        println!("{id:<50} no samples");
+        return;
+    }
+    durations.sort_unstable();
+    let min = durations[0];
+    let median = durations[durations.len() / 2];
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    println!(
+        "{id:<50} time: [min {} median {} mean {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        durations.len(),
+    );
+}
+
+/// Formats a duration with a unit matched to its magnitude.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark function in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::__from_args_for_macro();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Implementation detail of [`criterion_group!`]; not part of the real
+    /// criterion API surface.
+    #[doc(hidden)]
+    pub fn __from_args_for_macro() -> Self {
+        Criterion::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut bencher = Bencher { samples: 5, durations: Vec::new() };
+        let mut count = 0u64;
+        bencher.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(bencher.durations.len(), 5);
+        // 5 timed + 1 warm-up call.
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("R", 10_000).id, "R/10000");
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.000 s");
+    }
+}

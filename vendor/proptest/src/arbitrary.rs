@@ -1,0 +1,91 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical generation recipe, used by `any::<T>()` and the
+/// `name: Type` parameter shorthand in `proptest!`.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing arbitrary values of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($int:ty),+) => {$(
+        impl Arbitrary for $int {
+            fn arbitrary(rng: &mut TestRng) -> $int {
+                // Bias half the draws toward small magnitudes: boundary-ish
+                // values collide more often, which is where properties break.
+                if rng.random_bool(0.5) {
+                    ((rng.next_u64() % 201) as i64 - 100) as $int
+                } else {
+                    rng.next_u64() as $int
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, with occasional escapes and non-ASCII so
+        // encoder/escaping properties get exercised.
+        match rng.next_u64() % 100 {
+            0..=79 => (b' ' + (rng.next_u64() % 95) as u8) as char,
+            80..=89 => *['"', '\\', '\n', '\t', '\''].get(rng.below(5) as usize).unwrap(),
+            90..=97 => *['é', 'λ', 'Ω', '→', '時'].get(rng.below(5) as usize).unwrap(),
+            _ => {
+                if rng.random_bool(0.5) {
+                    '\r'
+                } else {
+                    '\u{1F980}'
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(13) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::new(5);
+        let strategy = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[strategy.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn strings_include_specials_eventually() {
+        let mut rng = TestRng::new(6);
+        let joined: String = (0..400).map(|_| String::arbitrary(&mut rng)).collect();
+        assert!(joined.contains('"') || joined.contains('\\') || joined.contains('\n'));
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline API-compatible subset of [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Property tests written against the real proptest API compile and run
+//! unchanged on the surface this workspace uses:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `pat in strategy`
+//!   parameters and `name: Type` shorthand;
+//! * [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] and
+//!   [`prop_oneof!`];
+//! * the [`Strategy`](strategy::Strategy) combinators `prop_map`,
+//!   `prop_flat_map`, `prop_filter` and `prop_recursive`;
+//! * integer range strategies, tuple strategies, regex-literal string
+//!   strategies, [`collection::vec`], [`collection::btree_set`],
+//!   [`option::weighted`] and [`arbitrary::any`].
+//!
+//! Two deliberate simplifications relative to the real crate: values are
+//! generated from a **deterministic** per-test seed (runs are reproducible,
+//! which suits CI), and failing cases are reported **without shrinking** —
+//! the offending inputs are printed in full instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Single-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace module mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Picks one of several strategies with equal probability.
+///
+/// All arms must yield the same value type; each arm is boxed, so arms of
+/// different strategy types mix freely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __left,
+            __right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn` runs its body over many generated
+/// inputs. Mirrors proptest's macro for the parameter forms `pat in strategy`
+/// and `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __seed = $crate::test_runner::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::new(__seed ^ (__case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let __inputs = ::std::cell::RefCell::new(::std::string::String::new());
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $crate::__proptest_bindings!(__rng, __inputs; $($params)*);
+                    (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                }));
+                match __outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(__err)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            __case + 1,
+                            __config.cases,
+                            __err,
+                            __inputs.borrow()
+                        );
+                    }
+                    ::core::result::Result::Err(__payload) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked; inputs:\n{}",
+                            __case + 1,
+                            __config.cases,
+                            __inputs.borrow()
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands the parameter list into
+/// `let` bindings that generate values and record them for failure reports.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident, $inputs:ident;) => {};
+    ($rng:ident, $inputs:ident; $pat:pat in $strategy:expr) => {
+        $crate::__proptest_bindings!($rng, $inputs; $pat in $strategy,);
+    };
+    ($rng:ident, $inputs:ident; $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = {
+            let __value = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+            {
+                use ::std::fmt::Write as _;
+                let _ = ::std::writeln!(
+                    $inputs.borrow_mut(), "  {} = {:?}", stringify!($pat), &__value
+                );
+            }
+            __value
+        };
+        $crate::__proptest_bindings!($rng, $inputs; $($rest)*);
+    };
+    ($rng:ident, $inputs:ident; $name:ident : $ty:ty) => {
+        $crate::__proptest_bindings!($rng, $inputs; $name : $ty,);
+    };
+    ($rng:ident, $inputs:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = {
+            let __value = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+            {
+                use ::std::fmt::Write as _;
+                let _ = ::std::writeln!(
+                    $inputs.borrow_mut(), "  {} = {:?}", stringify!($name), &__value
+                );
+            }
+            __value
+        };
+        $crate::__proptest_bindings!($rng, $inputs; $($rest)*);
+    };
+}

@@ -1,0 +1,43 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `Some` of the inner value with probability
+/// `probability`, else `None`.
+pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+    Weighted { probability, inner }
+}
+
+/// See [`weighted`].
+#[derive(Clone, Debug)]
+pub struct Weighted<S> {
+    probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.random_bool(self.probability) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mixes_some_and_none() {
+        let mut rng = TestRng::new(10);
+        let strategy = weighted(0.5, 0u8..4);
+        let values: Vec<_> = (0..200).map(|_| strategy.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+    }
+}

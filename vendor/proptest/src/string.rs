@@ -1,0 +1,177 @@
+//! String strategies from regex-like literals.
+//!
+//! In proptest, a `&str` is itself a strategy: it is interpreted as a regular
+//! expression and generates matching strings. This subset supports the
+//! fragment actually used here — concatenations of literal characters and
+//! character classes (`[a-z0-9_/#:.]`), each optionally repeated with
+//! `{m}`, `{m,n}`, `?`, `*` or `+` (unbounded repeats capped at 8).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One alternative set of characters, as `(lo, hi)` inclusive ranges.
+#[derive(Clone, Debug)]
+struct CharSet {
+    ranges: Vec<(char, char)>,
+}
+
+impl CharSet {
+    fn single(c: char) -> Self {
+        CharSet { ranges: vec![(c, c)] }
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u64 = self.ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+        let mut index = rng.below(total);
+        for (lo, hi) in &self.ranges {
+            let span = (*hi as u64) - (*lo as u64) + 1;
+            if index < span {
+                return char::from_u32(*lo as u32 + index as u32)
+                    .expect("ranges stay inside valid scalar values");
+            }
+            index -= span;
+        }
+        unreachable!("index bounded by total span")
+    }
+}
+
+/// A character set with a repetition band.
+#[derive(Clone, Debug)]
+struct Piece {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the supported regex fragment; panics on anything else so an
+/// unsupported pattern fails loudly rather than generating garbage.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let item = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    if item == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().unwrap_or_else(|| {
+                            panic!("dangling '-' in character class in {pattern:?}")
+                        });
+                        if hi == ']' {
+                            // Trailing '-' is a literal, as in regex.
+                            ranges.push((item, item));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        assert!(item <= hi, "inverted class range in {pattern:?}");
+                        ranges.push((item, hi));
+                    } else {
+                        ranges.push((item, item));
+                    }
+                }
+                CharSet { ranges }
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                CharSet::single(escaped)
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            literal => CharSet::single(literal),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let exact = spec.trim().parse().expect("repeat count");
+                        (exact, exact)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repeat band in pattern {pattern:?}");
+        pieces.push(Piece { set, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(piece.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repeat_matches_band() {
+        let mut rng = TestRng::new(11);
+        let strategy = "[a-z][a-z0-9_/#:.]{0,20}";
+        for _ in 0..300 {
+            let s = strategy.generate(&mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "first char of {s:?}");
+            assert!(s.chars().count() <= 21);
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_/#:.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_runs() {
+        let mut rng = TestRng::new(12);
+        assert_eq!("abc".generate(&mut rng), "abc");
+        let s = "x{3}".generate(&mut rng);
+        assert_eq!(s, "xxx");
+    }
+
+    #[test]
+    fn single_class() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..50 {
+            let s = "[a-d]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+        }
+    }
+}

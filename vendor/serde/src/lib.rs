@@ -1,0 +1,37 @@
+//! Offline API-compatible subset of [`serde`](https://crates.io/crates/serde).
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and their derive macros
+//! so annotated types compile unchanged. The traits are markers: no
+//! serialization format ships in this workspace yet, and the derives (see
+//! `serde_derive`) emit empty impls. Swapping the `[workspace.dependencies]`
+//! entry to the real crates.io serde requires no source changes.
+
+// Lets the derive-emitted `::serde::…` paths resolve inside this crate's
+// own tests; downstream crates see the real extern-prelude `serde`.
+#[cfg(test)]
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Probe {
+        _field: u32,
+    }
+
+    fn assert_bounds<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derive_produces_usable_bounds() {
+        assert_bounds::<Probe>();
+    }
+}

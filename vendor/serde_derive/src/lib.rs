@@ -1,0 +1,54 @@
+//! Offline derive backend for the vendored `serde` subset.
+//!
+//! The real `serde_derive` generates full (de)serialization code; nothing in
+//! this workspace performs serde-driven I/O yet, so these derives emit only
+//! the marker impls (`impl Serialize for T {}` / `impl<'de> Deserialize<'de>
+//! for T {}`). That keeps `#[derive(Serialize, Deserialize)]` annotations and
+//! `T: Serialize` bounds compiling unchanged against the vendored traits.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword,
+/// returning `None` for generic types (none exist in this workspace).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // A `<` right after the name means generics; bail out.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derives the vendored marker `serde::Serialize` for a non-generic type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the vendored marker `serde::Deserialize` for a non-generic type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
