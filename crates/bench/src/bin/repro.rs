@@ -12,8 +12,8 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    csv, program_p_prime, run, table, ExperimentConfig, ExperimentResult, Measure, Series,
-    PROGRAM_P,
+    csv, program_p_prime, run, run_throughput, table, throughput_json, ExperimentConfig,
+    ExperimentResult, Measure, Series, ThroughputConfig, PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
@@ -22,14 +22,17 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput] [--quick]
        repro --smoke
        repro --help
 
-  all         every figure, the Section IV claims and the ablations (default)
+  all         every figure, the Section IV claims, the ablations and the
+              throughput sweep (default)
   figN        one figure's grid and CSV (written to results/)
   claims      the Section IV headline claims on the measured grids
   ablations   partitioning ablations beyond the paper
+  throughput  pipelined StreamEngine vs window-at-a-time baseline
+              (writes results/BENCH_throughput.json)
   --quick     small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke     seconds-fast end-to-end pipeline check, no files written
 ";
@@ -97,6 +100,39 @@ fn main() {
     if matches!(what, "all" | "ablations") {
         ablations(quick);
     }
+    if matches!(what, "all" | "throughput") {
+        throughput(quick);
+    }
+}
+
+/// The multi-window throughput sweep (beyond the paper): sequential baseline
+/// vs the pipelined engine, recorded as `results/BENCH_throughput.json`.
+fn throughput(quick: bool) {
+    println!("\n== Throughput: pipelined StreamEngine vs window-at-a-time baseline ==");
+    let cfg =
+        if quick { ThroughputConfig::quick(PROGRAM_P) } else { ThroughputConfig::paper(PROGRAM_P) };
+    let result = run_throughput(&cfg).expect("throughput sweep");
+    println!(
+        "  baseline: {:.2} windows/s ({:.0} items/s, p50 {:.2} ms)",
+        result.baseline.windows_per_sec,
+        result.baseline.items_per_sec,
+        result.baseline.latency.p50_ms
+    );
+    for run in &result.runs {
+        println!(
+            "  in-flight {}: {:.2} windows/s ({:.0} items/s, p50 {:.2} ms, p99 {:.2} ms) — ordered output identical: {}",
+            run.in_flight,
+            run.stats.windows_per_sec,
+            run.stats.items_per_sec,
+            run.stats.latency.p50_ms,
+            run.stats.latency.p99_ms,
+            run.output_identical
+        );
+    }
+    println!("  best speedup: {:.2}x", result.best_speedup());
+    let path = "results/BENCH_throughput.json";
+    std::fs::write(Path::new(path), throughput_json(&result)).expect("write throughput json");
+    println!("[json written to {path}]");
 }
 
 /// CI fast path: drives the full measurement pipeline (parse → analyze →

@@ -1,0 +1,261 @@
+//! Multi-window throughput experiment: the window-at-a-time baseline versus
+//! the pipelined [`StreamEngine`] at increasing numbers of windows in
+//! flight, on the paper's traffic workload. Emits `BENCH_throughput.json`
+//! via [`throughput_json`] (the workspace has no JSON serializer dependency,
+//! so the emission is hand-rolled).
+
+use asp_core::{AspError, Symbols};
+use sr_core::{
+    duration_ms, AnalysisConfig, DependencyAnalysis, EngineConfig, EngineOutput, EngineStats,
+    LatencyStats, ParallelReasoner, PlanPartitioner, Reasoner, ReasonerConfig, ReasonerOutput,
+    StreamEngine, UnknownPredicate,
+};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Throughput experiment definition.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Workload generator mode.
+    pub generator: GeneratorKind,
+    /// Items per window.
+    pub window_size: usize,
+    /// Number of windows streamed end to end.
+    pub windows: usize,
+    /// Numbers of windows in flight to sweep (each gets its own engine run).
+    pub in_flight: Vec<usize>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ThroughputConfig {
+    /// The default sweep: 24 windows of 2,000 items, 1/2/4 in flight.
+    pub fn paper(program: &str) -> Self {
+        ThroughputConfig {
+            program: program.to_string(),
+            generator: GeneratorKind::CorrelatedSparse,
+            window_size: 2_000,
+            windows: 24,
+            in_flight: vec![1, 2, 4],
+            seed: 2017,
+        }
+    }
+
+    /// A smoke-test sweep for CI / `--quick`.
+    pub fn quick(program: &str) -> Self {
+        ThroughputConfig { window_size: 400, windows: 8, ..Self::paper(program) }
+    }
+}
+
+/// One engine run of the sweep.
+#[derive(Clone, Debug)]
+pub struct ThroughputRun {
+    /// Windows in flight (engine lanes).
+    pub in_flight: usize,
+    /// Engine throughput statistics.
+    pub stats: EngineStats,
+    /// Whether the ordered engine output was byte-identical to the
+    /// sequential baseline's rendered answers.
+    pub output_identical: bool,
+}
+
+/// Result of the throughput experiment.
+#[derive(Clone, Debug)]
+pub struct ThroughputResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Windows streamed.
+    pub windows: usize,
+    /// The sequential window-at-a-time baseline, expressed in the same
+    /// statistics shape as the engine runs.
+    pub baseline: EngineStats,
+    /// The engine sweep.
+    pub runs: Vec<ThroughputRun>,
+}
+
+impl ThroughputResult {
+    /// Best windows/s speedup of any engine run over the baseline.
+    pub fn best_speedup(&self) -> f64 {
+        if self.baseline.windows_per_sec <= 0.0 {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| r.stats.windows_per_sec / self.baseline.windows_per_sec)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Renders every answer set of a reasoner output, one per line — the
+/// canonical form for byte-identity checks between engine and baseline.
+pub fn render_output(syms: &Symbols, out: &ReasonerOutput) -> String {
+    let mut s = String::new();
+    for ans in &out.answers {
+        let _ = writeln!(s, "{}", ans.display(syms));
+    }
+    s
+}
+
+/// True when the engine's ordered outputs render byte-identically to the
+/// baseline's rendered answers (an errored window never matches).
+pub fn outputs_match(syms: &Symbols, outputs: &[EngineOutput], expected: &[String]) -> bool {
+    outputs.len() == expected.len()
+        && outputs.iter().zip(expected).all(|(out, expected)| {
+            out.result.as_ref().map(|o| render_output(syms, o)).as_deref() == Ok(expected)
+        })
+}
+
+/// Runs `reasoner` over `windows` strictly window-at-a-time, returning the
+/// baseline throughput statistics (in the engine's stats shape) plus each
+/// window's rendered answers for identity checks.
+pub fn sequential_baseline(
+    syms: &Symbols,
+    reasoner: &mut dyn Reasoner,
+    windows: &[Window],
+) -> Result<(EngineStats, Vec<String>), AspError> {
+    let mut rendered = Vec::with_capacity(windows.len());
+    let mut latencies = Vec::with_capacity(windows.len());
+    let items_total: u64 = windows.iter().map(|w| w.len() as u64).sum();
+    let t0 = Instant::now();
+    for window in windows {
+        let t = Instant::now();
+        let out = reasoner.process(window)?;
+        latencies.push(duration_ms(t.elapsed()));
+        rendered.push(render_output(syms, &out));
+    }
+    let elapsed = t0.elapsed();
+    let stats = EngineStats {
+        windows: windows.len() as u64,
+        errors: 0,
+        items: items_total,
+        elapsed_ms: duration_ms(elapsed),
+        windows_per_sec: windows.len() as f64 / elapsed.as_secs_f64(),
+        items_per_sec: items_total as f64 / elapsed.as_secs_f64(),
+        latency: LatencyStats::from_samples(&latencies),
+    };
+    Ok((stats, rendered))
+}
+
+/// Runs the sweep: one sequential baseline pass, then one pipelined engine
+/// pass per `in_flight` value, each verified against the baseline's ordered
+/// rendered output.
+pub fn run_throughput(config: &ThroughputConfig) -> Result<ThroughputResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let reasoner_cfg = ReasonerConfig::default();
+
+    // The whole stream is pre-generated so every run sees identical windows.
+    let mut generator = paper_generator(config.generator, config.seed);
+    let windows: Vec<Window> = (0..config.windows)
+        .map(|i| Window::new(i as u64, generator.window(config.window_size)))
+        .collect();
+
+    // Window-at-a-time baseline: PR_Dep, strictly sequential stream order.
+    let mut baseline_reasoner = ParallelReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        reasoner_cfg.clone(),
+    )?;
+    let (baseline, baseline_rendered) =
+        sequential_baseline(&syms, &mut baseline_reasoner, &windows)?;
+
+    // Pipelined engine sweep: lanes share one worker pool sized so each
+    // in-flight window can still fan out over its partitions.
+    let mut runs = Vec::new();
+    for &in_flight in &config.in_flight {
+        let mut engine = StreamEngine::with_partitioned_lanes(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            reasoner_cfg.clone(),
+            EngineConfig { in_flight, queue_depth: in_flight },
+        )?;
+        for window in &windows {
+            engine.submit(window.clone())?;
+        }
+        let report = engine.finish();
+        let output_identical = outputs_match(&syms, &report.outputs, &baseline_rendered);
+        runs.push(ThroughputRun { in_flight, stats: report.stats, output_identical });
+    }
+
+    Ok(ThroughputResult {
+        window_size: config.window_size,
+        windows: config.windows,
+        baseline,
+        runs,
+    })
+}
+
+/// Renders the result as the `BENCH_throughput.json` document.
+pub fn throughput_json(result: &ThroughputResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"baseline\": {},", result.baseline.to_json());
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, run) in result.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"in_flight\": {}, \"ordered_output_identical\": {}, \"stats\": {}}}{}",
+            run.in_flight,
+            run.output_identical,
+            run.stats.to_json(),
+            if i + 1 < result.runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"best_speedup_windows_per_sec\": {:.4}", result.best_speedup());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::PROGRAM_P;
+
+    #[test]
+    fn quick_sweep_is_ordered_and_identical_to_baseline() {
+        let cfg = ThroughputConfig {
+            window_size: 200,
+            windows: 4,
+            in_flight: vec![1, 2],
+            ..ThroughputConfig::quick(PROGRAM_P)
+        };
+        let result = run_throughput(&cfg).unwrap();
+        assert_eq!(result.runs.len(), 2);
+        for run in &result.runs {
+            assert!(run.output_identical, "in_flight={} diverged", run.in_flight);
+            assert_eq!(run.stats.windows, 4);
+            assert_eq!(run.stats.errors, 0);
+        }
+        assert!(result.baseline.windows_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let cfg = ThroughputConfig {
+            window_size: 100,
+            windows: 2,
+            in_flight: vec![2],
+            ..ThroughputConfig::quick(PROGRAM_P)
+        };
+        let result = run_throughput(&cfg).unwrap();
+        let json = throughput_json(&result);
+        assert!(json.contains("\"baseline\":"));
+        assert!(json.contains("\"in_flight\": 2"));
+        assert!(json.contains("\"ordered_output_identical\": true"));
+        assert!(json.contains("\"best_speedup_windows_per_sec\":"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

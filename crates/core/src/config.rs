@@ -85,6 +85,9 @@ pub struct ReasonerConfig {
     pub max_combined: usize,
     /// Scheduling mode.
     pub mode: ParallelMode,
+    /// Worker threads in the shared partition pool (Threads mode only);
+    /// `0` sizes the pool to one worker per partition.
+    pub workers: usize,
     /// Unknown-predicate routing.
     pub unknown: UnknownPredicate,
     /// Combining semantics.
@@ -97,6 +100,7 @@ impl Default for ReasonerConfig {
             max_models: 0,
             max_combined: 64,
             mode: ParallelMode::Threads,
+            workers: 0,
             unknown: UnknownPredicate::Partition0,
             combine: CombinePolicy::Strict,
         }

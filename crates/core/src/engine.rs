@@ -1,0 +1,485 @@
+//! Pipelined stream engine: multiple windows in flight.
+//!
+//! [`StreamRulePipeline`](crate::pipeline::StreamRulePipeline) processes the
+//! stream strictly one window at a time, so end-to-end throughput is bounded
+//! by single-window latency. The [`StreamEngine`] instead keeps a bounded
+//! number of windows in flight across parallel *lanes* (each lane owns one
+//! [`Reasoner`] backend), applies backpressure on [`StreamEngine::submit`]
+//! when the bound is reached, reorders finished windows by submission
+//! sequence so emission stays deterministic, and reports throughput
+//! statistics (windows/s, items/s, p50/p95/p99 latency) on
+//! [`StreamEngine::finish`].
+
+use crate::config::ReasonerConfig;
+use crate::metrics::{duration_ms, LatencyStats};
+use crate::parallel::{reasoner_pool, ParallelReasoner};
+use crate::partition::Partitioner;
+use crate::reasoner::{Reasoner, ReasonerOutput};
+use asp_core::{AspError, Predicate, Program, Symbols};
+use asp_solver::SolverConfig;
+use serde::{Deserialize, Serialize};
+use sr_stream::{StreamItem, Window, Windower};
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of lanes — windows reasoned over concurrently. `1` degenerates
+    /// to pipelined-but-serial processing.
+    pub in_flight: usize,
+    /// Extra submitted-but-unclaimed windows buffered before
+    /// [`StreamEngine::submit`] blocks (backpressure). Total windows admitted
+    /// at once is `in_flight + queue_depth`.
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { in_flight: 2, queue_depth: 2 }
+    }
+}
+
+/// One finished window, emitted in submission order.
+#[derive(Debug)]
+pub struct EngineOutput {
+    /// Submission sequence number (0, 1, 2, ... — the emission order).
+    pub seq: u64,
+    /// The window's own id.
+    pub window_id: u64,
+    /// Items the window contained.
+    pub items: usize,
+    /// Wall-clock reasoning latency inside the lane.
+    pub latency: Duration,
+    /// The reasoner's output, or the error/panic it produced.
+    pub result: Result<ReasonerOutput, AspError>,
+}
+
+/// Throughput report of one engine run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Windows that finished (including errored ones).
+    pub windows: u64,
+    /// Windows whose reasoner returned an error (or panicked).
+    pub errors: u64,
+    /// Total stream items across finished windows.
+    pub items: u64,
+    /// Wall clock from first submission to last completion.
+    pub elapsed_ms: f64,
+    /// Sustained windows per second.
+    pub windows_per_sec: f64,
+    /// Sustained items per second.
+    pub items_per_sec: f64,
+    /// Per-window reasoning latency distribution.
+    pub latency: LatencyStats,
+}
+
+impl EngineStats {
+    /// Renders the report as a JSON object (hand-rolled; the workspace has
+    /// no JSON serializer dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"windows\": {}, \"errors\": {}, \"items\": {}, \"elapsed_ms\": {:.4}, \
+             \"windows_per_sec\": {:.4}, \"items_per_sec\": {:.4}, \"latency\": {}}}",
+            self.windows,
+            self.errors,
+            self.items,
+            self.elapsed_ms,
+            self.windows_per_sec,
+            self.items_per_sec,
+            self.latency.to_json()
+        )
+    }
+}
+
+/// Final report returned by [`StreamEngine::finish`].
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Ordered outputs not already drained via [`StreamEngine::poll_output`].
+    pub outputs: Vec<EngineOutput>,
+    /// Throughput statistics over *all* windows the engine processed.
+    pub stats: EngineStats,
+}
+
+struct LaneResult {
+    seq: u64,
+    output: EngineOutput,
+}
+
+#[derive(Default)]
+struct StatsAcc {
+    latencies_ms: Vec<f64>,
+    windows: u64,
+    errors: u64,
+    items: u64,
+    last_done: Option<Instant>,
+}
+
+/// The pipelined engine. See the module docs for the execution model.
+pub struct StreamEngine {
+    input: Option<SyncSender<(u64, Window)>>,
+    output: Receiver<EngineOutput>,
+    lanes: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<StatsAcc>>,
+    submitted: u64,
+    started: Option<Instant>,
+}
+
+impl StreamEngine {
+    /// Spawns `config.in_flight` lanes; `factory(lane_idx)` builds each
+    /// lane's reasoner backend (errors surface here, before any thread
+    /// starts).
+    pub fn new(
+        config: EngineConfig,
+        mut factory: impl FnMut(usize) -> Result<Box<dyn Reasoner>, AspError>,
+    ) -> Result<Self, AspError> {
+        let lanes_n = config.in_flight.max(1);
+        let mut reasoners = Vec::with_capacity(lanes_n);
+        for i in 0..lanes_n {
+            reasoners.push(factory(i)?);
+        }
+
+        let (input_tx, input_rx) = sync_channel::<(u64, Window)>(config.queue_depth);
+        let input_rx = Arc::new(Mutex::new(input_rx));
+        let (result_tx, result_rx) = channel::<LaneResult>();
+        let (output_tx, output_rx) = channel::<EngineOutput>();
+        let stats = Arc::new(Mutex::new(StatsAcc::default()));
+
+        let mut lanes = Vec::with_capacity(lanes_n);
+        for (i, mut reasoner) in reasoners.into_iter().enumerate() {
+            let input_rx = Arc::clone(&input_rx);
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("engine-lane-{i}"))
+                .spawn(move || loop {
+                    // Holding the lock while blocked on `recv` is the
+                    // hand-off: exactly one idle lane waits for the next
+                    // window, the rest queue on the mutex.
+                    let next = {
+                        let rx = input_rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        rx.recv()
+                    };
+                    let Ok((seq, window)) = next else { return };
+                    let t0 = Instant::now();
+                    let result =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| reasoner.process(&window)))
+                            .unwrap_or_else(|_| {
+                                Err(AspError::Internal("engine lane reasoner panicked".into()))
+                            });
+                    let output = EngineOutput {
+                        seq,
+                        window_id: window.id,
+                        items: window.len(),
+                        latency: t0.elapsed(),
+                        result,
+                    };
+                    if result_tx.send(LaneResult { seq, output }).is_err() {
+                        return; // collector gone: shutting down
+                    }
+                })
+                .map_err(|e| AspError::Internal(format!("cannot spawn engine lane: {e}")))?;
+            lanes.push(handle);
+        }
+        drop(result_tx);
+
+        // The collector reorders lane results by submission sequence and
+        // emits them in order, accumulating throughput stats as it goes.
+        let stats_acc = Arc::clone(&stats);
+        let collector = std::thread::Builder::new()
+            .name("engine-collector".into())
+            .spawn(move || {
+                let mut pending: BTreeMap<u64, EngineOutput> = BTreeMap::new();
+                let mut next_seq = 0u64;
+                while let Ok(LaneResult { seq, output }) = result_rx.recv() {
+                    {
+                        let mut acc = stats_acc.lock().unwrap_or_else(PoisonError::into_inner);
+                        acc.windows += 1;
+                        acc.items += output.items as u64;
+                        acc.errors += u64::from(output.result.is_err());
+                        acc.latencies_ms.push(duration_ms(output.latency));
+                        acc.last_done = Some(Instant::now());
+                    }
+                    pending.insert(seq, output);
+                    while let Some(ready) = pending.remove(&next_seq) {
+                        next_seq += 1;
+                        // The consumer may have stopped listening; keep
+                        // draining so lanes never block on a full channel.
+                        let _ = output_tx.send(ready);
+                    }
+                }
+            })
+            .map_err(|e| AspError::Internal(format!("cannot spawn engine collector: {e}")))?;
+
+        Ok(StreamEngine {
+            input: Some(input_tx),
+            output: output_rx,
+            lanes,
+            collector: Some(collector),
+            stats,
+            submitted: 0,
+            started: None,
+        })
+    }
+
+    /// Convenience: an engine whose lanes are [`ParallelReasoner`]s sharing
+    /// one worker pool sized `partitions × in_flight`, so every in-flight
+    /// window can fan out over its partitions concurrently. This is the
+    /// standard construction for pipelined `PR` streaming (used by both the
+    /// bench harness and the CLI).
+    pub fn with_partitioned_lanes(
+        syms: &Symbols,
+        program: &Program,
+        inpre: Option<&[Predicate]>,
+        partitioner: Arc<dyn Partitioner>,
+        reasoner_cfg: ReasonerConfig,
+        config: EngineConfig,
+    ) -> Result<Self, AspError> {
+        let workers = partitioner.partitions().max(1) * config.in_flight.max(1);
+        let solver = SolverConfig { max_models: reasoner_cfg.max_models, ..Default::default() };
+        let pool = Arc::new(reasoner_pool(syms, program, inpre, &solver, workers)?);
+        StreamEngine::new(config, |_lane| {
+            Ok(Box::new(ParallelReasoner::with_pool(
+                syms,
+                partitioner.clone(),
+                reasoner_cfg.clone(),
+                pool.clone(),
+            )) as Box<dyn Reasoner>)
+        })
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Windows submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Submits one window; blocks when `in_flight + queue_depth` windows are
+    /// already admitted (backpressure).
+    pub fn submit(&mut self, window: Window) -> Result<(), AspError> {
+        let input =
+            self.input.as_ref().ok_or_else(|| AspError::Internal("engine already shut".into()))?;
+        self.started.get_or_insert_with(Instant::now);
+        let seq = self.submitted;
+        input.send((seq, window)).map_err(|_| AspError::Internal("engine input closed".into()))?;
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Pumps timestamped items through `windower`, submitting every window it
+    /// closes, then flushes the tail. Returns the number of windows
+    /// submitted. Any [`Windower`] feeds the engine this way.
+    pub fn pump(
+        &mut self,
+        items: impl IntoIterator<Item = StreamItem>,
+        windower: &mut dyn Windower,
+    ) -> Result<u64, AspError> {
+        let mut submitted = 0;
+        for item in items {
+            if let Some(window) = windower.feed(item) {
+                self.submit(window)?;
+                submitted += 1;
+            }
+        }
+        if let Some(window) = windower.flush() {
+            self.submit(window)?;
+            submitted += 1;
+        }
+        Ok(submitted)
+    }
+
+    /// Non-blocking: the next finished window in submission order, if one is
+    /// ready. Windows drained here do not reappear in the final report's
+    /// `outputs` (they still count toward its `stats`).
+    pub fn poll_output(&mut self) -> Option<EngineOutput> {
+        self.output.try_recv().ok()
+    }
+
+    /// Graceful shutdown: closes the input, waits for every in-flight window
+    /// to finish, joins all threads and returns the remaining ordered
+    /// outputs plus the run's throughput statistics.
+    pub fn finish(mut self) -> EngineReport {
+        self.input = None; // closing the channel ends the lanes
+        let mut outputs = Vec::new();
+        while let Ok(out) = self.output.recv() {
+            outputs.push(out);
+        }
+        for lane in self.lanes.drain(..) {
+            let _ = lane.join();
+        }
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+        let acc = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let elapsed = match (self.started, acc.last_done) {
+            (Some(t0), Some(t1)) => t1.saturating_duration_since(t0),
+            _ => Duration::ZERO,
+        };
+        let elapsed_s = elapsed.as_secs_f64();
+        let stats = EngineStats {
+            windows: acc.windows,
+            errors: acc.errors,
+            items: acc.items,
+            elapsed_ms: duration_ms(elapsed),
+            windows_per_sec: if elapsed_s > 0.0 { acc.windows as f64 / elapsed_s } else { 0.0 },
+            items_per_sec: if elapsed_s > 0.0 { acc.items as f64 / elapsed_s } else { 0.0 },
+            latency: LatencyStats::from_samples(&acc.latencies_ms),
+        };
+        EngineReport { outputs, stats }
+    }
+}
+
+impl Drop for StreamEngine {
+    fn drop(&mut self) {
+        self.input = None;
+        for lane in self.lanes.drain(..) {
+            let _ = lane.join();
+        }
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reasoner::Timing;
+    use asp_solver::SolveStats;
+
+    /// A fake backend that reverses nothing but records and sleeps: lets the
+    /// tests exercise ordering without a full ASP stack.
+    struct FakeReasoner {
+        lane: usize,
+        delay: Duration,
+        panic_on_window: Option<u64>,
+    }
+
+    impl Reasoner for FakeReasoner {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+
+        fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+            if self.panic_on_window == Some(window.id) {
+                panic!("lane {} poisoned by window {}", self.lane, window.id);
+            }
+            // Earlier windows sleep longer, forcing out-of-order completion.
+            let scale = 5u64.saturating_sub(window.id.min(5));
+            std::thread::sleep(self.delay * scale as u32);
+            Ok(ReasonerOutput {
+                answers: Vec::new(),
+                timing: Timing::default(),
+                partition_sizes: vec![window.len()],
+                unsat_partitions: 0,
+                solve_stats: SolveStats::default(),
+            })
+        }
+    }
+
+    fn fake_factory(
+        delay_ms: u64,
+        panic_on_window: Option<u64>,
+    ) -> impl FnMut(usize) -> Result<Box<dyn Reasoner>, AspError> {
+        move |lane| {
+            Ok(Box::new(FakeReasoner {
+                lane,
+                delay: Duration::from_millis(delay_ms),
+                panic_on_window,
+            }) as Box<dyn Reasoner>)
+        }
+    }
+
+    fn windows(n: u64) -> Vec<Window> {
+        (0..n).map(|i| Window::new(i, Vec::new())).collect()
+    }
+
+    #[test]
+    fn outputs_are_reordered_by_submission_sequence() {
+        let cfg = EngineConfig { in_flight: 3, queue_depth: 3 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(2, None)).unwrap();
+        for w in windows(6) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        let seqs: Vec<u64> = report.outputs.iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        let ids: Vec<u64> = report.outputs.iter().map(|o| o.window_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(report.stats.windows, 6);
+        assert_eq!(report.stats.errors, 0);
+        assert_eq!(report.stats.latency.count, 6);
+        assert!(report.stats.windows_per_sec > 0.0);
+    }
+
+    #[test]
+    fn lane_panic_surfaces_as_error_and_engine_continues() {
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 1 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(0, Some(1))).unwrap();
+        for w in windows(4) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outputs.len(), 4);
+        assert!(report.outputs[1].result.is_err(), "window 1 panicked");
+        assert!(report.outputs[3].result.is_ok(), "later windows still flow");
+        assert_eq!(report.stats.errors, 1);
+    }
+
+    #[test]
+    fn poll_output_drains_in_order_and_report_keeps_the_rest() {
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 2 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(1, None)).unwrap();
+        for w in windows(4) {
+            engine.submit(w).unwrap();
+        }
+        // Busy-wait briefly for the first ordered output.
+        let mut first = None;
+        for _ in 0..2_000 {
+            if let Some(out) = engine.poll_output() {
+                first = Some(out);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let first = first.expect("an output arrives");
+        assert_eq!(first.seq, 0);
+        let report = engine.finish();
+        assert_eq!(report.stats.windows, 4, "stats cover drained outputs too");
+        assert_eq!(report.outputs.first().map(|o| o.seq), Some(1));
+    }
+
+    #[test]
+    fn dropping_the_engine_mid_flight_shuts_down_cleanly() {
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 1 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(1, None)).unwrap();
+        for w in windows(3) {
+            engine.submit(w).unwrap();
+        }
+        drop(engine); // must not hang or leak panics
+    }
+
+    #[test]
+    fn single_lane_engine_still_pipelines_ids() {
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 0 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(0, None)).unwrap();
+        for w in windows(3) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outputs.len(), 3);
+        assert_eq!(engine_seqs(&report), vec![0, 1, 2]);
+    }
+
+    fn engine_seqs(report: &EngineReport) -> Vec<u64> {
+        report.outputs.iter().map(|o| o.seq).collect()
+    }
+}

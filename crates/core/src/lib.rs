@@ -18,8 +18,11 @@ pub mod atom_level;
 pub mod combine;
 pub mod config;
 pub mod decompose;
+pub mod engine;
+pub mod exec;
 pub mod extended;
 pub mod input_graph;
+pub mod metrics;
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
@@ -35,10 +38,13 @@ pub use config::{
     UnknownPredicate,
 };
 pub use decompose::{decompose, to_plan, Decomposition, DecompositionMethod};
+pub use engine::{EngineConfig, EngineOutput, EngineReport, EngineStats, StreamEngine};
+pub use exec::{BatchHandle, JobPanicked, JobTag, WorkerPool};
 pub use extended::ExtendedDepGraph;
 pub use input_graph::InputDepGraph;
-pub use parallel::ParallelReasoner;
+pub use metrics::{duration_ms, percentile, LatencyStats};
+pub use parallel::{reasoner_pool, ParallelReasoner, ReasonerPool};
 pub use partition::{Partitioner, PlanPartitioner, RandomPartitioner};
-pub use pipeline::{AnyReasoner, PipelineOutput, StreamRulePipeline};
+pub use pipeline::{PipelineOutput, StreamRulePipeline};
 pub use plan::PartitioningPlan;
-pub use reasoner::{ReasonerOutput, SingleReasoner, Timing};
+pub use reasoner::{Reasoner, ReasonerOutput, SingleReasoner, Timing};

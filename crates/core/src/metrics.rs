@@ -1,0 +1,124 @@
+//! Shared timing/metrics helpers: millisecond conversion, percentile
+//! estimation and the latency/throughput summaries reported by the
+//! [`StreamEngine`](crate::engine::StreamEngine) and the bench harness.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A duration in fractional milliseconds (the unit of every figure).
+pub fn duration_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an **unsorted** sample set.
+/// Returns `NaN` on an empty slice.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    rank_of(&sorted, q)
+}
+
+/// Nearest-rank lookup on an already-sorted non-empty slice.
+fn rank_of(sorted: &[f64], q: f64) -> f64 {
+    sorted[(q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize]
+}
+
+/// Latency distribution summary (milliseconds) over a set of samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (p50).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Smallest sample.
+    pub min_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes `samples` (milliseconds). Zeroed stats on an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        LatencyStats {
+            count: sorted.len(),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: rank_of(&sorted, 0.50),
+            p95_ms: rank_of(&sorted, 0.95),
+            p99_ms: rank_of(&sorted, 0.99),
+            min_ms: sorted[0],
+            max_ms: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Renders the summary as a JSON object (the workspace has no JSON
+    /// serializer dependency; this hand-rolled form is what
+    /// `BENCH_throughput.json` embeds).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"min_ms\": {:.4}, \"max_ms\": {:.4}}}",
+            self.count,
+            self.mean_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.min_ms,
+            self.max_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_ms_converts() {
+        assert_eq!(duration_ms(Duration::from_millis(1500)), 1500.0);
+        assert_eq!(duration_ms(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&xs, 0.5), 51.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn latency_stats_summarize() {
+        let xs = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        let s = LatencyStats::from_samples(&xs);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean_ms, 3.0);
+        assert_eq!(s.p50_ms, 3.0);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 5.0);
+        assert!(s.p95_ms >= s.p50_ms);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed_and_json_renders() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        let json = LatencyStats::from_samples(&[2.0]).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"p99_ms\": 2.0000"));
+    }
+}

@@ -2,31 +2,52 @@
 //! partitioning handler → parallel copies of the reasoner `R` (each with its
 //! own data-format processor, per the architecture diagram) → combining
 //! handler.
+//!
+//! Partition jobs run on a shared [`WorkerPool`] (see [`crate::exec`])
+//! instead of one dedicated thread per partition: the pool size is
+//! configurable via [`ReasonerConfig::workers`], results come back through
+//! reusable batch slots rather than a per-call reply channel, and the same
+//! pool can be shared by several `ParallelReasoner` instances (one per
+//! engine lane) via [`ParallelReasoner::with_pool`].
 
 use crate::combine::combine;
 use crate::config::{ParallelMode, ReasonerConfig};
+use crate::exec::{WorkerFn, WorkerPool};
 use crate::partition::Partitioner;
-use crate::reasoner::{merge_stats, ReasonerOutput, SingleReasoner, Timing};
+use crate::reasoner::{merge_stats, Reasoner, ReasonerOutput, SingleReasoner, Timing};
 use asp_core::{AnswerSet, AspError, Predicate, Program, Symbols};
 use asp_solver::{SolveStats, SolverConfig};
-use crossbeam::channel::{unbounded, Sender};
 use sr_rdf::Triple;
 use sr_stream::Window;
-use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-type PartResult = (usize, Result<(Vec<AnswerSet>, Timing, SolveStats), AspError>);
+/// Result of reasoning over one partition's items.
+pub type PartOutcome = Result<(Vec<AnswerSet>, Timing, SolveStats), AspError>;
 
-struct Job {
-    items: Vec<Triple>,
-    reply: Sender<PartResult>,
-}
+/// A shared pool of reasoner workers: each worker owns one [`SingleReasoner`]
+/// copy and serves partition jobs from any window in flight.
+pub type ReasonerPool = WorkerPool<Vec<Triple>, PartOutcome>;
 
-struct Worker {
-    sender: Sender<Job>,
-    handle: Option<JoinHandle<()>>,
+/// Builds a [`ReasonerPool`] of `workers` reasoner copies over `program`.
+/// Wrap it in an `Arc` to share one pool across several
+/// [`ParallelReasoner`]s (e.g. the lanes of a
+/// [`StreamEngine`](crate::engine::StreamEngine)).
+pub fn reasoner_pool(
+    syms: &Symbols,
+    program: &Program,
+    inpre: Option<&[Predicate]>,
+    solver: &SolverConfig,
+    workers: usize,
+) -> Result<ReasonerPool, AspError> {
+    let mut fns: Vec<WorkerFn<Vec<Triple>, PartOutcome>> = Vec::with_capacity(workers.max(1));
+    for _ in 0..workers.max(1) {
+        // Build the reasoner up front so construction errors surface here,
+        // not inside the worker thread.
+        let mut reasoner = SingleReasoner::new(syms, program, inpre, solver.clone())?;
+        fns.push(Box::new(move |_tag, items: Vec<Triple>| reasoner.process_items(&items)));
+    }
+    WorkerPool::new("pr-worker", fns)
 }
 
 /// The parallel reasoner.
@@ -34,14 +55,16 @@ pub struct ParallelReasoner {
     syms: Symbols,
     partitioner: Arc<dyn Partitioner>,
     config: ReasonerConfig,
-    /// Threads mode: one worker per partition.
-    workers: Vec<Worker>,
+    /// Threads mode: the (possibly shared) worker pool.
+    pool: Option<Arc<ReasonerPool>>,
     /// Sequential mode: one reasoner per partition, run in the caller.
     sequential: Vec<SingleReasoner>,
 }
 
 impl ParallelReasoner {
-    /// Builds PR: `partitioner.partitions()` reasoner copies over `program`.
+    /// Builds PR with its own worker pool sized by
+    /// [`ReasonerConfig::workers`] (`0` = one worker per partition, the
+    /// paper's Figure 6 degree of parallelism).
     pub fn new(
         syms: &Symbols,
         program: &Program,
@@ -51,48 +74,51 @@ impl ParallelReasoner {
     ) -> Result<Self, AspError> {
         let n = partitioner.partitions().max(1);
         let solver = SolverConfig { max_models: config.max_models, ..Default::default() };
-        let mut workers = Vec::new();
-        let mut sequential = Vec::new();
         match config.mode {
             ParallelMode::Threads => {
-                for i in 0..n {
-                    // Build the reasoner up front so construction errors
-                    // surface here, not inside the thread.
-                    let mut reasoner = SingleReasoner::new(syms, program, inpre, solver.clone())?;
-                    let (tx, rx) = unbounded::<Job>();
-                    let handle = std::thread::Builder::new()
-                        .name(format!("pr-worker-{i}"))
-                        .spawn(move || {
-                            while let Ok(job) = rx.recv() {
-                                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                    reasoner.process_items(&job.items)
-                                }));
-                                let result = match outcome {
-                                    Ok(r) => r,
-                                    Err(_) => Err(AspError::Internal(
-                                        "parallel reasoner worker panicked".into(),
-                                    )),
-                                };
-                                // Receiver may have timed out; ignore.
-                                let _ = job.reply.send((i, result));
-                            }
-                        })
-                        .map_err(|e| AspError::Internal(format!("cannot spawn worker: {e}")))?;
-                    workers.push(Worker { sender: tx, handle: Some(handle) });
-                }
+                let workers = if config.workers == 0 { n } else { config.workers };
+                let pool = Arc::new(reasoner_pool(syms, program, inpre, &solver, workers)?);
+                Ok(Self::assemble(syms, partitioner, config, Some(pool), Vec::new()))
             }
             ParallelMode::Sequential => {
+                let mut sequential = Vec::with_capacity(n);
                 for _ in 0..n {
                     sequential.push(SingleReasoner::new(syms, program, inpre, solver.clone())?);
                 }
+                Ok(Self::assemble(syms, partitioner, config, None, sequential))
             }
         }
-        Ok(ParallelReasoner { syms: syms.clone(), partitioner, config, workers, sequential })
+    }
+
+    /// Builds PR on top of an existing shared pool (Threads semantics). The
+    /// pool's workers must have been built for the same program/signature.
+    pub fn with_pool(
+        syms: &Symbols,
+        partitioner: Arc<dyn Partitioner>,
+        config: ReasonerConfig,
+        pool: Arc<ReasonerPool>,
+    ) -> Self {
+        Self::assemble(syms, partitioner, config, Some(pool), Vec::new())
+    }
+
+    fn assemble(
+        syms: &Symbols,
+        partitioner: Arc<dyn Partitioner>,
+        config: ReasonerConfig,
+        pool: Option<Arc<ReasonerPool>>,
+        sequential: Vec<SingleReasoner>,
+    ) -> Self {
+        ParallelReasoner { syms: syms.clone(), partitioner, config, pool, sequential }
     }
 
     /// Number of parallel partitions.
     pub fn partitions(&self) -> usize {
         self.partitioner.partitions()
+    }
+
+    /// Worker threads backing the Threads mode (0 in Sequential mode).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.workers())
     }
 
     /// Processes one window: partition → parallel reason → combine.
@@ -107,30 +133,20 @@ impl ParallelReasoner {
         let mut stats = SolveStats::default();
         let mut critical = Timing::default();
 
-        match self.config.mode {
-            ParallelMode::Threads => {
-                let (reply_tx, reply_rx) = unbounded::<PartResult>();
-                let mut outstanding = 0usize;
-                for (i, items) in parts.into_iter().enumerate() {
-                    let worker = &self.workers[i % self.workers.len()];
-                    worker
-                        .sender
-                        .send(Job { items, reply: reply_tx.clone() })
-                        .map_err(|_| AspError::Internal("worker channel closed".into()))?;
-                    outstanding += 1;
-                }
-                drop(reply_tx);
-                for _ in 0..outstanding {
-                    let (idx, result) = reply_rx
-                        .recv()
-                        .map_err(|_| AspError::Internal("worker reply channel closed".into()))?;
+        match &self.pool {
+            Some(pool) => {
+                let batch = pool.submit(window.id, parts);
+                for (idx, outcome) in batch.wait().into_iter().enumerate() {
+                    let result = outcome.map_err(|_| {
+                        AspError::Internal("parallel reasoner worker panicked".into())
+                    })?;
                     let (answers, timing, s) = result?;
                     per_partition[idx] = answers;
                     stats = merge_stats(stats, s);
                     critical = max_timing(critical, timing);
                 }
             }
-            ParallelMode::Sequential => {
+            None => {
                 let n_reasoners = self.sequential.len();
                 for (i, items) in parts.into_iter().enumerate() {
                     let reasoner = &mut self.sequential[i % n_reasoners];
@@ -165,16 +181,17 @@ impl ParallelReasoner {
     }
 }
 
-impl Drop for ParallelReasoner {
-    fn drop(&mut self) {
-        for w in &mut self.workers {
-            // Closing the channel ends the worker loop.
-            let (dead_tx, _) = unbounded::<Job>();
-            let _ = std::mem::replace(&mut w.sender, dead_tx);
-            if let Some(h) = w.handle.take() {
-                let _ = h.join();
-            }
-        }
+impl Reasoner for ParallelReasoner {
+    fn name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn partitions(&self) -> usize {
+        ParallelReasoner::partitions(self)
+    }
+
+    fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+        ParallelReasoner::process(self, window)
     }
 }
 
@@ -198,11 +215,6 @@ fn sum_timing(a: Timing, b: Timing) -> Timing {
         solve: a.solve + b.solve,
         combine: a.combine + b.combine,
     }
-}
-
-/// A zero-duration helper used in tests and reports.
-pub fn duration_ms(d: Duration) -> f64 {
-    d.as_secs_f64() * 1e3
 }
 
 #[cfg(test)]
@@ -339,6 +351,47 @@ mod tests {
         let out = pr.process(&motivating_window()).unwrap();
         assert!(out.timing.total >= out.timing.partition);
         assert!(out.timing.total >= out.timing.combine);
+    }
+
+    #[test]
+    fn undersized_pool_still_processes_every_partition() {
+        let syms = Symbols::new();
+        let program = parse_program(&syms, PROGRAM_P).unwrap();
+        let partitioner =
+            Arc::new(PlanPartitioner::new(paper_plan(), UnknownPredicate::Partition0));
+        let config = ReasonerConfig { workers: 1, ..Default::default() };
+        let mut pr = ParallelReasoner::new(&syms, &program, None, partitioner, config).unwrap();
+        assert_eq!(pr.workers(), 1, "pool smaller than the 2 partitions");
+        let out = pr.process(&motivating_window()).unwrap();
+        assert_eq!(out.partition_sizes, vec![3, 3]);
+        let rendered = out.answers[0].display(&syms).to_string();
+        assert!(rendered.contains("car_fire(dangan)"));
+    }
+
+    #[test]
+    fn one_pool_shared_by_two_reasoners() {
+        use crate::parallel::reasoner_pool;
+        use asp_solver::SolverConfig;
+
+        let syms = Symbols::new();
+        let program = parse_program(&syms, PROGRAM_P).unwrap();
+        let pool =
+            Arc::new(reasoner_pool(&syms, &program, None, &SolverConfig::default(), 2).unwrap());
+        let partitioner =
+            Arc::new(PlanPartitioner::new(paper_plan(), UnknownPredicate::Partition0));
+        let mut a = ParallelReasoner::with_pool(
+            &syms,
+            partitioner.clone(),
+            ReasonerConfig::default(),
+            pool.clone(),
+        );
+        let mut b =
+            ParallelReasoner::with_pool(&syms, partitioner, ReasonerConfig::default(), pool);
+        let out_a = a.process(&motivating_window()).unwrap();
+        let out_b = b.process(&motivating_window()).unwrap();
+        let render = |o: &ReasonerOutput| o.answers[0].display(&syms).to_string();
+        assert_eq!(render(&out_a), render(&out_b));
+        assert_eq!(a.workers(), 2);
     }
 
     #[test]

@@ -6,30 +6,12 @@ use crate::analysis::DependencyAnalysis;
 use crate::config::{AnalysisConfig, ReasonerConfig};
 use crate::parallel::ParallelReasoner;
 use crate::partition::{PlanPartitioner, RandomPartitioner};
-use crate::reasoner::{ReasonerOutput, SingleReasoner};
+use crate::reasoner::{Reasoner, ReasonerOutput, SingleReasoner};
 use asp_core::{AspError, Program, Symbols};
 use asp_solver::SolverConfig;
 use sr_rdf::{FormatConfig, FormatProcessor, Triple};
 use sr_stream::{QueryProcessor, Window};
 use std::sync::Arc;
-
-/// Either reasoner behind one interface.
-pub enum AnyReasoner {
-    /// The plain reasoner `R`.
-    Single(Box<SingleReasoner>),
-    /// The parallel reasoner `PR`.
-    Parallel(Box<ParallelReasoner>),
-}
-
-impl AnyReasoner {
-    /// Processes one window.
-    pub fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
-        match self {
-            AnyReasoner::Single(r) => r.process(window),
-            AnyReasoner::Parallel(r) => r.process(window),
-        }
-    }
-}
 
 /// Output of one pipeline step.
 #[derive(Clone, Debug)]
@@ -47,7 +29,7 @@ pub struct PipelineOutput {
 pub struct StreamRulePipeline {
     syms: Symbols,
     query: QueryProcessor,
-    reasoner: AnyReasoner,
+    reasoner: Box<dyn Reasoner>,
     back: FormatProcessor,
     emit_triples: bool,
     next_window: u64,
@@ -64,13 +46,13 @@ impl StreamRulePipeline {
         let analysis = DependencyAnalysis::analyze(syms, program, None, analysis_cfg)?;
         let partitioner =
             Arc::new(PlanPartitioner::new(analysis.plan.clone(), reasoner_cfg.unknown));
-        let reasoner = AnyReasoner::Parallel(Box::new(ParallelReasoner::new(
+        let reasoner = Box::new(ParallelReasoner::new(
             syms,
             program,
             Some(&analysis.inpre),
             partitioner,
             reasoner_cfg,
-        )?));
+        )?);
         Ok((Self::assemble(syms, program, reasoner), analysis))
     }
 
@@ -83,28 +65,23 @@ impl StreamRulePipeline {
         reasoner_cfg: ReasonerConfig,
     ) -> Result<Self, AspError> {
         let partitioner = Arc::new(RandomPartitioner::new(k, seed));
-        let reasoner = AnyReasoner::Parallel(Box::new(ParallelReasoner::new(
-            syms,
-            program,
-            None,
-            partitioner,
-            reasoner_cfg,
-        )?));
+        let reasoner =
+            Box::new(ParallelReasoner::new(syms, program, None, partitioner, reasoner_cfg)?);
         Ok(Self::assemble(syms, program, reasoner))
     }
 
     /// Pipeline with the single reasoner `R`.
     pub fn single(syms: &Symbols, program: &Program) -> Result<Self, AspError> {
-        let reasoner = AnyReasoner::Single(Box::new(SingleReasoner::new(
-            syms,
-            program,
-            None,
-            SolverConfig::default(),
-        )?));
+        let reasoner = Box::new(SingleReasoner::new(syms, program, None, SolverConfig::default())?);
         Ok(Self::assemble(syms, program, reasoner))
     }
 
-    fn assemble(syms: &Symbols, program: &Program, reasoner: AnyReasoner) -> Self {
+    /// Pipeline over any custom [`Reasoner`] backend.
+    pub fn with_reasoner(syms: &Symbols, program: &Program, reasoner: Box<dyn Reasoner>) -> Self {
+        Self::assemble(syms, program, reasoner)
+    }
+
+    fn assemble(syms: &Symbols, program: &Program, reasoner: Box<dyn Reasoner>) -> Self {
         let inpre = program.edb_predicates();
         StreamRulePipeline {
             syms: syms.clone(),

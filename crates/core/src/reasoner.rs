@@ -43,6 +43,35 @@ pub struct ReasonerOutput {
     pub solve_stats: SolveStats,
 }
 
+/// A pluggable reasoning backend: anything that can turn a window into
+/// answer sets. Implemented by [`SingleReasoner`] (the paper's `R`) and
+/// [`ParallelReasoner`](crate::parallel::ParallelReasoner) (the extended
+/// architecture's `PR`); the
+/// [`StreamRulePipeline`](crate::pipeline::StreamRulePipeline) and the
+/// [`StreamEngine`](crate::engine::StreamEngine) are generic over it.
+pub trait Reasoner: Send {
+    /// A short label for reports (`"R"`, `"PR"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of sub-windows the backend splits each window into.
+    fn partitions(&self) -> usize {
+        1
+    }
+
+    /// Processes one window end to end.
+    fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError>;
+}
+
+impl Reasoner for SingleReasoner {
+    fn name(&self) -> &'static str {
+        "R"
+    }
+
+    fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+        SingleReasoner::process(self, window)
+    }
+}
+
 /// The single (non-parallel) reasoner `R`.
 #[derive(Debug)]
 pub struct SingleReasoner {

@@ -39,6 +39,48 @@ impl Window {
     }
 }
 
+/// A windowing strategy over a timestamped stream. Unifies the three
+/// windowers ([`TupleWindower`], [`SlidingWindower`], [`TimeWindower`]) so
+/// sources can feed any consumer — e.g. a pipelined stream engine —
+/// generically. Count-based windowers simply ignore the timestamp.
+pub trait Windower: Send {
+    /// Feeds one timestamped item; returns a window when one closes.
+    fn feed(&mut self, item: StreamItem) -> Option<Window>;
+
+    /// Flushes the trailing partial window at end of stream, if any.
+    fn flush(&mut self) -> Option<Window>;
+}
+
+impl Windower for TupleWindower {
+    fn feed(&mut self, item: StreamItem) -> Option<Window> {
+        self.push(item.triple)
+    }
+
+    fn flush(&mut self) -> Option<Window> {
+        TupleWindower::flush(self)
+    }
+}
+
+impl Windower for SlidingWindower {
+    fn feed(&mut self, item: StreamItem) -> Option<Window> {
+        self.push(item.triple)
+    }
+
+    fn flush(&mut self) -> Option<Window> {
+        SlidingWindower::flush(self)
+    }
+}
+
+impl Windower for TimeWindower {
+    fn feed(&mut self, item: StreamItem) -> Option<Window> {
+        self.push(item)
+    }
+
+    fn flush(&mut self) -> Option<Window> {
+        TimeWindower::flush(self)
+    }
+}
+
 /// Tuple-based (count-based) windower: emits a window every `size` items —
 /// the windowing model used throughout the paper's evaluation.
 #[derive(Debug)]
@@ -125,6 +167,19 @@ impl SlidingWindower {
             None
         }
     }
+
+    /// Flushes the trailing window at stream end (API parity with
+    /// [`TupleWindower::flush`]/[`TimeWindower::flush`]): emits the current
+    /// buffer content if any arrivals have not been covered by an emission.
+    pub fn flush(&mut self) -> Option<Window> {
+        if self.since_emit == 0 || self.buffer.is_empty() {
+            return None;
+        }
+        self.since_emit = 0;
+        let w = Window::new(self.next_id, self.buffer.iter().cloned().collect());
+        self.next_id += 1;
+        Some(w)
+    }
 }
 
 /// Time-based windower: emits a window whenever the incoming item's
@@ -144,13 +199,18 @@ impl TimeWindower {
         TimeWindower { width_ms, next_id: 0, boundary_ms: width_ms, buffer: Vec::new() }
     }
 
-    /// Feeds one timestamped item.
+    /// Feeds one timestamped item. Crossing a boundary with an *empty*
+    /// buffer (first item already past the first boundary, or a long gap)
+    /// emits nothing: silent stretches advance the boundary without
+    /// producing spurious empty windows.
     pub fn push(&mut self, item: StreamItem) -> Option<Window> {
         let mut emitted = None;
         if item.timestamp_ms >= self.boundary_ms {
-            let items = std::mem::take(&mut self.buffer);
-            emitted = Some(Window::new(self.next_id, items));
-            self.next_id += 1;
+            if !self.buffer.is_empty() {
+                let items = std::mem::take(&mut self.buffer);
+                emitted = Some(Window::new(self.next_id, items));
+                self.next_id += 1;
+            }
             while item.timestamp_ms >= self.boundary_ms {
                 self.boundary_ms += self.width_ms;
             }
@@ -234,6 +294,61 @@ mod tests {
             let a = sliding.push(t(i));
             let b = tumbling.push(t(i));
             assert_eq!(a.map(|w| w.items), b.map(|w| w.items));
+        }
+    }
+
+    #[test]
+    fn time_window_first_item_past_boundary_emits_nothing() {
+        // Regression: the first item's timestamp already exceeds the first
+        // boundary — the old windower emitted a spurious *empty* window 0.
+        let mut w = TimeWindower::new(100);
+        assert!(w.push(StreamItem { triple: t(1), timestamp_ms: 450 }).is_none());
+        let tail = w.flush().expect("the item is buffered, not lost");
+        assert_eq!(tail.id, 0, "first real window keeps id 0");
+        assert_eq!(tail.items, vec![t(1)]);
+    }
+
+    #[test]
+    fn time_window_long_gap_emits_no_empty_windows() {
+        let mut w = TimeWindower::new(100);
+        assert!(w.push(StreamItem { triple: t(1), timestamp_ms: 10 }).is_none());
+        let first = w.push(StreamItem { triple: t(2), timestamp_ms: 10_000 }).unwrap();
+        assert_eq!(first.items, vec![t(1)]);
+        assert_eq!(first.id, 0);
+        // The gap advanced the boundary; the next in-window item buffers.
+        assert!(w.push(StreamItem { triple: t(3), timestamp_ms: 10_050 }).is_none());
+        let second = w.flush().unwrap();
+        assert_eq!(second.id, 1, "ids stay dense despite the gap");
+        assert_eq!(second.items, vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn sliding_flush_emits_uncovered_tail() {
+        let mut w = SlidingWindower::new(3, 3);
+        assert!(w.push(t(1)).is_none());
+        assert!(w.push(t(2)).is_none());
+        let full = w.push(t(3)).expect("full window");
+        assert_eq!(full.items, vec![t(1), t(2), t(3)]);
+        assert!(w.flush().is_none(), "everything already emitted");
+        assert!(w.push(t(4)).is_none());
+        let tail = w.flush().expect("item 4 not yet covered");
+        assert_eq!(tail.items, vec![t(2), t(3), t(4)]);
+        assert_eq!(tail.id, 1);
+        assert!(w.flush().is_none(), "flush is idempotent");
+    }
+
+    #[test]
+    fn windower_trait_unifies_all_three() {
+        let item = |i: i64, ts: u64| StreamItem { triple: t(i), timestamp_ms: ts };
+        let mut windowers: Vec<Box<dyn Windower>> = vec![
+            Box::new(TupleWindower::new(2)),
+            Box::new(SlidingWindower::new(2, 2)),
+            Box::new(TimeWindower::new(1_000)),
+        ];
+        for w in &mut windowers {
+            assert!(w.feed(item(1, 10)).is_none());
+            let emitted = w.feed(item(2, 20)).into_iter().chain(w.flush()).next().unwrap();
+            assert_eq!(emitted.items, vec![t(1), t(2)]);
         }
     }
 

@@ -5,13 +5,21 @@
 //! streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
 //! streamrule generate --out data.nt [--kind faithful|correlated|sparse]
 //!                     [--size N] [--windows K] [--seed S]
-//! streamrule run <program.lp> --data data.nt [--window N]
-//!                [--mode single|dep|random:K] [--events]
+//! streamrule run <program.lp> [--data data.nt] [--window N] [--windows K]
+//!                [--mode single|dep|random:K] [--in-flight L] [--rate R]
+//!                [--seed S] [--json out.json] [--events]
 //! ```
 //!
-//! `run` reads an N-Triples file, cuts it into tuple windows, processes each
-//! window with the chosen reasoner and prints the answers with timing.
+//! `run` streams tuple windows — read from an N-Triples file or generated
+//! synthetically — through the chosen reasoner. With `--in-flight L` the
+//! pipelined `StreamEngine` keeps `L` windows reasoning concurrently
+//! (ordered, deterministic emission); `--rate R` throttles submission to
+//! `R` windows/second; `--json` records throughput statistics (plus a
+//! sequential-baseline comparison) in the `BENCH_throughput.json` shape.
 
+use sr_bench::{
+    outputs_match, sequential_baseline, throughput_json, ThroughputResult, ThroughputRun,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use stream_reasoner::prelude::*;
@@ -43,7 +51,8 @@ const USAGE: &str = "usage:
   streamrule solve <program.lp> [--models N] [--facts data.lp]
   streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
   streamrule generate --out data.nt [--kind faithful|correlated|sparse] [--size N] [--windows K] [--seed S]
-  streamrule run <program.lp> --data data.nt [--window N] [--mode single|dep|random:K] [--events]";
+  streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
+                 [--in-flight L] [--rate R] [--seed S] [--json out.json] [--events]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -167,61 +176,72 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// A window-processing closure chosen by `--mode`.
-type WindowReasoner = Box<dyn FnMut(&Window) -> Result<ReasonerOutput, String>>;
+/// The reasoning backend chosen by `--mode`.
+#[derive(Clone, Copy)]
+enum RunMode {
+    Single,
+    Dep,
+    Random(usize),
+}
 
-/// `run`: the streaming pipeline over an N-Triples file.
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = positional(args).ok_or("missing program file")?;
-    let data = flag_value(args, "--data").ok_or("missing --data file")?;
-    let syms = Symbols::new();
-    let program = load_program(path, &syms)?;
-    let window_size: usize =
-        flag_value(args, "--window").unwrap_or("5000").parse().map_err(|_| "bad --window")?;
-    let mode = flag_value(args, "--mode").unwrap_or("dep");
+/// Fixed seed for the `random:K` partitioner — the baseline and engine
+/// paths must partition identically for the `--json` identity check.
+const RANDOM_PARTITIONER_SEED: u64 = 2017;
 
-    let text = std::fs::read_to_string(data).map_err(|e| format!("cannot read {data}: {e}"))?;
-    let triples = ntriples::parse(&text).map_err(|e| e.to_string())?;
-    println!("loaded {} triples from {data}", triples.len());
-
-    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
-        .map_err(|e| e.to_string())?;
-    let mut reasoner: WindowReasoner = match mode {
-        "single" => {
-            let mut r = SingleReasoner::new(&syms, &program, None, SolverConfig::default())
-                .map_err(|e| e.to_string())?;
-            Box::new(move |w| r.process(w).map_err(|e| e.to_string()))
+impl RunMode {
+    /// The partitioning handler for partitioned modes (`None` for `single`).
+    fn partitioner(self, analysis: &DependencyAnalysis) -> Option<Arc<dyn Partitioner>> {
+        match self {
+            RunMode::Single => None,
+            RunMode::Dep => Some(Arc::new(PlanPartitioner::new(
+                analysis.plan.clone(),
+                UnknownPredicate::Partition0,
+            ))),
+            RunMode::Random(k) => {
+                Some(Arc::new(RandomPartitioner::new(k, RANDOM_PARTITIONER_SEED)))
+            }
         }
-        "dep" => {
-            let partitioner =
-                Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
-            let mut pr = ParallelReasoner::new(
-                &syms,
-                &program,
-                Some(&analysis.inpre),
-                partitioner,
-                ReasonerConfig::default(),
-            )
-            .map_err(|e| e.to_string())?;
-            Box::new(move |w| pr.process(w).map_err(|e| e.to_string()))
-        }
+    }
+}
+
+fn parse_mode(mode: &str) -> Result<RunMode, String> {
+    match mode {
+        "single" => Ok(RunMode::Single),
+        "dep" => Ok(RunMode::Dep),
         random if random.starts_with("random:") => {
             let k: usize = random["random:".len()..].parse().map_err(|_| "bad --mode random:K")?;
             if k == 0 {
                 return Err("--mode random:K needs K >= 1".into());
             }
-            let mut pr = ParallelReasoner::new(
-                &syms,
-                &program,
-                Some(&analysis.inpre),
-                Arc::new(RandomPartitioner::new(k, 2017)),
-                ReasonerConfig::default(),
-            )
-            .map_err(|e| e.to_string())?;
-            Box::new(move |w| pr.process(w).map_err(|e| e.to_string()))
+            Ok(RunMode::Random(k))
         }
-        other => return Err(format!("unknown --mode `{other}`")),
+        other => Err(format!("unknown --mode `{other}`")),
+    }
+}
+
+/// `run`: the streaming pipeline over a file-backed or generated stream,
+/// window at a time (`--in-flight 0`, the default) or pipelined through the
+/// `StreamEngine` with `L` windows in flight.
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("missing program file")?;
+    let syms = Symbols::new();
+    let program = load_program(path, &syms)?;
+    let window_size: usize =
+        flag_value(args, "--window").unwrap_or("5000").parse().map_err(|_| "bad --window")?;
+    let windows_cap: Option<usize> = match flag_value(args, "--windows") {
+        Some(v) => Some(v.parse().map_err(|_| "bad --windows")?),
+        None => None,
     };
+    let seed: u64 =
+        flag_value(args, "--seed").unwrap_or("2017").parse().map_err(|_| "bad --seed")?;
+    let in_flight: usize =
+        flag_value(args, "--in-flight").unwrap_or("0").parse().map_err(|_| "bad --in-flight")?;
+    let rate: f64 = flag_value(args, "--rate").unwrap_or("0").parse().map_err(|_| "bad --rate")?;
+    let mode = parse_mode(flag_value(args, "--mode").unwrap_or("dep"))?;
+
+    let windows = build_windows(args, window_size, windows_cap, seed)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
+        .map_err(|e| e.to_string())?;
 
     let projection = if has_flag(args, "--events") {
         Projection::derived(&analysis.inpre)
@@ -229,28 +249,106 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Projection::All
     };
 
-    let mut windower = TupleWindower::new(window_size);
+    let json_path = flag_value(args, "--json");
+    if in_flight == 0 {
+        if json_path.is_some() || rate > 0.0 {
+            return Err(
+                "--json/--rate drive the pipelined engine; add --in-flight L (L >= 1)".into()
+            );
+        }
+        return run_sequential(&syms, &program, &analysis, mode, &windows, &projection);
+    }
+    if json_path.is_some() && rate > 0.0 {
+        return Err("--json records sustained throughput against an unthrottled baseline; \
+                    drop --rate (or set --rate 0)"
+            .into());
+    }
+    run_engine(&syms, &program, &analysis, mode, windows, in_flight, rate, json_path, &projection)
+}
+
+/// Builds the window sequence: cut from an N-Triples file when `--data` is
+/// given, generated from the paper workload otherwise.
+fn build_windows(
+    args: &[String],
+    window_size: usize,
+    windows_cap: Option<usize>,
+    seed: u64,
+) -> Result<Vec<Window>, String> {
     let mut windows: Vec<Window> = Vec::new();
-    for t in triples {
-        if let Some(w) = windower.push(t) {
+    if let Some(data) = flag_value(args, "--data") {
+        let text = std::fs::read_to_string(data).map_err(|e| format!("cannot read {data}: {e}"))?;
+        let triples = ntriples::parse(&text).map_err(|e| e.to_string())?;
+        println!("loaded {} triples from {data}", triples.len());
+        let mut windower = TupleWindower::new(window_size);
+        for t in triples {
+            if let Some(w) = windower.push(t) {
+                windows.push(w);
+            }
+        }
+        if let Some(w) = windower.flush() {
             windows.push(w);
         }
+        if let Some(cap) = windows_cap {
+            windows.truncate(cap);
+        }
+    } else {
+        let count = windows_cap.unwrap_or(8);
+        let mut generator = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+        for id in 0..count {
+            windows.push(Window::new(id as u64, generator.window(window_size)));
+        }
+        println!("generated {count} windows x {window_size} items (seed {seed})");
     }
-    if let Some(w) = windower.flush() {
-        windows.push(w);
-    }
-    for window in &windows {
-        let out = reasoner(window)?;
+    Ok(windows)
+}
+
+fn build_reasoner(
+    syms: &Symbols,
+    program: &Program,
+    analysis: &DependencyAnalysis,
+    mode: RunMode,
+) -> Result<Box<dyn Reasoner>, String> {
+    let reasoner: Box<dyn Reasoner> = match mode.partitioner(analysis) {
+        None => Box::new(
+            SingleReasoner::new(syms, program, None, SolverConfig::default())
+                .map_err(|e| e.to_string())?,
+        ),
+        Some(partitioner) => Box::new(
+            ParallelReasoner::new(
+                syms,
+                program,
+                Some(&analysis.inpre),
+                partitioner,
+                ReasonerConfig::default(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+    };
+    Ok(reasoner)
+}
+
+/// The window-at-a-time path (the original `run` behavior).
+fn run_sequential(
+    syms: &Symbols,
+    program: &Program,
+    analysis: &DependencyAnalysis,
+    mode: RunMode,
+    windows: &[Window],
+    projection: &Projection,
+) -> Result<(), String> {
+    let mut reasoner = build_reasoner(syms, program, analysis, mode)?;
+    for window in windows {
+        let out = reasoner.process(window).map_err(|e| e.to_string())?;
         println!(
             "window {} ({} items): {} answer set(s) in {:.2} ms",
             window.id,
             window.len(),
             out.answers.len(),
-            out.timing.total.as_secs_f64() * 1e3
+            duration_ms(out.timing.total)
         );
         for ans in out.answers.iter().take(2) {
-            let shown = projection.apply(ans, &syms);
-            let rendered = shown.display(&syms).to_string();
+            let shown = projection.apply(ans, syms);
+            let rendered = shown.display(syms).to_string();
             if rendered.len() > 400 {
                 println!("  {}...}}", &rendered[..400]);
             } else {
@@ -259,4 +357,136 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The pipelined path: `in_flight` engine lanes over a shared worker pool,
+/// ordered emission, throughput stats, optional JSON record with a
+/// sequential-baseline comparison.
+#[allow(clippy::too_many_arguments)]
+fn run_engine(
+    syms: &Symbols,
+    program: &Program,
+    analysis: &DependencyAnalysis,
+    mode: RunMode,
+    windows: Vec<Window>,
+    in_flight: usize,
+    rate: f64,
+    json_path: Option<&str>,
+    projection: &Projection,
+) -> Result<(), String> {
+    use std::time::Duration;
+
+    let config = EngineConfig { in_flight, queue_depth: in_flight };
+    let mut engine = match mode.partitioner(analysis) {
+        None => StreamEngine::new(config, |_lane| {
+            Ok(Box::new(SingleReasoner::new(syms, program, None, SolverConfig::default())?)
+                as Box<dyn Reasoner>)
+        }),
+        // Partitioned modes: all lanes share one worker pool sized so each
+        // in-flight window can still fan out over its partitions.
+        Some(partitioner) => StreamEngine::with_partitioned_lanes(
+            syms,
+            program,
+            Some(&analysis.inpre),
+            partitioner,
+            ReasonerConfig::default(),
+            config,
+        ),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let interval = if rate > 0.0 { Duration::from_secs_f64(1.0 / rate) } else { Duration::ZERO };
+    let Some(json_path) = json_path else {
+        // No baseline pass needed: hand the windows to the engine outright.
+        for window in windows {
+            engine.submit(window).map_err(|e| e.to_string())?;
+            if !interval.is_zero() {
+                std::thread::sleep(interval);
+            }
+        }
+        print_engine_report(syms, &engine.finish(), in_flight, projection);
+        return Ok(());
+    };
+
+    // `--json`: keep the windows for the sequential-baseline speedup record.
+    for window in &windows {
+        engine.submit(window.clone()).map_err(|e| e.to_string())?;
+        if !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+    }
+    let report = engine.finish();
+    print_engine_report(syms, &report, in_flight, projection);
+
+    // Baseline through the same harness sr-bench's `repro throughput` uses.
+    let mut baseline = build_reasoner(syms, program, analysis, mode)?;
+    let (base_stats, base_rendered) =
+        sequential_baseline(syms, baseline.as_mut(), &windows).map_err(|e| e.to_string())?;
+    let identical = outputs_match(syms, &report.outputs, &base_rendered);
+    let result = ThroughputResult {
+        window_size: windows.first().map_or(0, Window::len),
+        windows: windows.len(),
+        baseline: base_stats,
+        runs: vec![ThroughputRun {
+            in_flight,
+            stats: report.stats.clone(),
+            output_identical: identical,
+        }],
+    };
+    std::fs::write(json_path, throughput_json(&result))
+        .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+    println!(
+        "baseline: {wps:.2} windows/s -> speedup {speedup:.2}x, ordered output identical: \
+         {identical} [json written to {json_path}]",
+        wps = result.baseline.windows_per_sec,
+        speedup = result.best_speedup()
+    );
+    Ok(())
+}
+
+/// Prints the ordered engine outputs (answers projected as in the
+/// sequential path, so `--events` behaves identically) plus the throughput
+/// summary.
+fn print_engine_report(
+    syms: &Symbols,
+    report: &EngineReport,
+    in_flight: usize,
+    projection: &Projection,
+) {
+    for out in &report.outputs {
+        match &out.result {
+            Ok(r) => {
+                println!(
+                    "window {} ({} items): {} answer set(s) in {:.2} ms",
+                    out.window_id,
+                    out.items,
+                    r.answers.len(),
+                    duration_ms(out.latency)
+                );
+                for ans in r.answers.iter().take(2) {
+                    let rendered = projection.apply(ans, syms).display(syms).to_string();
+                    if rendered.len() > 400 {
+                        println!("  {}...}}", &rendered[..400]);
+                    } else {
+                        println!("  {rendered}");
+                    }
+                }
+            }
+            Err(e) => {
+                println!("window {}: ERROR {e}", out.window_id);
+            }
+        }
+    }
+    let stats = &report.stats;
+    println!(
+        "engine: {} lanes, {} windows, {:.2} windows/s, {:.0} items/s, \
+         latency p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms",
+        in_flight,
+        stats.windows,
+        stats.windows_per_sec,
+        stats.items_per_sec,
+        stats.latency.p50_ms,
+        stats.latency.p95_ms,
+        stats.latency.p99_ms
+    );
 }

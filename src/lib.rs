@@ -49,14 +49,17 @@ pub mod prelude {
     pub use asp_parser::{parse_program, parse_rule};
     pub use asp_solver::{solve, solve_ground, SolveResult, SolverConfig};
     pub use sr_core::{
-        answer_accuracy, atom_level_partition, window_accuracy, AnalysisConfig, CombinePolicy,
-        DependencyAnalysis, DuplicationPolicy, ParallelMode, ParallelReasoner, Partitioner,
-        PartitioningPlan, PlanPartitioner, Projection, RandomPartitioner, ReasonerConfig,
-        ReasonerOutput, SingleReasoner, StreamRulePipeline, UnknownPredicate,
+        answer_accuracy, atom_level_partition, duration_ms, reasoner_pool, window_accuracy,
+        AnalysisConfig, CombinePolicy, DependencyAnalysis, DuplicationPolicy, EngineConfig,
+        EngineOutput, EngineReport, EngineStats, LatencyStats, ParallelMode, ParallelReasoner,
+        Partitioner, PartitioningPlan, PlanPartitioner, Projection, RandomPartitioner, Reasoner,
+        ReasonerConfig, ReasonerOutput, ReasonerPool, SingleReasoner, StreamEngine,
+        StreamRulePipeline, UnknownPredicate,
     };
     pub use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
     pub use sr_stream::{
         paper_generator, CorrelatedGenerator, FaithfulGenerator, GeneratorKind, QueryProcessor,
-        TupleWindower, Window, WorkloadGenerator, PAPER_PREDICATES,
+        SlidingWindower, StreamItem, TimeWindower, TupleWindower, Window, Windower,
+        WorkloadGenerator, PAPER_PREDICATES,
     };
 }
