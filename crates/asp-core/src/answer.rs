@@ -102,6 +102,52 @@ impl AnswerSet {
         AnswerSet { atoms }
     }
 
+    /// Union of many answer sets in one k-way merge — the combining
+    /// handler's fast path when every partition has a single answer set.
+    ///
+    /// Equivalent to folding [`AnswerSet::union`] pairwise, but each atom's
+    /// injective key is computed exactly once: the pairwise fold re-keys the
+    /// growing accumulator on every step, which is the dominant combining
+    /// cost on window-sized answer sets.
+    pub fn union_many(syms: &Symbols, sets: &[&AnswerSet]) -> AnswerSet {
+        if sets.is_empty() {
+            return AnswerSet::default();
+        }
+        if sets.len() == 1 {
+            return sets[0].clone();
+        }
+        let mut cache: crate::symbol::FastMap<Sym, Box<str>> = crate::symbol::FastMap::default();
+        let keyed: Vec<Vec<String>> = sets
+            .iter()
+            .map(|s| s.atoms.iter().map(|a| sort_key(a, syms, &mut cache)).collect())
+            .collect();
+        let mut heads = vec![0usize; sets.len()];
+        let mut atoms = Vec::with_capacity(sets.iter().map(|s| s.len()).sum());
+        loop {
+            // Linear minimum over the k heads: k is the partition count,
+            // which is small; a heap would cost more than it saves.
+            let mut best: Option<usize> = None;
+            for i in 0..sets.len() {
+                if heads[i] < keyed[i].len()
+                    && best.is_none_or(|b| keyed[i][heads[i]] < keyed[b][heads[b]])
+                {
+                    best = Some(i);
+                }
+            }
+            let Some(b) = best else { break };
+            let pos = heads[b];
+            atoms.push(sets[b].atoms[pos].clone());
+            let key = &keyed[b][pos];
+            // Injective keys: advancing every equal head deduplicates.
+            for (i, head) in heads.iter_mut().enumerate() {
+                while *head < keyed[i].len() && keyed[i][*head] == *key {
+                    *head += 1;
+                }
+            }
+        }
+        AnswerSet { atoms }
+    }
+
     /// `|self ∩ other|` — computed with a hash set over the smaller side.
     pub fn intersection_size(&self, other: &AnswerSet) -> usize {
         let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
@@ -245,5 +291,23 @@ mod tests {
         let b = AnswerSet::new(vec![ga(&syms, "q", "1"), ga(&syms, "p", "1")], &syms);
         let u = a.union(&b, &syms);
         assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn union_many_matches_pairwise_fold() {
+        let syms = Symbols::new();
+        let sets = [
+            AnswerSet::new(vec![ga(&syms, "p", "x"), ga(&syms, "q", "y")], &syms),
+            AnswerSet::new(vec![ga(&syms, "q", "y"), ga(&syms, "a", "z")], &syms),
+            AnswerSet::new(vec![], &syms),
+            AnswerSet::new(vec![ga(&syms, "p", "w"), ga(&syms, "p", "x")], &syms),
+        ];
+        let refs: Vec<&AnswerSet> = sets.iter().collect();
+        let many = AnswerSet::union_many(&syms, &refs);
+        let folded = sets.iter().fold(AnswerSet::default(), |acc, s| acc.union(s, &syms));
+        assert_eq!(many, folded, "k-way merge must equal the pairwise fold byte for byte");
+        assert_eq!(many.display(&syms).to_string(), folded.display(&syms).to_string());
+        assert!(AnswerSet::union_many(&syms, &[]).is_empty());
+        assert_eq!(AnswerSet::union_many(&syms, &refs[..1]), sets[0]);
     }
 }

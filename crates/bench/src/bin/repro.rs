@@ -12,8 +12,9 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    csv, program_p_prime, run, run_throughput, table, throughput_json, ExperimentConfig,
-    ExperimentResult, Measure, Series, ThroughputConfig, PROGRAM_P,
+    csv, incremental_json, program_p_prime, run, run_incremental, run_throughput, table,
+    throughput_json, ExperimentConfig, ExperimentResult, IncrementalConfig, Measure, Series,
+    ThroughputConfig, PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
@@ -22,17 +23,19 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental] [--quick]
        repro --smoke
        repro --help
 
   all         every figure, the Section IV claims, the ablations and the
-              throughput sweep (default)
+              throughput + incremental sweeps (default)
   figN        one figure's grid and CSV (written to results/)
   claims      the Section IV headline claims on the measured grids
   ablations   partitioning ablations beyond the paper
   throughput  pipelined StreamEngine vs window-at-a-time baseline
               (writes results/BENCH_throughput.json)
+  incremental sliding-window slide/size sweep: partition-cache reasoner vs
+              full recompute (writes results/BENCH_incremental.json)
   --quick     small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke     seconds-fast end-to-end pipeline check, no files written
 ";
@@ -103,6 +106,38 @@ fn main() {
     if matches!(what, "all" | "throughput") {
         throughput(quick);
     }
+    if matches!(what, "all" | "incremental") {
+        incremental(quick);
+    }
+}
+
+/// The sliding-window incremental sweep (beyond the paper): fingerprint-
+/// cached partition reuse vs full recomputation, recorded as
+/// `results/BENCH_incremental.json`.
+fn incremental(quick: bool) {
+    println!("\n== Incremental: partition-cache reasoner vs full recompute (sliding windows) ==");
+    let cfg = if quick { IncrementalConfig::quick() } else { IncrementalConfig::paper() };
+    let result = run_incremental(&cfg).expect("incremental sweep");
+    println!(
+        "  window {} items, {} windows per ratio, {} partitions, cache capacity {}",
+        result.window_size, result.windows, result.partitions, result.cache_capacity
+    );
+    for run in &result.runs {
+        println!(
+            "  slide 1/{:<2} ({} items): full {:.1} ms, incremental {:.1} ms -> {:.2}x, \
+             dirty ratio {:.2}, identical: {}",
+            (result.window_size / run.slide),
+            run.slide,
+            run.baseline_ms,
+            run.incremental_ms,
+            run.speedup,
+            run.cache.dirty_partition_ratio,
+            run.output_identical
+        );
+    }
+    let path = "results/BENCH_incremental.json";
+    std::fs::write(Path::new(path), incremental_json(&result)).expect("write incremental json");
+    println!("[json written to {path}]");
 }
 
 /// The multi-window throughput sweep (beyond the paper): sequential baseline

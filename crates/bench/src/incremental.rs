@@ -1,0 +1,316 @@
+//! Incremental-reasoning experiment: sliding windows at several slide/size
+//! ratios, full recomputation (`PR_Dep`) versus the fingerprint-cached
+//! [`IncrementalReasoner`], on the large traffic rule set with a bursty
+//! arrival pattern. Emits `results/BENCH_incremental.json` via
+//! [`incremental_json`].
+//!
+//! Both sides run in [`ParallelMode::Sequential`], so the measured speedup
+//! is reasoning *work avoided* by the cache (one core, no partition
+//! parallelism hiding it) — the quantity that turns into throughput once
+//! the shared worker pool saturates. The stream arrives in predicate-group
+//! bursts aligned to the slide ([`BurstyGenerator`]), the regime — batch
+//! uploads from one sensor subsystem at a time — where window deltas stay
+//! concentrated in few input-dependency partitions.
+
+use crate::programs::LARGE_TRAFFIC;
+use crate::throughput::render_output;
+use asp_core::{AspError, Symbols};
+use sr_core::{
+    duration_ms, AnalysisConfig, DependencyAnalysis, IncrementalReasoner, IncrementalSnapshot,
+    ParallelMode, ParallelReasoner, PlanPartitioner, Reasoner, ReasonerConfig, UnknownPredicate,
+};
+use sr_stream::{BurstyGenerator, SlidingWindower, Window, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Incremental experiment definition.
+#[derive(Clone, Debug)]
+pub struct IncrementalConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Items per window; must be divisible by every ratio in `ratios`.
+    pub window_size: usize,
+    /// size/slide ratios to sweep (`8` means slide = size/8, i.e. 7/8 of
+    /// every window overlaps its predecessor; `1` is tumbling).
+    pub ratios: Vec<usize>,
+    /// Windows emitted per ratio.
+    pub windows: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Partition-cache capacity (entries) for the incremental side.
+    pub cache_capacity: usize,
+}
+
+impl IncrementalConfig {
+    /// The default sweep: 24 windows of 1,600 items at ratios 8/4/2/1 on the
+    /// large traffic program (4 input-dependency communities).
+    pub fn paper() -> Self {
+        IncrementalConfig {
+            program: LARGE_TRAFFIC.to_string(),
+            window_size: 1_600,
+            ratios: vec![8, 4, 2, 1],
+            windows: 24,
+            seed: 2017,
+            cache_capacity: 64,
+        }
+    }
+
+    /// A smoke-test sweep for CI / `--quick`.
+    pub fn quick() -> Self {
+        IncrementalConfig { window_size: 320, windows: 8, ..Self::paper() }
+    }
+}
+
+/// One slide's measurement.
+#[derive(Clone, Debug)]
+pub struct IncrementalRun {
+    /// Slide (items) of this run.
+    pub slide: usize,
+    /// `slide / window_size`.
+    pub slide_ratio: f64,
+    /// Full-recompute wall time over all windows (ms).
+    pub baseline_ms: f64,
+    /// Incremental wall time over the same windows (ms).
+    pub incremental_ms: f64,
+    /// `baseline_ms / incremental_ms`.
+    pub speedup: f64,
+    /// Whether the incremental output was byte-identical to full
+    /// recomputation, window by window.
+    pub output_identical: bool,
+    /// Mean `delta.added` size across windows that carried a delta.
+    pub mean_delta_added: f64,
+    /// Mean `delta.retracted` size across windows that carried a delta.
+    pub mean_delta_retracted: f64,
+    /// Cache counters after the incremental pass.
+    pub cache: IncrementalSnapshot,
+}
+
+/// Result of the incremental experiment.
+#[derive(Clone, Debug)]
+pub struct IncrementalResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Windows per run.
+    pub windows: usize,
+    /// Cache capacity used.
+    pub cache_capacity: usize,
+    /// Partitions of the dependency plan.
+    pub partitions: usize,
+    /// One measurement per swept ratio.
+    pub runs: Vec<IncrementalRun>,
+}
+
+impl IncrementalResult {
+    /// The run at slide/size = 1/8, when swept (the headline ratio).
+    pub fn at_eighth(&self) -> Option<&IncrementalRun> {
+        self.runs.iter().find(|r| (r.slide_ratio - 0.125).abs() < 1e-9)
+    }
+
+    /// True when every run's output matched full recomputation.
+    pub fn output_identical_all(&self) -> bool {
+        self.runs.iter().all(|r| r.output_identical)
+    }
+}
+
+/// Builds the bursty sliding-window stream for one slide: bursts of `slide`
+/// items cycle through the plan's communities, so consecutive windows differ
+/// in one community's partition while the rest stay clean.
+fn build_windows(
+    analysis: &DependencyAnalysis,
+    syms: &Symbols,
+    config: &IncrementalConfig,
+    slide: usize,
+) -> Vec<Window> {
+    let mut groups: Vec<Vec<String>> = vec![Vec::new(); analysis.plan.communities];
+    for p in &analysis.inpre {
+        let name = syms.resolve(p.name).to_string();
+        if let Some(cs) = analysis.plan.communities_of(&name) {
+            for &c in cs {
+                groups[c as usize].push(name.clone());
+            }
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    for g in &mut groups {
+        g.sort(); // plan iteration order is hash-based; keep streams stable
+    }
+    let mut generator = BurstyGenerator::new(groups, slide, config.window_size as i64, config.seed);
+    let total = config.window_size + slide * (config.windows - 1);
+    let mut windower = SlidingWindower::new(config.window_size, slide);
+    let mut windows = Vec::with_capacity(config.windows);
+    for item in generator.window(total) {
+        if let Some(w) = windower.push(item) {
+            windows.push(w);
+        }
+    }
+    windows
+}
+
+/// Runs `reasoner` over `windows`, returning wall time and rendered answers.
+fn timed_pass(
+    syms: &Symbols,
+    reasoner: &mut dyn Reasoner,
+    windows: &[Window],
+) -> Result<(f64, Vec<String>), AspError> {
+    let mut rendered = Vec::with_capacity(windows.len());
+    let t0 = Instant::now();
+    for window in windows {
+        let out = reasoner.process(window)?;
+        rendered.push(render_output(syms, &out));
+    }
+    Ok((duration_ms(t0.elapsed()), rendered))
+}
+
+/// Runs the sweep: per ratio, one full-recompute pass and one incremental
+/// pass over the identical window sequence, verified for byte-identity.
+pub fn run_incremental(config: &IncrementalConfig) -> Result<IncrementalResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let base_cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
+
+    let mut runs = Vec::new();
+    for &ratio in &config.ratios {
+        assert!(ratio > 0 && config.window_size % ratio == 0, "size must divide by ratio {ratio}");
+        let slide = config.window_size / ratio;
+        let windows = build_windows(&analysis, &syms, config, slide);
+
+        let mut baseline = ParallelReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            base_cfg.clone(),
+        )?;
+        let (baseline_ms, base_rendered) = timed_pass(&syms, &mut baseline, &windows)?;
+
+        let inc_cfg = ReasonerConfig {
+            incremental: true,
+            cache_capacity: config.cache_capacity,
+            ..base_cfg.clone()
+        };
+        let mut incremental = IncrementalReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            inc_cfg,
+        )?;
+        let (incremental_ms, inc_rendered) = timed_pass(&syms, &mut incremental, &windows)?;
+        let cache = incremental.cache().counters().snapshot();
+
+        let deltas: Vec<_> = windows.iter().filter_map(|w| w.delta.as_ref()).collect();
+        let mean = |f: &dyn Fn(&sr_stream::WindowDelta) -> usize| {
+            if deltas.is_empty() {
+                0.0
+            } else {
+                deltas.iter().map(|d| f(d)).sum::<usize>() as f64 / deltas.len() as f64
+            }
+        };
+        runs.push(IncrementalRun {
+            slide,
+            slide_ratio: slide as f64 / config.window_size as f64,
+            baseline_ms,
+            incremental_ms,
+            speedup: if incremental_ms > 0.0 { baseline_ms / incremental_ms } else { 0.0 },
+            output_identical: base_rendered == inc_rendered,
+            mean_delta_added: mean(&|d| d.added.len()),
+            mean_delta_retracted: mean(&|d| d.retracted.len()),
+            cache,
+        });
+    }
+
+    Ok(IncrementalResult {
+        window_size: config.window_size,
+        windows: config.windows,
+        cache_capacity: config.cache_capacity,
+        partitions: analysis.plan.communities,
+        runs,
+    })
+}
+
+/// Renders the result as the `BENCH_incremental.json` document.
+pub fn incremental_json(result: &IncrementalResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"large_traffic_bursty\",");
+    let _ = writeln!(out, "  \"mode\": \"sequential\",");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"cache_capacity\": {},", result.cache_capacity);
+    let _ = writeln!(out, "  \"partitions\": {},", result.partitions);
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, run) in result.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"slide\": {}, \"slide_ratio\": {:.4}, \"baseline_ms\": {:.4}, \
+             \"incremental_ms\": {:.4}, \"speedup\": {:.4}, \"output_identical\": {}, \
+             \"mean_delta_added\": {:.1}, \"mean_delta_retracted\": {:.1}, \"cache\": {}}}{}",
+            run.slide,
+            run.slide_ratio,
+            run.baseline_ms,
+            run.incremental_ms,
+            run.speedup,
+            run.output_identical,
+            run.mean_delta_added,
+            run.mean_delta_retracted,
+            run.cache.to_json(),
+            if i + 1 < result.runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"speedup_at_eighth\": {:.4},",
+        result.at_eighth().map_or(0.0, |r| r.speedup)
+    );
+    let _ = writeln!(out, "  \"output_identical_all\": {}", result.output_identical_all());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> IncrementalConfig {
+        IncrementalConfig {
+            window_size: 160,
+            ratios: vec![8, 1],
+            windows: 4,
+            cache_capacity: 16,
+            ..IncrementalConfig::quick()
+        }
+    }
+
+    #[test]
+    fn sweep_outputs_are_identical_and_overlap_hits_cache() {
+        let result = run_incremental(&toy_config()).unwrap();
+        assert_eq!(result.runs.len(), 2);
+        assert!(result.output_identical_all(), "incremental output diverged");
+        let eighth = result.at_eighth().expect("ratio 8 swept");
+        assert!(
+            eighth.cache.hits > 0,
+            "7/8 overlap with burst-aligned slides must produce clean partitions"
+        );
+        assert!(
+            eighth.cache.dirty_partition_ratio < 1.0,
+            "some partitions must be clean, got {}",
+            eighth.cache.dirty_partition_ratio
+        );
+        assert_eq!(eighth.mean_delta_added, eighth.slide as f64, "delta is one slide");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let result = run_incremental(&toy_config()).unwrap();
+        let json = incremental_json(&result);
+        assert!(json.contains("\"sweep\": ["));
+        assert!(json.contains("\"speedup_at_eighth\":"));
+        assert!(json.contains("\"output_identical_all\": true"));
+        assert!(json.contains("\"dirty_partition_ratio\":"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

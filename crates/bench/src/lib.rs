@@ -6,11 +6,15 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod incremental;
 pub mod programs;
 pub mod report;
 pub mod throughput;
 
 pub use experiment::{run, Cell, ExperimentBench, ExperimentConfig, ExperimentResult, Series};
+pub use incremental::{
+    incremental_json, run_incremental, IncrementalConfig, IncrementalResult, IncrementalRun,
+};
 pub use programs::{program_p_prime, PROGRAM_P, RULE_R7};
 pub use report::{csv, table, Measure};
 pub use throughput::{

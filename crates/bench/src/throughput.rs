@@ -135,6 +135,8 @@ pub fn sequential_baseline(
         elapsed_ms: duration_ms(elapsed),
         windows_per_sec: windows.len() as f64 / elapsed.as_secs_f64(),
         items_per_sec: items_total as f64 / elapsed.as_secs_f64(),
+        submit_blocked_ms: 0.0,
+        incremental: None,
         latency: LatencyStats::from_samples(&latencies),
     };
     Ok((stats, rendered))

@@ -10,29 +10,32 @@ use crate::config::CombinePolicy;
 use asp_core::{AnswerSet, Symbols};
 
 /// Combines per-partition answers. Returns the combined answers and the
-/// number of partitions with no answer set.
-pub fn combine(
+/// number of partitions with no answer set. Generic over how each
+/// partition's answers are held (`Vec<AnswerSet>`, `&[AnswerSet]`, ...), so
+/// the incremental reasoner can combine cached answers without cloning them
+/// out of the cache first.
+pub fn combine<P: AsRef<[AnswerSet]>>(
     syms: &Symbols,
-    per_partition: &[Vec<AnswerSet>],
+    per_partition: &[P],
     policy: CombinePolicy,
     max_combined: usize,
 ) -> (Vec<AnswerSet>, usize) {
-    let unsat = per_partition.iter().filter(|a| a.is_empty()).count();
+    let unsat = per_partition.iter().filter(|a| a.as_ref().is_empty()).count();
     if unsat > 0 && policy == CombinePolicy::Strict {
         // The set comprehension is empty when some Ans_P(W_i) is empty.
         return (Vec::new(), unsat);
     }
-    let mut acc: Vec<AnswerSet> = vec![AnswerSet::default()];
+    // Dominant fast path: partitions with exactly one answer set union into
+    // a single base via one k-way merge (union is commutative and the
+    // result is key-sorted either way, so hoisting the singletons ahead of
+    // the cross product cannot change the combined answers).
+    let singles: Vec<&AnswerSet> =
+        per_partition.iter().map(AsRef::as_ref).filter(|a| a.len() == 1).map(|a| &a[0]).collect();
+    let mut acc: Vec<AnswerSet> = vec![AnswerSet::union_many(syms, &singles)];
     for answers in per_partition {
-        if answers.is_empty() {
-            continue; // SkipUnsat
-        }
-        if answers.len() == 1 {
-            // Dominant fast path: union in place without cross product.
-            for a in acc.iter_mut() {
-                *a = a.union(&answers[0], syms);
-            }
-            continue;
+        let answers = answers.as_ref();
+        if answers.len() <= 1 {
+            continue; // singletons are in the base; empties are SkipUnsat
         }
         let mut next = Vec::with_capacity((acc.len() * answers.len()).min(max_combined));
         'outer: for base in &acc {
@@ -125,7 +128,7 @@ mod tests {
     #[test]
     fn no_partitions_yields_single_empty_answer() {
         let syms = Symbols::new();
-        let (combined, unsat) = combine(&syms, &[], CombinePolicy::Strict, 16);
+        let (combined, unsat) = combine::<Vec<AnswerSet>>(&syms, &[], CombinePolicy::Strict, 16);
         assert_eq!(unsat, 0);
         assert_eq!(combined.len(), 1);
         assert!(combined[0].is_empty());

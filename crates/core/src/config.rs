@@ -92,6 +92,13 @@ pub struct ReasonerConfig {
     pub unknown: UnknownPredicate,
     /// Combining semantics.
     pub combine: CombinePolicy,
+    /// Use the incremental reasoner ([`crate::incremental`]): reuse cached
+    /// answer sets for partitions whose content fingerprint is unchanged
+    /// (sliding windows with slide ≪ size) instead of re-solving them.
+    pub incremental: bool,
+    /// Capacity (entries) of the partition-level result cache used when
+    /// `incremental` is on. `0` disables caching (every partition misses).
+    pub cache_capacity: usize,
 }
 
 impl Default for ReasonerConfig {
@@ -103,6 +110,8 @@ impl Default for ReasonerConfig {
             workers: 0,
             unknown: UnknownPredicate::Partition0,
             combine: CombinePolicy::Strict,
+            incremental: false,
+            cache_capacity: 256,
         }
     }
 }

@@ -11,7 +11,8 @@
 //! [`StreamEngine::finish`].
 
 use crate::config::ReasonerConfig;
-use crate::metrics::{duration_ms, LatencyStats};
+use crate::incremental::{program_fingerprint, IncrementalReasoner, PartitionCache};
+use crate::metrics::{duration_ms, IncrementalSnapshot, LatencyStats};
 use crate::parallel::{reasoner_pool, ParallelReasoner};
 use crate::partition::Partitioner;
 use crate::reasoner::{Reasoner, ReasonerOutput};
@@ -74,6 +75,14 @@ pub struct EngineStats {
     pub windows_per_sec: f64,
     /// Sustained items per second.
     pub items_per_sec: f64,
+    /// Total time [`StreamEngine::submit`] spent blocked on backpressure
+    /// (queue full). Distinguishes saturation from idle lanes: a run with
+    /// high `submit_blocked_ms` was producer-limited by the engine, one
+    /// without was consumer-limited by the stream.
+    pub submit_blocked_ms: f64,
+    /// Partition-cache effectiveness when the lanes run the incremental
+    /// reasoner; `None` otherwise.
+    pub incremental: Option<IncrementalSnapshot>,
     /// Per-window reasoning latency distribution.
     pub latency: LatencyStats,
 }
@@ -84,13 +93,16 @@ impl EngineStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"windows\": {}, \"errors\": {}, \"items\": {}, \"elapsed_ms\": {:.4}, \
-             \"windows_per_sec\": {:.4}, \"items_per_sec\": {:.4}, \"latency\": {}}}",
+             \"windows_per_sec\": {:.4}, \"items_per_sec\": {:.4}, \
+             \"submit_blocked_ms\": {:.4}, \"incremental\": {}, \"latency\": {}}}",
             self.windows,
             self.errors,
             self.items,
             self.elapsed_ms,
             self.windows_per_sec,
             self.items_per_sec,
+            self.submit_blocked_ms,
+            self.incremental.as_ref().map_or_else(|| "null".to_string(), |i| i.to_json()),
             self.latency.to_json()
         )
     }
@@ -128,6 +140,10 @@ pub struct StreamEngine {
     stats: Arc<Mutex<StatsAcc>>,
     submitted: u64,
     started: Option<Instant>,
+    /// Cumulative time `submit` spent blocked on backpressure.
+    blocked: Duration,
+    /// The lanes' shared partition cache when they run incrementally.
+    cache: Option<Arc<PartitionCache>>,
 }
 
 impl StreamEngine {
@@ -223,6 +239,8 @@ impl StreamEngine {
             stats,
             submitted: 0,
             started: None,
+            blocked: Duration::ZERO,
+            cache: None,
         })
     }
 
@@ -230,7 +248,10 @@ impl StreamEngine {
     /// one worker pool sized `partitions × in_flight`, so every in-flight
     /// window can fan out over its partitions concurrently. This is the
     /// standard construction for pipelined `PR` streaming (used by both the
-    /// bench harness and the CLI).
+    /// bench harness and the CLI). With [`ReasonerConfig::incremental`] set,
+    /// the lanes are [`IncrementalReasoner`]s sharing one partition-level
+    /// result cache on top of the pool, and [`EngineStats::incremental`]
+    /// reports the cache counters on [`StreamEngine::finish`].
     pub fn with_partitioned_lanes(
         syms: &Symbols,
         program: &Program,
@@ -242,6 +263,22 @@ impl StreamEngine {
         let workers = partitioner.partitions().max(1) * config.in_flight.max(1);
         let solver = SolverConfig { max_models: reasoner_cfg.max_models, ..Default::default() };
         let pool = Arc::new(reasoner_pool(syms, program, inpre, &solver, workers)?);
+        if reasoner_cfg.incremental {
+            let cache = Arc::new(PartitionCache::new(reasoner_cfg.cache_capacity));
+            let program_id = program_fingerprint(syms, program);
+            let mut engine = StreamEngine::new(config, |_lane| {
+                Ok(Box::new(IncrementalReasoner::with_pool(
+                    syms,
+                    partitioner.clone(),
+                    reasoner_cfg.clone(),
+                    pool.clone(),
+                    cache.clone(),
+                    program_id,
+                )) as Box<dyn Reasoner>)
+            })?;
+            engine.cache = Some(cache);
+            return Ok(engine);
+        }
         StreamEngine::new(config, |_lane| {
             Ok(Box::new(ParallelReasoner::with_pool(
                 syms,
@@ -263,13 +300,16 @@ impl StreamEngine {
     }
 
     /// Submits one window; blocks when `in_flight + queue_depth` windows are
-    /// already admitted (backpressure).
+    /// already admitted (backpressure). Time spent blocked is accumulated
+    /// and reported as [`EngineStats::submit_blocked_ms`].
     pub fn submit(&mut self, window: Window) -> Result<(), AspError> {
         let input =
             self.input.as_ref().ok_or_else(|| AspError::Internal("engine already shut".into()))?;
         self.started.get_or_insert_with(Instant::now);
         let seq = self.submitted;
+        let t0 = Instant::now();
         input.send((seq, window)).map_err(|_| AspError::Internal("engine input closed".into()))?;
+        self.blocked += t0.elapsed();
         self.submitted += 1;
         Ok(())
     }
@@ -294,6 +334,49 @@ impl StreamEngine {
             submitted += 1;
         }
         Ok(submitted)
+    }
+
+    /// Pumps a *live* channel of timestamped items through `windower`,
+    /// ticking the windower whenever the channel stays quiet for
+    /// `idle_timeout` so time-based windows close without waiting for the
+    /// next arrival (see [`sr_stream::TimeWindower::tick`]). Stream time on
+    /// an idle tick is estimated as the last item's timestamp plus the wall
+    /// clock elapsed since it arrived. Returns the number of windows
+    /// submitted once the sender hangs up (the tail is flushed).
+    pub fn pump_live(
+        &mut self,
+        items: &Receiver<StreamItem>,
+        windower: &mut dyn Windower,
+        idle_timeout: Duration,
+    ) -> Result<u64, AspError> {
+        use std::sync::mpsc::RecvTimeoutError;
+        let mut submitted = 0;
+        let mut last_ts: u64 = 0;
+        let mut last_arrival = Instant::now();
+        loop {
+            let closed = match items.recv_timeout(idle_timeout) {
+                Ok(item) => {
+                    last_ts = last_ts.max(item.timestamp_ms);
+                    last_arrival = Instant::now();
+                    windower.feed(item)
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now_ms = last_ts + last_arrival.elapsed().as_millis() as u64;
+                    windower.tick(now_ms)
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    if let Some(window) = windower.flush() {
+                        self.submit(window)?;
+                        submitted += 1;
+                    }
+                    return Ok(submitted);
+                }
+            };
+            if let Some(window) = closed {
+                self.submit(window)?;
+                submitted += 1;
+            }
+        }
     }
 
     /// Non-blocking: the next finished window in submission order, if one is
@@ -331,6 +414,8 @@ impl StreamEngine {
             elapsed_ms: duration_ms(elapsed),
             windows_per_sec: if elapsed_s > 0.0 { acc.windows as f64 / elapsed_s } else { 0.0 },
             items_per_sec: if elapsed_s > 0.0 { acc.items as f64 / elapsed_s } else { 0.0 },
+            submit_blocked_ms: duration_ms(self.blocked),
+            incremental: self.cache.as_ref().map(|c| c.counters().snapshot()),
             latency: LatencyStats::from_samples(&acc.latencies_ms),
         };
         EngineReport { outputs, stats }
@@ -481,5 +566,118 @@ mod tests {
 
     fn engine_seqs(report: &EngineReport) -> Vec<u64> {
         report.outputs.iter().map(|o| o.seq).collect()
+    }
+
+    #[test]
+    fn submit_blocking_time_is_recorded() {
+        // One slow lane, zero queue depth: the third submit must block until
+        // the first window finishes.
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 0 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(10, None)).unwrap();
+        for w in windows(4) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert!(
+            report.stats.submit_blocked_ms > 0.0,
+            "saturated submission must record blocking, got {}",
+            report.stats.submit_blocked_ms
+        );
+        assert!(report.stats.incremental.is_none(), "no incremental lanes here");
+        let json = report.stats.to_json();
+        assert!(json.contains("\"submit_blocked_ms\":"), "{json}");
+        assert!(json.contains("\"incremental\": null"), "{json}");
+    }
+
+    #[test]
+    fn pump_live_ticks_idle_time_windows() {
+        use sr_stream::TimeWindower;
+        use std::sync::mpsc::channel;
+
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 1 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(0, None)).unwrap();
+        let (tx, rx) = channel::<StreamItem>();
+        let feeder = std::thread::spawn(move || {
+            let t = sr_rdf::Triple::new(
+                sr_rdf::Node::Int(1),
+                sr_rdf::Node::iri("p"),
+                sr_rdf::Node::Int(1),
+            );
+            tx.send(StreamItem { triple: t, timestamp_ms: 10 }).unwrap();
+            // Go quiet long enough for idle ticks to cross the 50 ms window
+            // boundary, then hang up.
+            std::thread::sleep(Duration::from_millis(120));
+        });
+        let mut windower = TimeWindower::new(50);
+        let submitted = engine.pump_live(&rx, &mut windower, Duration::from_millis(5)).unwrap();
+        feeder.join().unwrap();
+        assert_eq!(submitted, 1, "the idle tick closed the open window before the hang-up");
+        let report = engine.finish();
+        assert_eq!(report.stats.windows, 1);
+        assert_eq!(report.outputs[0].items, 1);
+    }
+
+    #[test]
+    fn incremental_lanes_report_cache_stats_and_match_parallel_lanes() {
+        use crate::analysis::DependencyAnalysis;
+        use crate::config::AnalysisConfig;
+        use crate::partition::PlanPartitioner;
+        use asp_parser::parse_program;
+        use sr_rdf::Node;
+
+        let syms = Symbols::new();
+        let program = parse_program(
+            &syms,
+            "jam(X) :- slow(X), busy(X), not light(X).\nfire(X) :- smoke(X), heat(X).",
+        )
+        .unwrap();
+        let analysis =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+        let partitioner: Arc<dyn Partitioner> = Arc::new(PlanPartitioner::new(
+            analysis.plan.clone(),
+            crate::config::UnknownPredicate::Partition0,
+        ));
+        let t = |s: &str, p: &str| sr_rdf::Triple::new(Node::iri(s), Node::iri(p), Node::Int(1));
+        let windows: Vec<Window> = (0..4)
+            .map(|id| Window::new(id, vec![t("a", "slow"), t("a", "busy"), t("b", "smoke")]))
+            .collect();
+
+        let run = |incremental: bool| {
+            let reasoner_cfg = ReasonerConfig { incremental, ..Default::default() };
+            let mut engine = StreamEngine::with_partitioned_lanes(
+                &syms,
+                &program,
+                Some(&analysis.inpre),
+                partitioner.clone(),
+                reasoner_cfg,
+                EngineConfig { in_flight: 2, queue_depth: 2 },
+            )
+            .unwrap();
+            for w in &windows {
+                engine.submit(w.clone()).unwrap();
+            }
+            let report = engine.finish();
+            let rendered: Vec<String> = report
+                .outputs
+                .iter()
+                .map(|o| {
+                    let out = o.result.as_ref().unwrap();
+                    out.answers
+                        .iter()
+                        .map(|a| a.display(&syms).to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                })
+                .collect();
+            (rendered, report.stats)
+        };
+        let (full, full_stats) = run(false);
+        let (inc, inc_stats) = run(true);
+        assert_eq!(full, inc, "incremental lanes must be byte-identical");
+        assert!(full_stats.incremental.is_none());
+        let snap = inc_stats.incremental.expect("incremental lanes report cache stats");
+        assert!(snap.hits + snap.misses >= 8, "4 windows x 2 partitions counted");
+        assert!(snap.hits > 0, "repeated identical windows must hit");
+        assert!(inc_stats.to_json().contains("\"dirty_partition_ratio\":"));
     }
 }

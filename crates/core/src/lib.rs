@@ -21,6 +21,7 @@ pub mod decompose;
 pub mod engine;
 pub mod exec;
 pub mod extended;
+pub mod incremental;
 pub mod input_graph;
 pub mod metrics;
 pub mod parallel;
@@ -41,8 +42,11 @@ pub use decompose::{decompose, to_plan, Decomposition, DecompositionMethod};
 pub use engine::{EngineConfig, EngineOutput, EngineReport, EngineStats, StreamEngine};
 pub use exec::{BatchHandle, JobPanicked, JobTag, WorkerPool};
 pub use extended::ExtendedDepGraph;
+pub use incremental::{
+    fingerprint_items, program_fingerprint, IncrementalReasoner, PartitionCache,
+};
 pub use input_graph::InputDepGraph;
-pub use metrics::{duration_ms, percentile, LatencyStats};
+pub use metrics::{duration_ms, percentile, CacheCounters, IncrementalSnapshot, LatencyStats};
 pub use parallel::{reasoner_pool, ParallelReasoner, ReasonerPool};
 pub use partition::{Partitioner, PlanPartitioner, RandomPartitioner};
 pub use pipeline::{PipelineOutput, StreamRulePipeline};

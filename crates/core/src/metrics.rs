@@ -1,8 +1,11 @@
 //! Shared timing/metrics helpers: millisecond conversion, percentile
-//! estimation and the latency/throughput summaries reported by the
-//! [`StreamEngine`](crate::engine::StreamEngine) and the bench harness.
+//! estimation, the latency/throughput summaries reported by the
+//! [`StreamEngine`](crate::engine::StreamEngine) and the bench harness, and
+//! the cache counters of the incremental reasoning subsystem
+//! ([`crate::incremental`]).
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A duration in fractional milliseconds (the unit of every figure).
@@ -82,6 +85,62 @@ impl LatencyStats {
     }
 }
 
+/// Live counters of the partition-level result cache, shared (behind an
+/// `Arc`) between every [`IncrementalReasoner`](crate::incremental)
+/// instance over one stream and the engine that reports them. Atomics:
+/// engine lanes update them concurrently.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Partitions served from the cache (clean partitions).
+    pub hits: AtomicU64,
+    /// Partitions that had to be recomputed (dirty partitions).
+    pub misses: AtomicU64,
+    /// Entries evicted to respect the cache capacity.
+    pub evictions: AtomicU64,
+}
+
+impl CacheCounters {
+    /// A point-in-time copy for reports.
+    pub fn snapshot(&self) -> IncrementalSnapshot {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let total = hits + misses;
+        IncrementalSnapshot {
+            hits,
+            misses,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_partition_ratio: if total > 0 { misses as f64 / total as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Snapshot of the incremental subsystem's cache effectiveness, embedded in
+/// [`EngineStats`](crate::engine::EngineStats) and the bench records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalSnapshot {
+    /// Partitions served from the cache.
+    pub hits: u64,
+    /// Partitions recomputed.
+    pub misses: u64,
+    /// Cache entries evicted.
+    pub evictions: u64,
+    /// `misses / (hits + misses)` — the fraction of partition computations
+    /// that were actually dirty (0 when nothing was processed).
+    pub dirty_partition_ratio: f64,
+}
+
+impl IncrementalSnapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled, as for
+    /// [`LatencyStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"dirty_partition_ratio\": {:.4}}}",
+            self.hits, self.misses, self.evictions, self.dirty_partition_ratio
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +179,19 @@ mod tests {
         let json = LatencyStats::from_samples(&[2.0]).to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"p99_ms\": 2.0000"));
+    }
+
+    #[test]
+    fn cache_counters_snapshot_and_ratio() {
+        let c = CacheCounters::default();
+        assert_eq!(c.snapshot().dirty_partition_ratio, 0.0, "no samples, no ratio");
+        c.hits.fetch_add(3, Ordering::Relaxed);
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        c.evictions.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 1, 2));
+        assert_eq!(s.dirty_partition_ratio, 0.25);
+        let json = s.to_json();
+        assert!(json.contains("\"dirty_partition_ratio\": 0.2500"), "{json}");
     }
 }

@@ -195,7 +195,7 @@ impl Reasoner for ParallelReasoner {
     }
 }
 
-fn max_timing(a: Timing, b: Timing) -> Timing {
+pub(crate) fn max_timing(a: Timing, b: Timing) -> Timing {
     Timing {
         total: a.total.max(b.total),
         partition: a.partition.max(b.partition),
@@ -206,7 +206,7 @@ fn max_timing(a: Timing, b: Timing) -> Timing {
     }
 }
 
-fn sum_timing(a: Timing, b: Timing) -> Timing {
+pub(crate) fn sum_timing(a: Timing, b: Timing) -> Timing {
     Timing {
         total: a.total + b.total,
         partition: a.partition + b.partition,

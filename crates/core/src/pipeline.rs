@@ -4,8 +4,9 @@
 
 use crate::analysis::DependencyAnalysis;
 use crate::config::{AnalysisConfig, ReasonerConfig};
+use crate::incremental::IncrementalReasoner;
 use crate::parallel::ParallelReasoner;
-use crate::partition::{PlanPartitioner, RandomPartitioner};
+use crate::partition::{Partitioner, PlanPartitioner, RandomPartitioner};
 use crate::reasoner::{Reasoner, ReasonerOutput, SingleReasoner};
 use asp_core::{AspError, Program, Symbols};
 use asp_solver::SolverConfig;
@@ -36,7 +37,8 @@ pub struct StreamRulePipeline {
 }
 
 impl StreamRulePipeline {
-    /// Pipeline with the dependency-analysis parallel reasoner (`PR_Dep`).
+    /// Pipeline with the dependency-analysis parallel reasoner (`PR_Dep`) —
+    /// or its incremental variant when [`ReasonerConfig::incremental`] is on.
     pub fn with_dependency_partitioning(
         syms: &Symbols,
         program: &Program,
@@ -46,17 +48,13 @@ impl StreamRulePipeline {
         let analysis = DependencyAnalysis::analyze(syms, program, None, analysis_cfg)?;
         let partitioner =
             Arc::new(PlanPartitioner::new(analysis.plan.clone(), reasoner_cfg.unknown));
-        let reasoner = Box::new(ParallelReasoner::new(
-            syms,
-            program,
-            Some(&analysis.inpre),
-            partitioner,
-            reasoner_cfg,
-        )?);
+        let reasoner =
+            partitioned_reasoner(syms, program, Some(&analysis.inpre), partitioner, reasoner_cfg)?;
         Ok((Self::assemble(syms, program, reasoner), analysis))
     }
 
-    /// Pipeline with the `k`-way random partitioning baseline (`PR_Ran_k`).
+    /// Pipeline with the `k`-way random partitioning baseline (`PR_Ran_k`) —
+    /// or its incremental variant when [`ReasonerConfig::incremental`] is on.
     pub fn with_random_partitioning(
         syms: &Symbols,
         program: &Program,
@@ -65,8 +63,7 @@ impl StreamRulePipeline {
         reasoner_cfg: ReasonerConfig,
     ) -> Result<Self, AspError> {
         let partitioner = Arc::new(RandomPartitioner::new(k, seed));
-        let reasoner =
-            Box::new(ParallelReasoner::new(syms, program, None, partitioner, reasoner_cfg)?);
+        let reasoner = partitioned_reasoner(syms, program, None, partitioner, reasoner_cfg)?;
         Ok(Self::assemble(syms, program, reasoner))
     }
 
@@ -133,6 +130,23 @@ impl StreamRulePipeline {
     /// The symbol store.
     pub fn symbols(&self) -> &Symbols {
         &self.syms
+    }
+}
+
+/// The partitioned reasoning backend selected by
+/// [`ReasonerConfig::incremental`]: the plain [`ParallelReasoner`] or the
+/// cache-backed [`IncrementalReasoner`].
+fn partitioned_reasoner(
+    syms: &Symbols,
+    program: &Program,
+    inpre: Option<&[asp_core::Predicate]>,
+    partitioner: Arc<dyn Partitioner>,
+    reasoner_cfg: ReasonerConfig,
+) -> Result<Box<dyn Reasoner>, AspError> {
+    if reasoner_cfg.incremental {
+        Ok(Box::new(IncrementalReasoner::new(syms, program, inpre, partitioner, reasoner_cfg)?))
+    } else {
+        Ok(Box::new(ParallelReasoner::new(syms, program, inpre, partitioner, reasoner_cfg)?))
     }
 }
 

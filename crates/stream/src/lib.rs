@@ -11,10 +11,12 @@ pub mod source;
 pub mod window;
 
 pub use generator::{
-    paper_generator, CorrelatedConfig, CorrelatedGenerator, FaithfulGenerator, GeneratorKind,
-    WorkloadGenerator, PAPER_PREDICATES,
+    paper_generator, BurstyGenerator, CorrelatedConfig, CorrelatedGenerator, FaithfulGenerator,
+    GeneratorKind, WorkloadGenerator, PAPER_PREDICATES,
 };
 pub use query::QueryProcessor;
 pub use rng::Pcg32;
 pub use source::{spawn_source, SourceConfig};
-pub use window::{SlidingWindower, StreamItem, TimeWindower, TupleWindower, Window, Windower};
+pub use window::{
+    SlidingWindower, StreamItem, TimeWindower, TupleWindower, Window, WindowDelta, Windower,
+};

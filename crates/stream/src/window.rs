@@ -13,6 +13,28 @@ pub struct StreamItem {
     pub timestamp_ms: u64,
 }
 
+/// Change of a window relative to an earlier window on the same lane:
+/// `multiset(current) = multiset(base) - retracted + added`. Produced by
+/// [`SlidingWindower`] for overlapping windows; the incremental reasoning
+/// subsystem (`sr-core::incremental`) consumes it as telemetry and tests use
+/// it as ground truth for the overlap invariant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WindowDelta {
+    /// Id of the window this delta is relative to (the previous emission).
+    pub base_id: u64,
+    /// Items present in the current window but not in the base window.
+    pub added: Vec<Triple>,
+    /// Items present in the base window but not in the current window.
+    pub retracted: Vec<Triple>,
+}
+
+impl WindowDelta {
+    /// True when the window content is unchanged relative to the base.
+    pub fn is_unchanged(&self) -> bool {
+        self.added.is_empty() && self.retracted.is_empty()
+    }
+}
+
 /// An input window handed to a reasoner.
 #[derive(Clone, Debug, Default)]
 pub struct Window {
@@ -20,12 +42,22 @@ pub struct Window {
     pub id: u64,
     /// The data items.
     pub items: Vec<Triple>,
+    /// Change relative to the previous window on the same lane, when the
+    /// windower can produce one (overlapping sliding windows). `None` means
+    /// "unknown": consumers must treat the window as entirely new.
+    pub delta: Option<WindowDelta>,
 }
 
 impl Window {
-    /// Builds a window.
+    /// Builds a window with no delta metadata.
     pub fn new(id: u64, items: Vec<Triple>) -> Self {
-        Window { id, items }
+        Window { id, items, delta: None }
+    }
+
+    /// Attaches delta metadata (builder style).
+    pub fn with_delta(mut self, delta: WindowDelta) -> Self {
+        self.delta = Some(delta);
+        self
     }
 
     /// Number of items.
@@ -49,6 +81,13 @@ pub trait Windower: Send {
 
     /// Flushes the trailing partial window at end of stream, if any.
     fn flush(&mut self) -> Option<Window>;
+
+    /// Advances wall-clock time without an item, closing a window whose
+    /// boundary has passed. Only time-based windowers react; count-based
+    /// windowers have no notion of elapsed time and return `None`.
+    fn tick(&mut self, _now_ms: u64) -> Option<Window> {
+        None
+    }
 }
 
 impl Windower for TupleWindower {
@@ -78,6 +117,10 @@ impl Windower for TimeWindower {
 
     fn flush(&mut self) -> Option<Window> {
         TimeWindower::flush(self)
+    }
+
+    fn tick(&mut self, now_ms: u64) -> Option<Window> {
+        TimeWindower::tick(self, now_ms)
     }
 }
 
@@ -126,6 +169,12 @@ impl TupleWindower {
 /// `slide` arrivals. `slide == size` degenerates to [`TupleWindower`]
 /// (tumbling); `slide < size` re-processes overlapping items, the classic
 /// CQELS-style sliding regime.
+///
+/// Every emission after the first carries a [`WindowDelta`] relative to the
+/// previous emission: the items that fell off the back (`retracted`) and the
+/// new arrivals (`added`). Arrivals that enter and leave the buffer between
+/// two emissions (possible when `slide > size`) appear in neither list — the
+/// delta relates emitted windows, not raw arrivals.
 #[derive(Debug)]
 pub struct SlidingWindower {
     size: usize,
@@ -133,6 +182,10 @@ pub struct SlidingWindower {
     next_id: u64,
     since_emit: usize,
     buffer: std::collections::VecDeque<Triple>,
+    /// Id and content of the previous emission (the delta base).
+    last_emit: Option<(u64, Vec<Triple>)>,
+    /// Items evicted from the buffer since the previous emission.
+    evicted_since_emit: usize,
 }
 
 impl SlidingWindower {
@@ -147,7 +200,32 @@ impl SlidingWindower {
             next_id: 0,
             since_emit: 0,
             buffer: std::collections::VecDeque::with_capacity(size),
+            last_emit: None,
+            evicted_since_emit: 0,
         }
+    }
+
+    /// Emits the current buffer as a window, attaching the delta against the
+    /// previous emission. Retained items keep their order in the buffer, so
+    /// the delta is structural: the first `evicted` items of the base were
+    /// retracted and everything past the surviving overlap was added.
+    fn emit(&mut self) -> Window {
+        let items: Vec<Triple> = self.buffer.iter().cloned().collect();
+        let delta = self.last_emit.as_ref().map(|(base_id, base)| {
+            let evicted = self.evicted_since_emit.min(base.len());
+            let overlap = base.len() - evicted;
+            WindowDelta {
+                base_id: *base_id,
+                added: items[overlap.min(items.len())..].to_vec(),
+                retracted: base[..evicted].to_vec(),
+            }
+        });
+        let id = self.next_id;
+        self.next_id += 1;
+        self.since_emit = 0;
+        self.evicted_since_emit = 0;
+        self.last_emit = Some((id, items.clone()));
+        Window { id, items, delta }
     }
 
     /// Feeds one item; emits the current window content every `slide` items
@@ -155,30 +233,30 @@ impl SlidingWindower {
     pub fn push(&mut self, item: Triple) -> Option<Window> {
         if self.buffer.len() == self.size {
             self.buffer.pop_front();
+            self.evicted_since_emit += 1;
         }
         self.buffer.push_back(item);
         self.since_emit += 1;
         if self.buffer.len() == self.size && self.since_emit >= self.slide {
-            self.since_emit = 0;
-            let w = Window::new(self.next_id, self.buffer.iter().cloned().collect());
-            self.next_id += 1;
-            Some(w)
+            Some(self.emit())
         } else {
             None
         }
     }
 
-    /// Flushes the trailing window at stream end (API parity with
-    /// [`TupleWindower::flush`]/[`TimeWindower::flush`]): emits the current
-    /// buffer content if any arrivals have not been covered by an emission.
+    /// Flushes at stream end (API parity with [`TupleWindower::flush`]/
+    /// [`TimeWindower::flush`]): emits the current buffer content if any
+    /// arrivals have not been covered by an emission, then resets the buffer
+    /// and the delta base so a reused windower starts a fresh stream instead
+    /// of reporting a stale overlap against a pre-flush window.
     pub fn flush(&mut self) -> Option<Window> {
-        if self.since_emit == 0 || self.buffer.is_empty() {
-            return None;
-        }
+        let out =
+            if self.since_emit == 0 || self.buffer.is_empty() { None } else { Some(self.emit()) };
+        self.buffer.clear();
         self.since_emit = 0;
-        let w = Window::new(self.next_id, self.buffer.iter().cloned().collect());
-        self.next_id += 1;
-        Some(w)
+        self.last_emit = None;
+        self.evicted_since_emit = 0;
+        out
     }
 }
 
@@ -216,6 +294,27 @@ impl TimeWindower {
             }
         }
         self.buffer.push(item.triple);
+        emitted
+    }
+
+    /// Advances wall-clock time without an item: crossing the boundary with
+    /// a non-empty buffer closes and emits the open window, so a quiet
+    /// stream still produces its pending window instead of waiting for the
+    /// next arrival. Boundary handling matches [`TimeWindower::push`]:
+    /// crossing with an empty buffer advances silently.
+    pub fn tick(&mut self, now_ms: u64) -> Option<Window> {
+        if now_ms < self.boundary_ms {
+            return None;
+        }
+        let mut emitted = None;
+        if !self.buffer.is_empty() {
+            let items = std::mem::take(&mut self.buffer);
+            emitted = Some(Window::new(self.next_id, items));
+            self.next_id += 1;
+        }
+        while now_ms >= self.boundary_ms {
+            self.boundary_ms += self.width_ms;
+        }
         emitted
     }
 
@@ -329,12 +428,128 @@ mod tests {
         assert!(w.push(t(2)).is_none());
         let full = w.push(t(3)).expect("full window");
         assert_eq!(full.items, vec![t(1), t(2), t(3)]);
-        assert!(w.flush().is_none(), "everything already emitted");
         assert!(w.push(t(4)).is_none());
         let tail = w.flush().expect("item 4 not yet covered");
         assert_eq!(tail.items, vec![t(2), t(3), t(4)]);
         assert_eq!(tail.id, 1);
         assert!(w.flush().is_none(), "flush is idempotent");
+    }
+
+    #[test]
+    fn sliding_flush_resets_delta_and_buffer_state() {
+        // Regression: flush used to leave the buffer and delta base behind,
+        // so a reused windower emitted windows overlapping pre-flush content
+        // and deltas against a window of the previous stream.
+        let mut w = SlidingWindower::new(3, 1);
+        for i in 1..=3 {
+            w.push(t(i));
+        }
+        assert!(w.flush().is_none(), "window [1,2,3] already emitted");
+        // New stream on the same windower: no stale overlap, no stale delta.
+        assert!(w.push(t(10)).is_none(), "buffer restarts empty");
+        assert!(w.push(t(11)).is_none());
+        let first = w.push(t(12)).expect("fresh stream fills a fresh window");
+        assert_eq!(first.items, vec![t(10), t(11), t(12)]);
+        assert!(first.delta.is_none(), "first window of the new stream has no base");
+    }
+
+    #[test]
+    fn sliding_windows_carry_deltas() {
+        let mut w = SlidingWindower::new(3, 1);
+        w.push(t(1));
+        w.push(t(2));
+        let w0 = w.push(t(3)).unwrap();
+        assert!(w0.delta.is_none(), "first emission has no base window");
+        let w1 = w.push(t(4)).unwrap();
+        let d1 = w1.delta.expect("overlapping emission carries a delta");
+        assert_eq!(d1.base_id, w0.id);
+        assert_eq!(d1.added, vec![t(4)]);
+        assert_eq!(d1.retracted, vec![t(1)]);
+        assert!(!d1.is_unchanged());
+    }
+
+    #[test]
+    fn sliding_delta_with_gap_skips_unwitnessed_items() {
+        // size 2, slide 3: item 4 enters and leaves the buffer between
+        // emissions — it belongs to neither window, so the delta between
+        // [2,3] and [5,6] retracts both old items and adds both new ones.
+        let mut w = SlidingWindower::new(2, 3);
+        for i in 1..=2 {
+            w.push(t(i));
+        }
+        let w0 = w.push(t(3)).unwrap();
+        assert_eq!(w0.items, vec![t(2), t(3)]);
+        w.push(t(4));
+        w.push(t(5));
+        let w1 = w.push(t(6)).unwrap();
+        assert_eq!(w1.items, vec![t(5), t(6)]);
+        let d = w1.delta.unwrap();
+        assert_eq!(d.base_id, w0.id);
+        assert_eq!(d.retracted, vec![t(2), t(3)]);
+        assert_eq!(d.added, vec![t(5), t(6)]);
+    }
+
+    #[test]
+    fn sliding_delta_satisfies_multiset_invariant() {
+        // multiset(current) = multiset(base) - retracted + added, across a
+        // spread of size/slide shapes (overlap, tumbling, gaps).
+        for (size, slide) in [(4, 1), (4, 2), (4, 4), (3, 5)] {
+            let mut w = SlidingWindower::new(size, slide);
+            let mut prev: Option<Window> = None;
+            for i in 0..40 {
+                let Some(win) = w.push(t(i)) else { continue };
+                if let (Some(base), Some(d)) = (&prev, &win.delta) {
+                    assert_eq!(d.base_id, base.id);
+                    let mut reconstructed: Vec<Triple> = base.items.clone();
+                    for r in &d.retracted {
+                        let pos = reconstructed.iter().position(|x| x == r).unwrap_or_else(|| {
+                            panic!("retracted item not in base (size {size} slide {slide})")
+                        });
+                        reconstructed.remove(pos);
+                    }
+                    reconstructed.extend(d.added.iter().cloned());
+                    let sort = |mut v: Vec<Triple>| {
+                        v.sort_by_key(|x| format!("{x}"));
+                        v
+                    };
+                    assert_eq!(
+                        sort(reconstructed),
+                        sort(win.items.clone()),
+                        "delta invariant broken at size {size} slide {slide} window {}",
+                        win.id
+                    );
+                }
+                prev = Some(win);
+            }
+        }
+    }
+
+    #[test]
+    fn time_window_tick_closes_idle_window() {
+        let mut w = TimeWindower::new(100);
+        assert!(w.push(StreamItem { triple: t(1), timestamp_ms: 10 }).is_none());
+        assert!(w.tick(50).is_none(), "boundary not reached yet");
+        let win = w.tick(150).expect("quiet stream still closes the window");
+        assert_eq!(win.id, 0);
+        assert_eq!(win.items, vec![t(1)]);
+        assert!(w.tick(160).is_none(), "no spurious empty window on re-tick");
+        // The boundary advanced past the tick: the next item lands cleanly
+        // in the new window.
+        assert!(w.push(StreamItem { triple: t(2), timestamp_ms: 170 }).is_none());
+        assert_eq!(w.flush().unwrap().items, vec![t(2)]);
+    }
+
+    #[test]
+    fn windower_trait_tick_defaults_to_none_for_count_windowers() {
+        let mut tuple: Box<dyn Windower> = Box::new(TupleWindower::new(2));
+        let mut sliding: Box<dyn Windower> = Box::new(SlidingWindower::new(2, 1));
+        let mut timed: Box<dyn Windower> = Box::new(TimeWindower::new(10));
+        tuple.feed(StreamItem { triple: t(1), timestamp_ms: 0 });
+        sliding.feed(StreamItem { triple: t(1), timestamp_ms: 0 });
+        timed.feed(StreamItem { triple: t(1), timestamp_ms: 0 });
+        assert!(tuple.tick(1_000).is_none());
+        assert!(sliding.tick(1_000).is_none());
+        assert!(timed.tick(1_000).is_some(), "time windower reacts through the trait");
     }
 
     #[test]

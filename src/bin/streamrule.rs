@@ -8,6 +8,7 @@
 //! streamrule run <program.lp> [--data data.nt] [--window N] [--windows K]
 //!                [--mode single|dep|random:K] [--in-flight L] [--rate R]
 //!                [--seed S] [--json out.json] [--events]
+//!                [--incremental] [--cache-size N] [--slide S]
 //! ```
 //!
 //! `run` streams tuple windows — read from an N-Triples file or generated
@@ -16,6 +17,10 @@
 //! (ordered, deterministic emission); `--rate R` throttles submission to
 //! `R` windows/second; `--json` records throughput statistics (plus a
 //! sequential-baseline comparison) in the `BENCH_throughput.json` shape.
+//! `--slide S` cuts sliding windows (S < window re-processes the overlap)
+//! and `--incremental` reuses cached answer sets for partitions whose
+//! content fingerprint is unchanged, with `--cache-size N` bounding the
+//! partition cache (see `sr-core::incremental`).
 
 use sr_bench::{
     outputs_match, sequential_baseline, throughput_json, ThroughputResult, ThroughputRun,
@@ -52,7 +57,8 @@ const USAGE: &str = "usage:
   streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
   streamrule generate --out data.nt [--kind faithful|correlated|sparse] [--size N] [--windows K] [--seed S]
   streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
-                 [--in-flight L] [--rate R] [--seed S] [--json out.json] [--events]";
+                 [--in-flight L] [--rate R] [--seed S] [--json out.json] [--events]
+                 [--incremental] [--cache-size N] [--slide S]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -238,8 +244,27 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         flag_value(args, "--in-flight").unwrap_or("0").parse().map_err(|_| "bad --in-flight")?;
     let rate: f64 = flag_value(args, "--rate").unwrap_or("0").parse().map_err(|_| "bad --rate")?;
     let mode = parse_mode(flag_value(args, "--mode").unwrap_or("dep"))?;
+    let slide: Option<usize> = match flag_value(args, "--slide") {
+        Some(v) => match v.parse() {
+            Ok(s) if s > 0 => Some(s),
+            _ => return Err("bad --slide (need a positive item count)".into()),
+        },
+        None => None,
+    };
+    let cache_size: usize = flag_value(args, "--cache-size")
+        .unwrap_or("256")
+        .parse()
+        .map_err(|_| "bad --cache-size")?;
+    let incremental = has_flag(args, "--incremental");
+    if incremental && matches!(mode, RunMode::Single) {
+        return Err("--incremental caches per-partition results; it needs a partitioned mode \
+                    (--mode dep or --mode random:K)"
+            .into());
+    }
+    let reasoner_cfg =
+        ReasonerConfig { incremental, cache_capacity: cache_size, ..Default::default() };
 
-    let windows = build_windows(args, window_size, windows_cap, seed)?;
+    let windows = build_windows(args, window_size, slide, windows_cap, seed)?;
     let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
         .map_err(|e| e.to_string())?;
 
@@ -256,21 +281,43 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 "--json/--rate drive the pipelined engine; add --in-flight L (L >= 1)".into()
             );
         }
-        return run_sequential(&syms, &program, &analysis, mode, &windows, &projection);
+        return run_sequential(
+            &syms,
+            &program,
+            &analysis,
+            mode,
+            &reasoner_cfg,
+            &windows,
+            &projection,
+        );
     }
     if json_path.is_some() && rate > 0.0 {
         return Err("--json records sustained throughput against an unthrottled baseline; \
                     drop --rate (or set --rate 0)"
             .into());
     }
-    run_engine(&syms, &program, &analysis, mode, windows, in_flight, rate, json_path, &projection)
+    run_engine(
+        &syms,
+        &program,
+        &analysis,
+        mode,
+        &reasoner_cfg,
+        windows,
+        in_flight,
+        rate,
+        json_path,
+        &projection,
+    )
 }
 
 /// Builds the window sequence: cut from an N-Triples file when `--data` is
-/// given, generated from the paper workload otherwise.
+/// given, generated from the paper workload otherwise. With `--slide S` the
+/// stream is cut by a `SlidingWindower` (overlapping windows with delta
+/// metadata); otherwise tumbling behavior is unchanged.
 fn build_windows(
     args: &[String],
     window_size: usize,
+    slide: Option<usize>,
     windows_cap: Option<usize>,
     seed: u64,
 ) -> Result<Vec<Window>, String> {
@@ -279,9 +326,12 @@ fn build_windows(
         let text = std::fs::read_to_string(data).map_err(|e| format!("cannot read {data}: {e}"))?;
         let triples = ntriples::parse(&text).map_err(|e| e.to_string())?;
         println!("loaded {} triples from {data}", triples.len());
-        let mut windower = TupleWindower::new(window_size);
-        for t in triples {
-            if let Some(w) = windower.push(t) {
+        let mut windower: Box<dyn Windower> = match slide {
+            Some(s) => Box::new(SlidingWindower::new(window_size, s)),
+            None => Box::new(TupleWindower::new(window_size)),
+        };
+        for (i, t) in triples.into_iter().enumerate() {
+            if let Some(w) = windower.feed(StreamItem { triple: t, timestamp_ms: i as u64 }) {
                 windows.push(w);
             }
         }
@@ -291,6 +341,25 @@ fn build_windows(
         if let Some(cap) = windows_cap {
             windows.truncate(cap);
         }
+    } else if let Some(s) = slide {
+        // Sliding windows need one continuous stream, not per-window draws.
+        let count = windows_cap.unwrap_or(8);
+        let total = window_size + s * count.saturating_sub(1);
+        let mut generator = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+        let mut windower = SlidingWindower::new(window_size, s);
+        for t in generator.window(total) {
+            if let Some(w) = windower.push(t) {
+                windows.push(w);
+            }
+        }
+        if let Some(w) = windower.flush() {
+            windows.push(w);
+        }
+        windows.truncate(count);
+        println!(
+            "generated {} sliding windows x {window_size} items, slide {s} (seed {seed})",
+            windows.len()
+        );
     } else {
         let count = windows_cap.unwrap_or(8);
         let mut generator = paper_generator(GeneratorKind::CorrelatedSparse, seed);
@@ -302,29 +371,52 @@ fn build_windows(
     Ok(windows)
 }
 
+/// A reasoning backend plus, for `--incremental` runs, the partition cache
+/// whose counters the caller reports.
+type BuiltReasoner = (Box<dyn Reasoner>, Option<Arc<PartitionCache>>);
+
+/// Builds the `--mode`-selected backend.
 fn build_reasoner(
     syms: &Symbols,
     program: &Program,
     analysis: &DependencyAnalysis,
     mode: RunMode,
-) -> Result<Box<dyn Reasoner>, String> {
-    let reasoner: Box<dyn Reasoner> = match mode.partitioner(analysis) {
-        None => Box::new(
-            SingleReasoner::new(syms, program, None, SolverConfig::default())
-                .map_err(|e| e.to_string())?,
-        ),
-        Some(partitioner) => Box::new(
-            ParallelReasoner::new(
+    reasoner_cfg: &ReasonerConfig,
+) -> Result<BuiltReasoner, String> {
+    match mode.partitioner(analysis) {
+        None => Ok((
+            Box::new(
+                SingleReasoner::new(syms, program, None, SolverConfig::default())
+                    .map_err(|e| e.to_string())?,
+            ),
+            None,
+        )),
+        Some(partitioner) if reasoner_cfg.incremental => {
+            let reasoner = IncrementalReasoner::new(
                 syms,
                 program,
                 Some(&analysis.inpre),
                 partitioner,
-                ReasonerConfig::default(),
+                reasoner_cfg.clone(),
             )
-            .map_err(|e| e.to_string())?,
-        ),
-    };
-    Ok(reasoner)
+            .map_err(|e| e.to_string())?;
+            let cache = reasoner.cache().clone();
+            Ok((Box::new(reasoner), Some(cache)))
+        }
+        Some(partitioner) => Ok((
+            Box::new(
+                ParallelReasoner::new(
+                    syms,
+                    program,
+                    Some(&analysis.inpre),
+                    partitioner,
+                    reasoner_cfg.clone(),
+                )
+                .map_err(|e| e.to_string())?,
+            ),
+            None,
+        )),
+    }
 }
 
 /// The window-at-a-time path (the original `run` behavior).
@@ -333,10 +425,11 @@ fn run_sequential(
     program: &Program,
     analysis: &DependencyAnalysis,
     mode: RunMode,
+    reasoner_cfg: &ReasonerConfig,
     windows: &[Window],
     projection: &Projection,
 ) -> Result<(), String> {
-    let mut reasoner = build_reasoner(syms, program, analysis, mode)?;
+    let (mut reasoner, cache) = build_reasoner(syms, program, analysis, mode, reasoner_cfg)?;
     for window in windows {
         let out = reasoner.process(window).map_err(|e| e.to_string())?;
         println!(
@@ -356,7 +449,18 @@ fn run_sequential(
             }
         }
     }
+    if let Some(cache) = cache {
+        print_cache_line(&cache.counters().snapshot());
+    }
     Ok(())
+}
+
+/// Prints the partition-cache summary of an incremental run.
+fn print_cache_line(s: &IncrementalSnapshot) {
+    println!(
+        "cache: {} hits, {} misses, {} evictions, dirty partition ratio {:.2}",
+        s.hits, s.misses, s.evictions, s.dirty_partition_ratio
+    );
 }
 
 /// The pipelined path: `in_flight` engine lanes over a shared worker pool,
@@ -368,6 +472,7 @@ fn run_engine(
     program: &Program,
     analysis: &DependencyAnalysis,
     mode: RunMode,
+    reasoner_cfg: &ReasonerConfig,
     windows: Vec<Window>,
     in_flight: usize,
     rate: f64,
@@ -383,13 +488,14 @@ fn run_engine(
                 as Box<dyn Reasoner>)
         }),
         // Partitioned modes: all lanes share one worker pool sized so each
-        // in-flight window can still fan out over its partitions.
+        // in-flight window can still fan out over its partitions (and, with
+        // --incremental, one partition-level result cache).
         Some(partitioner) => StreamEngine::with_partitioned_lanes(
             syms,
             program,
             Some(&analysis.inpre),
             partitioner,
-            ReasonerConfig::default(),
+            reasoner_cfg.clone(),
             config,
         ),
     }
@@ -419,7 +525,7 @@ fn run_engine(
     print_engine_report(syms, &report, in_flight, projection);
 
     // Baseline through the same harness sr-bench's `repro throughput` uses.
-    let mut baseline = build_reasoner(syms, program, analysis, mode)?;
+    let (mut baseline, _) = build_reasoner(syms, program, analysis, mode, reasoner_cfg)?;
     let (base_stats, base_rendered) =
         sequential_baseline(syms, baseline.as_mut(), &windows).map_err(|e| e.to_string())?;
     let identical = outputs_match(syms, &report.outputs, &base_rendered);
@@ -480,13 +586,17 @@ fn print_engine_report(
     let stats = &report.stats;
     println!(
         "engine: {} lanes, {} windows, {:.2} windows/s, {:.0} items/s, \
-         latency p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms",
+         latency p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms, submit blocked {:.1} ms",
         in_flight,
         stats.windows,
         stats.windows_per_sec,
         stats.items_per_sec,
         stats.latency.p50_ms,
         stats.latency.p95_ms,
-        stats.latency.p99_ms
+        stats.latency.p99_ms,
+        stats.submit_blocked_ms
     );
+    if let Some(snapshot) = &stats.incremental {
+        print_cache_line(snapshot);
+    }
 }
