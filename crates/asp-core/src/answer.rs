@@ -14,17 +14,17 @@ pub struct AnswerSet {
 impl AnswerSet {
     /// Builds an answer set, sorting and deduplicating the atoms.
     ///
-    /// Sorting uses an injective per-atom string key computed once per atom
-    /// (`sort_by_cached_key`) rather than a name-resolving comparator:
-    /// resolving symbols per *comparison* acquires the shared symbol-store
-    /// lock O(n log n) times, which measurably serializes the parallel
-    /// reasoner's workers on large windows.
+    /// Sorting compares atoms structurally through a per-call
+    /// symbol-resolution cache (`atom_cmp_cached`, the one total order
+    /// used by `new`, [`AnswerSet::union`] and [`AnswerSet::union_many`]):
+    /// each distinct symbol resolves exactly once — no per-comparison
+    /// locking of the shared symbol store, which measurably serializes the
+    /// parallel reasoner's workers on large windows — and no per-atom key
+    /// materialization, which dominated on integer-heavy windows (39
+    /// characters per integer argument).
     pub fn new(mut atoms: Vec<GroundAtom>, syms: &Symbols) -> Self {
-        // Resolve each distinct symbol once: cloning the shared `Arc<str>`
-        // per atom makes concurrent workers fight over the refcount cache
-        // lines of the handful of predicate-name symbols.
         let mut cache: crate::symbol::FastMap<Sym, Box<str>> = crate::symbol::FastMap::default();
-        atoms.sort_by_cached_key(|a| sort_key(a, syms, &mut cache));
+        atoms.sort_by(|a, b| atom_cmp_cached(a, b, syms, &mut cache));
         atoms.dedup();
         AnswerSet { atoms }
     }
@@ -62,9 +62,13 @@ impl AnswerSet {
 
     /// Union of two answer sets (used by the combining handler).
     ///
-    /// Both sides are already sorted by the injective key of
-    /// [`AnswerSet::new`], so this is a linear merge rather than a re-sort —
-    /// the combining handler unions window-sized sets on the critical path.
+    /// Both sides are already sorted by [`AnswerSet::new`]'s comparator, so
+    /// this is a linear merge rather than a re-sort — the combining handler
+    /// unions window-sized sets on the critical path. The merge uses the
+    /// same `atom_cmp_cached` order as `new`/[`AnswerSet::union_many`]: a
+    /// mixed regime (structural sort, string-key merge) would mis-order
+    /// unions for symbol names containing C0 control characters, and the
+    /// per-atom key materialization was the dominant combining cost anyway.
     pub fn union(&self, other: &AnswerSet, syms: &Symbols) -> AnswerSet {
         if self.is_empty() {
             return other.clone();
@@ -73,14 +77,10 @@ impl AnswerSet {
             return self.clone();
         }
         let mut cache: crate::symbol::FastMap<Sym, Box<str>> = crate::symbol::FastMap::default();
-        let keys_a: Vec<String> =
-            self.atoms.iter().map(|a| sort_key(a, syms, &mut cache)).collect();
-        let keys_b: Vec<String> =
-            other.atoms.iter().map(|a| sort_key(a, syms, &mut cache)).collect();
         let mut atoms = Vec::with_capacity(self.len() + other.len());
         let (mut i, mut j) = (0usize, 0usize);
-        while i < keys_a.len() && j < keys_b.len() {
-            match keys_a[i].cmp(&keys_b[j]) {
+        while i < self.atoms.len() && j < other.atoms.len() {
+            match atom_cmp_cached(&self.atoms[i], &other.atoms[j], syms, &mut cache) {
                 std::cmp::Ordering::Less => {
                     atoms.push(self.atoms[i].clone());
                     i += 1;
@@ -90,7 +90,7 @@ impl AnswerSet {
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    // Injective keys: equal keys means equal atoms.
+                    // Interned symbols: comparing Equal means equal atoms.
                     atoms.push(self.atoms[i].clone());
                     i += 1;
                     j += 1;
@@ -105,10 +105,12 @@ impl AnswerSet {
     /// Union of many answer sets in one k-way merge — the combining
     /// handler's fast path when every partition has a single answer set.
     ///
-    /// Equivalent to folding [`AnswerSet::union`] pairwise, but each atom's
-    /// injective key is computed exactly once: the pairwise fold re-keys the
-    /// growing accumulator on every step, which is the dominant combining
-    /// cost on window-sized answer sets.
+    /// Equivalent to folding [`AnswerSet::union`] pairwise (the
+    /// pairwise-fold equivalence test pins this down), with atoms compared
+    /// *structurally* (with a per-call symbol-resolution cache) instead of
+    /// through materialized string keys: building a key per atom per
+    /// window — 39 characters per integer argument alone — was the
+    /// dominant combining cost on window-sized answer sets.
     pub fn union_many(syms: &Symbols, sets: &[&AnswerSet]) -> AnswerSet {
         if sets.is_empty() {
             return AnswerSet::default();
@@ -117,10 +119,6 @@ impl AnswerSet {
             return sets[0].clone();
         }
         let mut cache: crate::symbol::FastMap<Sym, Box<str>> = crate::symbol::FastMap::default();
-        let keyed: Vec<Vec<String>> = sets
-            .iter()
-            .map(|s| s.atoms.iter().map(|a| sort_key(a, syms, &mut cache)).collect())
-            .collect();
         let mut heads = vec![0usize; sets.len()];
         let mut atoms = Vec::with_capacity(sets.iter().map(|s| s.len()).sum());
         loop {
@@ -128,22 +126,31 @@ impl AnswerSet {
             // which is small; a heap would cost more than it saves.
             let mut best: Option<usize> = None;
             for i in 0..sets.len() {
-                if heads[i] < keyed[i].len()
-                    && best.is_none_or(|b| keyed[i][heads[i]] < keyed[b][heads[b]])
+                if heads[i] < sets[i].atoms.len()
+                    && best.is_none_or(|b| {
+                        atom_cmp_cached(
+                            &sets[i].atoms[heads[i]],
+                            &sets[b].atoms[heads[b]],
+                            syms,
+                            &mut cache,
+                        )
+                        .is_lt()
+                    })
                 {
                     best = Some(i);
                 }
             }
             let Some(b) = best else { break };
             let pos = heads[b];
-            atoms.push(sets[b].atoms[pos].clone());
-            let key = &keyed[b][pos];
-            // Injective keys: advancing every equal head deduplicates.
+            let atom = sets[b].atoms[pos].clone();
+            // Interned symbols make atom equality equivalent to key
+            // equality: advancing every equal head deduplicates.
             for (i, head) in heads.iter_mut().enumerate() {
-                while *head < keyed[i].len() && keyed[i][*head] == *key {
+                while *head < sets[i].atoms.len() && sets[i].atoms[*head] == atom {
                     *head += 1;
                 }
             }
+            atoms.push(atom);
         }
         AnswerSet { atoms }
     }
@@ -161,10 +168,88 @@ impl AnswerSet {
     }
 }
 
+/// Structural comparison of two ground atoms — name, then polarity, then
+/// arguments left to right with int < const < func and
+/// shorter-argument-prefix first — resolving each symbol at most once
+/// through `cache`. Avoids materializing keys on the merge paths. This is
+/// *the* answer-set atom order (`new`/`union`/`union_many` all use it); it
+/// coincides with the legacy `sort_key` string order for symbol names free
+/// of C0 control characters (pinned by a test), but is the sole authority
+/// where the two diverge.
+fn atom_cmp_cached(
+    a: &GroundAtom,
+    b: &GroundAtom,
+    syms: &Symbols,
+    cache: &mut crate::symbol::FastMap<Sym, Box<str>>,
+) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    if a == b {
+        return Ordering::Equal;
+    }
+    // Resolve both symbols (filling the cache), then reborrow shared — the
+    // comparison itself allocates nothing.
+    fn name_cmp(
+        s: Sym,
+        t: Sym,
+        syms: &Symbols,
+        cache: &mut crate::symbol::FastMap<Sym, Box<str>>,
+    ) -> std::cmp::Ordering {
+        if s == t {
+            return std::cmp::Ordering::Equal;
+        }
+        cache.entry(s).or_insert_with(|| Box::from(&*syms.resolve(s)));
+        cache.entry(t).or_insert_with(|| Box::from(&*syms.resolve(t)));
+        cache[&s].cmp(&cache[&t])
+    }
+    fn term_cmp(
+        x: &crate::term::GroundTerm,
+        y: &crate::term::GroundTerm,
+        syms: &Symbols,
+        cache: &mut crate::symbol::FastMap<Sym, Box<str>>,
+    ) -> std::cmp::Ordering {
+        use crate::term::GroundTerm;
+        // Tags mirror sort_key: int ('a') < const ('b') < func ('c').
+        let tag = |t: &GroundTerm| match t {
+            GroundTerm::Int(_) => 0u8,
+            GroundTerm::Const(_) => 1,
+            GroundTerm::Func(..) => 2,
+        };
+        match (x, y) {
+            (GroundTerm::Int(i), GroundTerm::Int(j)) => i.cmp(j),
+            (GroundTerm::Const(s), GroundTerm::Const(t)) => name_cmp(*s, *t, syms, cache),
+            (GroundTerm::Func(f, fa), GroundTerm::Func(g, ga)) => name_cmp(*f, *g, syms, cache)
+                .then_with(|| {
+                    for (xa, ya) in fa.iter().zip(ga.iter()) {
+                        let o = term_cmp(xa, ya, syms, cache);
+                        if o != std::cmp::Ordering::Equal {
+                            return o;
+                        }
+                    }
+                    fa.len().cmp(&ga.len())
+                }),
+            _ => tag(x).cmp(&tag(y)),
+        }
+    }
+    name_cmp(a.pred, b.pred, syms, cache).then_with(|| a.strong_neg.cmp(&b.strong_neg)).then_with(
+        || {
+            for (x, y) in a.args.iter().zip(b.args.iter()) {
+                let o = term_cmp(x, y, syms, cache);
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            a.args.len().cmp(&b.args.len())
+        },
+    )
+}
+
 /// Injective, name-based sort key for a ground atom. Equal keys imply equal
 /// atoms (type tags disambiguate e.g. the integer `3` from a constant `"3"`),
 /// so ordering by this key is deterministic across runs regardless of symbol
-/// interning order.
+/// interning order. Test-only since `atom_cmp_cached` became the one
+/// production order: kept to pin the historical key order the structural
+/// comparator must match on control-character-free names.
+#[cfg(test)]
 fn sort_key(
     atom: &GroundAtom,
     syms: &Symbols,
@@ -291,6 +376,49 @@ mod tests {
         let b = AnswerSet::new(vec![ga(&syms, "q", "1"), ga(&syms, "p", "1")], &syms);
         let u = a.union(&b, &syms);
         assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn structural_comparator_matches_sort_key_order() {
+        // The k-way merge compares structurally; the sets themselves are
+        // sorted by the string key. Any order disagreement between the two
+        // shows up as a mis-sorted or mis-deduplicated union.
+        let syms = Symbols::new();
+        let f = syms.intern("f");
+        let mixed = |name: &str, args: Vec<GroundTerm>| GroundAtom::new(syms.intern(name), args);
+        let atoms = vec![
+            mixed("p", vec![GroundTerm::Int(-3)]),
+            mixed("p", vec![GroundTerm::Int(20)]),
+            mixed("p", vec![GroundTerm::Const(syms.intern("20"))]),
+            mixed("p", vec![GroundTerm::Int(1), GroundTerm::Int(2)]),
+            mixed("p", vec![GroundTerm::Func(f, Box::new([GroundTerm::Int(1)]))]),
+            mixed(
+                "p",
+                vec![GroundTerm::Func(f, Box::new([GroundTerm::Int(1), GroundTerm::Int(3)]))],
+            ),
+            mixed("pq", vec![GroundTerm::Int(0)]),
+            GroundAtom { strong_neg: true, ..mixed("p", vec![GroundTerm::Int(20)]) },
+        ];
+        let mut cache = crate::symbol::FastMap::default();
+        let sorted_by_key = {
+            let mut v = atoms.clone();
+            v.sort_by_cached_key(|a| sort_key(a, &syms, &mut cache));
+            v
+        };
+        let mut cache2 = crate::symbol::FastMap::default();
+        let sorted_structurally = {
+            let mut v = atoms.clone();
+            v.sort_by(|a, b| atom_cmp_cached(a, b, &syms, &mut cache2));
+            v
+        };
+        assert_eq!(sorted_by_key, sorted_structurally, "total orders must agree");
+        // And through the public API: unions of slices must equal the fold.
+        let a = AnswerSet::new(atoms[..5].to_vec(), &syms);
+        let b = AnswerSet::new(atoms[3..].to_vec(), &syms);
+        let c = AnswerSet::new(vec![atoms[0].clone(), atoms[7].clone()], &syms);
+        let many = AnswerSet::union_many(&syms, &[&a, &b, &c]);
+        let folded = a.union(&b, &syms).union(&c, &syms);
+        assert_eq!(many, folded);
     }
 
     #[test]

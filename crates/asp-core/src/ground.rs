@@ -121,6 +121,42 @@ impl GroundProgram {
     pub fn body_literal_count(&self) -> usize {
         self.rules.iter().map(|r| r.pos.len() + r.neg.len()).sum()
     }
+
+    /// Canonical semantic form: each rule rendered with its head disjunction
+    /// sorted, the whole rule list sorted and deduplicated. Two ground
+    /// programs with equal canonical forms have the same rule *set*
+    /// regardless of atom interning order or rule emission order — the
+    /// equality the incremental grounder's identity tests check, since a
+    /// maintained grounding discovers instantiations in a different order
+    /// than a from-scratch run.
+    pub fn canonical_form(&self, syms: &Symbols) -> Vec<String> {
+        use std::fmt::Write as _;
+        let atom = |id: &AtomId| self.atoms.resolve(*id).display(syms).to_string();
+        let mut rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| {
+                let mut head: Vec<String> = r.head.iter().map(atom).collect();
+                head.sort();
+                let mut out = head.join(" | ");
+                if !r.pos.is_empty() || !r.neg.is_empty() || r.head.is_empty() {
+                    out.push_str(" :- ");
+                    let mut body: Vec<String> = r.pos.iter().map(atom).collect();
+                    for n in &r.neg {
+                        let mut lit = String::from("not ");
+                        let _ = write!(lit, "{}", self.atoms.resolve(*n).display(syms));
+                        body.push(lit);
+                    }
+                    out.push_str(&body.join(", "));
+                }
+                out.push('.');
+                out
+            })
+            .collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
 }
 
 /// Display adapter for [`GroundProgram`].

@@ -19,8 +19,8 @@ pub const CHOICE_COMPLEMENT_PREFIX: &str = "\u{2}not_";
 /// instantiates per input window (run time).
 #[derive(Debug)]
 pub struct Grounder {
-    syms: Symbols,
-    compiled: Vec<CompiledRule>,
+    pub(crate) syms: Symbols,
+    pub(crate) compiled: Vec<CompiledRule>,
     components: Vec<Component>,
     constraint_ids: Vec<usize>,
 }
@@ -258,6 +258,10 @@ impl Eval<'_> {
         self.step(rule, plan, 0, &mut subst, key as u32)
     }
 
+    // KEEP IN SYNC with `DeltaGrounder::step` (delta.rs): same plan-walk
+    // semantics over different relation storage. The delta-on/off identity
+    // proptests catch divergence, but a semantic fix here almost certainly
+    // belongs there too.
     fn step(
         &mut self,
         rule: &CompiledRule,
@@ -287,7 +291,7 @@ impl Eval<'_> {
                     // and reallocate its backing storage.
                     let tuple: Box<[GroundTerm]> = self.relations[&atom.pred].tuple(c).into();
                     let mark = self.trail.len();
-                    let ok = self.unify_args(&atom.args, &tuple, subst)?;
+                    let ok = unify_args(&atom.args, &tuple, subst, &mut self.trail)?;
                     if ok {
                         self.step(rule, plan, idx + 1, subst, key)?;
                     }
@@ -327,60 +331,6 @@ impl Eval<'_> {
             Source::Delta => self.delta.get(&pred).copied().unwrap_or((0, 0)),
             Source::Full | Source::Live => {
                 (0, self.relations.get(&pred).map_or(0, |r| r.len() as u32))
-            }
-        }
-    }
-
-    fn unify_args(
-        &mut self,
-        args: &[crate::compile::CTerm],
-        tuple: &[GroundTerm],
-        subst: &mut [Option<GroundTerm>],
-    ) -> Result<bool, AspError> {
-        debug_assert_eq!(args.len(), tuple.len());
-        for (a, g) in args.iter().zip(tuple.iter()) {
-            if !self.unify(a, g, subst)? {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    }
-
-    fn unify(
-        &mut self,
-        t: &crate::compile::CTerm,
-        g: &GroundTerm,
-        subst: &mut [Option<GroundTerm>],
-    ) -> Result<bool, AspError> {
-        use crate::compile::CTerm;
-        match t {
-            CTerm::Const(s) => Ok(matches!(g, GroundTerm::Const(gs) if gs == s)),
-            CTerm::Int(i) => Ok(matches!(g, GroundTerm::Int(gi) if gi == i)),
-            CTerm::Var(slot) => {
-                let si = *slot as usize;
-                match &subst[si] {
-                    Some(v) => Ok(v == g),
-                    None => {
-                        subst[si] = Some(g.clone());
-                        self.trail.push(*slot);
-                        Ok(true)
-                    }
-                }
-            }
-            CTerm::Func(f, fargs) => match g {
-                GroundTerm::Func(gf, gargs) if gf == f && gargs.len() == fargs.len() => {
-                    for (a, ga) in fargs.iter().zip(gargs.iter()) {
-                        if !self.unify(a, ga, subst)? {
-                            return Ok(false);
-                        }
-                    }
-                    Ok(true)
-                }
-                _ => Ok(false),
-            },
-            CTerm::BinOp(..) => {
-                let v = t.eval(subst)?;
-                Ok(v == *g)
             }
         }
     }
@@ -475,6 +425,64 @@ impl Eval<'_> {
                     neg: Vec::new(),
                 });
             }
+        }
+    }
+}
+
+/// Unifies a compiled atom's argument terms against a ground tuple, binding
+/// variables into `subst` and recording every fresh binding on `trail` (so
+/// the caller can backtrack). Shared by the window grounder's [`Eval`] and
+/// the delta grounder ([`crate::delta`]).
+pub(crate) fn unify_args(
+    args: &[crate::compile::CTerm],
+    tuple: &[GroundTerm],
+    subst: &mut [Option<GroundTerm>],
+    trail: &mut Vec<u32>,
+) -> Result<bool, AspError> {
+    debug_assert_eq!(args.len(), tuple.len());
+    for (a, g) in args.iter().zip(tuple.iter()) {
+        if !unify(a, g, subst, trail)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+pub(crate) fn unify(
+    t: &crate::compile::CTerm,
+    g: &GroundTerm,
+    subst: &mut [Option<GroundTerm>],
+    trail: &mut Vec<u32>,
+) -> Result<bool, AspError> {
+    use crate::compile::CTerm;
+    match t {
+        CTerm::Const(s) => Ok(matches!(g, GroundTerm::Const(gs) if gs == s)),
+        CTerm::Int(i) => Ok(matches!(g, GroundTerm::Int(gi) if gi == i)),
+        CTerm::Var(slot) => {
+            let si = *slot as usize;
+            match &subst[si] {
+                Some(v) => Ok(v == g),
+                None => {
+                    subst[si] = Some(g.clone());
+                    trail.push(*slot);
+                    Ok(true)
+                }
+            }
+        }
+        CTerm::Func(f, fargs) => match g {
+            GroundTerm::Func(gf, gargs) if gf == f && gargs.len() == fargs.len() => {
+                for (a, ga) in fargs.iter().zip(gargs.iter()) {
+                    if !unify(a, ga, subst, trail)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        },
+        CTerm::BinOp(..) => {
+            let v = t.eval(subst)?;
+            Ok(v == *g)
         }
     }
 }

@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod delta;
 pub mod instantiate;
 pub mod relation;
 pub mod simplify;
 
+pub use delta::{DeltaError, DeltaGrounder};
 pub use instantiate::{ground_program, is_internal_predicate, Grounder};
-pub use simplify::ProtoRule;
+pub use simplify::{finalize_refs, ProtoRule};

@@ -92,7 +92,7 @@ impl Relation {
 }
 
 /// Extracts the bound-position values of `tuple` under `pattern`.
-fn key_for(tuple: &[GroundTerm], pattern: u64) -> Box<[GroundTerm]> {
+pub(crate) fn key_for(tuple: &[GroundTerm], pattern: u64) -> Box<[GroundTerm]> {
     tuple
         .iter()
         .enumerate()

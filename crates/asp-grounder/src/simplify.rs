@@ -31,18 +31,27 @@ pub struct ProtoRule {
 
 /// Runs the certain/possible simplification and builds the final
 /// [`GroundProgram`].
-pub fn finalize(
-    relations: &FastMap<Predicate, Relation>,
-    mut proto: Vec<ProtoRule>,
-) -> GroundProgram {
+pub fn finalize(relations: &FastMap<Predicate, Relation>, proto: Vec<ProtoRule>) -> GroundProgram {
     let possible = |a: &GroundAtom| -> bool {
         relations.get(&a.predicate()).is_some_and(|r| r.contains(&a.args))
     };
+    let refs: Vec<&ProtoRule> = proto.iter().collect();
+    finalize_refs(&possible, &refs)
+}
 
-    // 1. Drop vacuously true negative literals.
-    for rule in &mut proto {
-        rule.neg.retain(|a| possible(a));
-    }
+/// Re-entrant form of [`finalize`]: the possible-set is an arbitrary
+/// predicate and the proto rules are borrowed, so a caller that *maintains*
+/// its proto rules across windows (the delta grounder,
+/// [`crate::delta::DeltaGrounder`]) can re-run the simplification without
+/// rebuilding or mutating its state. Behavior is identical to [`finalize`].
+pub fn finalize_refs(
+    possible: &dyn Fn(&GroundAtom) -> bool,
+    proto: &[&ProtoRule],
+) -> GroundProgram {
+    // 1. Vacuously true negative literals (atom not possible) are dropped:
+    //    compute the surviving negative body per rule.
+    let kept_neg: Vec<Vec<&GroundAtom>> =
+        proto.iter().map(|rule| rule.neg.iter().filter(|a| possible(a)).collect()).collect();
 
     // 2. Certain fixpoint with counting.
     let mut certain_ids: FastMap<GroundAtom, usize> = FastMap::default();
@@ -64,7 +73,7 @@ pub fn finalize(
     let mut remaining: Vec<usize> = vec![usize::MAX; proto.len()];
     let mut queue: Vec<GroundAtom> = Vec::new();
     for (ri, rule) in proto.iter().enumerate() {
-        if rule.heads.len() != 1 || !rule.neg.is_empty() {
+        if rule.heads.len() != 1 || !kept_neg[ri].is_empty() {
             continue;
         }
         remaining[ri] = rule.pos.len();
@@ -105,17 +114,18 @@ pub fn finalize(
             out.rules.push(rule);
         }
     }
-    for rule in &proto {
-        if rule.neg.iter().any(&certain) {
+    for (ri, rule) in proto.iter().enumerate() {
+        if kept_neg[ri].iter().any(|a| certain(a)) {
             continue; // can never fire
         }
-        if !rule.heads.is_empty() && rule.heads.iter().any(&certain) {
+        if !rule.heads.is_empty() && rule.heads.iter().any(certain) {
             continue; // already satisfied (single head: emitted as a fact)
         }
         let head: Vec<AtomId> = rule.heads.iter().map(|a| out.atoms.intern(a.clone())).collect();
         let pos: Vec<AtomId> =
             rule.pos.iter().filter(|a| !certain(a)).map(|a| out.atoms.intern(a.clone())).collect();
-        let neg: Vec<AtomId> = rule.neg.iter().map(|a| out.atoms.intern(a.clone())).collect();
+        let neg: Vec<AtomId> =
+            kept_neg[ri].iter().map(|a| out.atoms.intern((*a).clone())).collect();
         let ground = GroundRule { head, pos, neg };
         if emitted.insert(ground.clone()) {
             out.rules.push(ground);

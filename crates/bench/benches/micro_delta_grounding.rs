@@ -1,0 +1,82 @@
+//! Delta-grounding microbenchmark: full [`Grounder::ground`] over a window
+//! versus [`DeltaGrounder::apply`] of a window delta against maintained
+//! state, at delta ratios 1/64..1 of the window, on the traffic program.
+//!
+//! Each `apply` measurement performs a *round trip* (apply the delta, then
+//! apply its inverse) so the maintained state returns to the baseline
+//! between iterations; the reported time therefore covers two delta
+//! applications of the given size. `apply+answer` adds the per-window
+//! answer-set extraction (the work the incremental reasoner actually runs
+//! per dirty partition), while the scratch side pays ground + solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::PROGRAM_P;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn micro_delta(c: &mut Criterion) {
+    let syms = asp_core::Symbols::new();
+    let program = asp_parser::parse_program(&syms, PROGRAM_P).expect("parse");
+    let inpre = program.edb_predicates();
+    let grounder = Arc::new(asp_grounder::Grounder::new(&syms, &program).expect("compile"));
+    let format_cfg = sr_rdf::FormatConfig::from_input_signature(&syms, &inpre);
+    let mut format = sr_rdf::FormatProcessor::new(&syms, &format_cfg);
+    let mut generator = sr_stream::paper_generator(sr_stream::GeneratorKind::Correlated, 5);
+
+    const WINDOW: usize = 4_096;
+    let window = generator.window(WINDOW);
+    let incoming = generator.window(WINDOW);
+    let facts = format.window_to_facts(&window);
+    let fresh = format.window_to_facts(&incoming);
+
+    let mut group = c.benchmark_group("delta_ground");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("full_ground", WINDOW), |b| {
+        b.iter(|| black_box(grounder.ground(&facts).expect("ground")));
+    });
+    let gp = grounder.ground(&facts).expect("ground");
+    group.bench_function(BenchmarkId::new("full_solve", WINDOW), |b| {
+        b.iter(|| {
+            black_box(
+                asp_solver::solve_ground(&syms, &gp, &asp_solver::SolverConfig::default())
+                    .expect("solve"),
+            )
+        });
+    });
+
+    for ratio in [64usize, 16, 4, 1] {
+        let delta = WINDOW / ratio;
+        let added = &fresh[..delta];
+        let retracted = &facts[..delta];
+        let mut dg = asp_grounder::DeltaGrounder::new(Arc::clone(&grounder)).expect("delta");
+        dg.apply(&facts, &[]).expect("seed");
+        group.bench_with_input(
+            BenchmarkId::new("apply_roundtrip", format!("1/{ratio}")),
+            &delta,
+            |b, _| {
+                b.iter(|| {
+                    dg.apply(added, retracted).expect("forward");
+                    dg.apply(retracted, added).expect("inverse");
+                    black_box(dg.instantiations());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apply_answer_roundtrip", format!("1/{ratio}")),
+            &delta,
+            |b, _| {
+                b.iter(|| {
+                    dg.apply(added, retracted).expect("forward");
+                    black_box(dg.answer());
+                    dg.apply(retracted, added).expect("inverse");
+                    black_box(dg.answer());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_delta);
+criterion_main!(benches);

@@ -12,9 +12,10 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    csv, incremental_json, program_p_prime, run, run_incremental, run_throughput, table,
-    throughput_json, ExperimentConfig, ExperimentResult, IncrementalConfig, Measure, Series,
-    ThroughputConfig, PROGRAM_P,
+    csv, delta_grounding_json, incremental_json, program_p_prime, run, run_delta_grounding,
+    run_incremental, run_throughput, table, throughput_json, DeltaGroundingConfig,
+    ExperimentConfig, ExperimentResult, IncrementalConfig, Measure, Series, ThroughputConfig,
+    PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
@@ -23,21 +24,30 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding] [--quick]
+       repro check <BENCH_*.json>...
        repro --smoke
        repro --help
 
-  all         every figure, the Section IV claims, the ablations and the
-              throughput + incremental sweeps (default)
-  figN        one figure's grid and CSV (written to results/)
-  claims      the Section IV headline claims on the measured grids
-  ablations   partitioning ablations beyond the paper
-  throughput  pipelined StreamEngine vs window-at-a-time baseline
-              (writes results/BENCH_throughput.json)
-  incremental sliding-window slide/size sweep: partition-cache reasoner vs
-              full recompute (writes results/BENCH_incremental.json)
-  --quick     small grid (2 window sizes, 2 reps) instead of the paper grid
-  --smoke     seconds-fast end-to-end pipeline check, no files written
+  all          every figure, the Section IV claims, the ablations and the
+               throughput + incremental + delta-ground sweeps (default)
+  figN         one figure's grid and CSV (written to results/)
+  claims       the Section IV headline claims on the measured grids
+  ablations    partitioning ablations beyond the paper
+  throughput   pipelined StreamEngine vs window-at-a-time baseline
+               (writes results/BENCH_throughput.json)
+  incremental  sliding-window slide/size sweep: partition-cache reasoner vs
+               full recompute (writes results/BENCH_incremental.json)
+  delta-grounding
+               sliding-window sweep: delta-driven grounding inside dirty
+               partitions vs the partition-cache-only incremental reasoner
+               (writes results/BENCH_delta_grounding.json)
+  check        regression-gate one or more BENCH_*.json records: exit 1 when
+               any output-identity flag is false or the record's headline
+               speedup (speedup_at_eighth / best_speedup_windows_per_sec)
+               fell below 1.0 — the CI bench-gate step
+  --quick      small grid (2 window sizes, 2 reps) instead of the paper grid
+  --smoke      seconds-fast end-to-end pipeline check, no files written
 ";
 
 fn main() {
@@ -48,6 +58,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("check") {
+        check(&args[1..]);
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -109,6 +123,87 @@ fn main() {
     if matches!(what, "all" | "incremental") {
         incremental(quick);
     }
+    if matches!(what, "all" | "delta-grounding") {
+        delta_grounding(quick);
+    }
+}
+
+/// The CI bench gate: checks every given record with
+/// [`sr_bench::check_record`] — all records are checked and all violations
+/// reported before the non-zero exit — so the bench-smoke job fails on an
+/// output-identity or headline-speedup regression instead of silently
+/// uploading a bad record.
+fn check(files: &[String]) {
+    if files.is_empty() {
+        eprintln!("repro check: no record files given\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in files {
+        let json = match std::fs::read_to_string(file) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("FAIL {file}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match sr_bench::check_record(&json) {
+            Ok(summary) => println!(
+                "PASS {file}: {} = {:.4}, {} identity flag(s) true",
+                summary.speedup_key, summary.speedup, summary.identity_flags
+            ),
+            Err(violations) => {
+                failed = true;
+                for v in &violations {
+                    eprintln!("FAIL {file}: {v}");
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The delta-grounding sweep (beyond the paper): maintained grounding +
+/// partition-scoped deltas inside dirty partitions vs the partition-cache-
+/// only incremental reasoner, recorded as `results/BENCH_delta_grounding.json`.
+fn delta_grounding(quick: bool) {
+    println!(
+        "\n== Delta grounding: maintained dirty-partition grounding vs cache-only incremental =="
+    );
+    let cfg = if quick { DeltaGroundingConfig::quick() } else { DeltaGroundingConfig::paper() };
+    let result = run_delta_grounding(&cfg).expect("delta-ground sweep");
+    println!(
+        "  window {} items, {} windows per ratio, {} partitions, cache capacity {}",
+        result.window_size, result.windows, result.partitions, result.cache_capacity
+    );
+    for run in &result.runs {
+        println!(
+            "  slide 1/{:<2} ({} items): cache-only {:.1} ms, delta-ground {:.1} ms -> {:.2}x \
+             (full {:.1} ms), {} applies / {} regrounds, identical: {}",
+            (result.window_size / run.slide),
+            run.slide,
+            run.cache_only_ms,
+            run.delta_ms,
+            run.speedup,
+            run.full_ms,
+            run.cache.delta_applies,
+            run.cache.delta_regrounds,
+            run.output_identical
+        );
+    }
+    println!(
+        "  engine pass: {} lanes, queue high-water {}, output identical: {}",
+        result.engine.lanes.len(),
+        result.engine.queue_high_water,
+        result.engine_output_identical
+    );
+    let path = "results/BENCH_delta_grounding.json";
+    std::fs::write(Path::new(path), delta_grounding_json(&result))
+        .expect("write delta-ground json");
+    println!("[json written to {path}]");
 }
 
 /// The sliding-window incremental sweep (beyond the paper): fingerprint-

@@ -1,0 +1,390 @@
+//! Delta-grounding experiment: sliding windows at several slide/size
+//! ratios, partition-cache-only incremental reasoning versus the same
+//! reasoner with delta-driven grounding inside dirty partitions
+//! ([`sr_core::ReasonerConfig::delta_ground`]), on the large traffic rule
+//! set with a bursty arrival pattern. Emits
+//! `results/BENCH_delta_grounding.json` via [`delta_grounding_json`].
+//!
+//! Both incremental sides run in [`ParallelMode::Sequential`], so the
+//! measured speedup is grounding *work avoided* inside dirty partitions.
+//! The workload is **retraction-heavy**: the stream interleaves
+//! predicate-group bursts of `slide / communities` items (every slide
+//! touches every input-dependency partition — all partitions are dirty
+//! every window, the regime where the partition-level result cache, PR 3's
+//! lever benchmarked in `BENCH_incremental.json` with slide-*aligned*
+//! bursts, cannot help) and feeds them through a
+//! [`ChurnStream`]: a fixed fraction of each
+//! slide's retractions hits the live window interior rather than the
+//! expiring FIFO tail, so the delta grounder's DRed-style
+//! over-delete/re-derive path is exercised on facts whose join partners
+//! are still live. A full non-incremental pass provides the reference
+//! output every window is byte-checked against, plus context for the
+//! end-to-end gain. A final single-lane engine pass at the headline ratio
+//! records `EngineStats` (lane occupancy, queue high-water, cache + delta
+//! counters) for the pipelined wiring.
+
+use crate::incremental::community_groups;
+use crate::programs::LARGE_TRAFFIC;
+use crate::throughput::{outputs_match, render_output};
+use asp_core::{AspError, Symbols};
+use sr_core::{
+    duration_ms, AnalysisConfig, DependencyAnalysis, EngineConfig, EngineStats,
+    IncrementalReasoner, IncrementalSnapshot, ParallelMode, ParallelReasoner, PlanPartitioner,
+    Reasoner, ReasonerConfig, StreamEngine, UnknownPredicate,
+};
+use sr_stream::{BurstyGenerator, ChurnStream, Window};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Delta-grounding experiment definition.
+#[derive(Clone, Debug)]
+pub struct DeltaGroundingConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Items per window; must be divisible by every ratio in `ratios`.
+    pub window_size: usize,
+    /// size/slide ratios to sweep (`8` means slide = size/8; `1` tumbling).
+    pub ratios: Vec<usize>,
+    /// Windows emitted per ratio.
+    pub windows: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Partition-cache capacity (entries) for both incremental sides.
+    pub cache_capacity: usize,
+    /// Fraction of each slide's retractions drawn uniformly from the live
+    /// window interior (see [`ChurnStream`]); the rest expire FIFO.
+    pub retract_fraction: f64,
+}
+
+impl DeltaGroundingConfig {
+    /// The default sweep: 24 windows of 1,600 items at ratios 8/4/2/1 on the
+    /// large traffic program (4 input-dependency communities), with half of
+    /// every slide's retractions hitting the window interior.
+    pub fn paper() -> Self {
+        DeltaGroundingConfig {
+            program: LARGE_TRAFFIC.to_string(),
+            window_size: 1_600,
+            ratios: vec![8, 4, 2, 1],
+            windows: 24,
+            seed: 2017,
+            cache_capacity: 64,
+            retract_fraction: 0.5,
+        }
+    }
+
+    /// A smoke-test sweep for CI / `--quick`.
+    pub fn quick() -> Self {
+        DeltaGroundingConfig { window_size: 320, windows: 8, ..Self::paper() }
+    }
+}
+
+/// One slide's measurement.
+#[derive(Clone, Debug)]
+pub struct DeltaGroundingRun {
+    /// Slide (items) of this run.
+    pub slide: usize,
+    /// `slide / window_size`.
+    pub slide_ratio: f64,
+    /// Full (non-incremental) recompute wall time over all windows (ms).
+    pub full_ms: f64,
+    /// Partition-cache-only incremental wall time (ms) — the baseline the
+    /// speedup is measured against.
+    pub cache_only_ms: f64,
+    /// Delta-grounding incremental wall time (ms).
+    pub delta_ms: f64,
+    /// `cache_only_ms / delta_ms`.
+    pub speedup: f64,
+    /// Whether *both* incremental outputs were byte-identical to full
+    /// recomputation, window by window.
+    pub output_identical: bool,
+    /// Cache + delta counters after the delta-grounding pass.
+    pub cache: IncrementalSnapshot,
+}
+
+/// Result of the delta-grounding experiment.
+#[derive(Clone, Debug)]
+pub struct DeltaGroundingResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Windows per run.
+    pub windows: usize,
+    /// Cache capacity used.
+    pub cache_capacity: usize,
+    /// Partitions of the dependency plan.
+    pub partitions: usize,
+    /// Interior-retraction fraction of the churn workload.
+    pub retract_fraction: f64,
+    /// One measurement per swept ratio.
+    pub runs: Vec<DeltaGroundingRun>,
+    /// Engine pass at the headline ratio: delta-ground lanes through the
+    /// pipelined `StreamEngine` (occupancy, queue high-water, counters).
+    pub engine: EngineStats,
+    /// Whether the engine pass matched the full recompute output.
+    pub engine_output_identical: bool,
+}
+
+impl DeltaGroundingResult {
+    /// The run at slide/size = 1/8, when swept (the headline ratio).
+    pub fn at_eighth(&self) -> Option<&DeltaGroundingRun> {
+        self.runs.iter().find(|r| (r.slide_ratio - 0.125).abs() < 1e-9)
+    }
+
+    /// True when every run's output (and the engine pass) matched full
+    /// recomputation.
+    pub fn output_identical_all(&self) -> bool {
+        self.runs.iter().all(|r| r.output_identical) && self.engine_output_identical
+    }
+}
+
+/// Builds the retraction-heavy window sequence for one slide: interleaved
+/// community bursts through a [`ChurnStream`] with the configured interior
+/// retraction fraction.
+fn churn_windows(
+    analysis: &DependencyAnalysis,
+    syms: &Symbols,
+    config: &DeltaGroundingConfig,
+    slide: usize,
+) -> Vec<Window> {
+    let groups = community_groups(analysis, syms);
+    let burst = (slide / groups.len().max(1)).max(1);
+    let inner = BurstyGenerator::new(groups, burst, config.window_size as i64, config.seed);
+    let mut churn = ChurnStream::new(
+        Box::new(inner),
+        config.window_size,
+        slide,
+        config.retract_fraction,
+        config.seed,
+    );
+    churn.windows(config.windows)
+}
+
+/// Runs `reasoner` over `windows`, returning wall time and rendered answers.
+fn timed_pass(
+    syms: &Symbols,
+    reasoner: &mut dyn Reasoner,
+    windows: &[Window],
+) -> Result<(f64, Vec<String>), AspError> {
+    let mut rendered = Vec::with_capacity(windows.len());
+    let t0 = Instant::now();
+    for window in windows {
+        let out = reasoner.process(window)?;
+        rendered.push(render_output(syms, &out));
+    }
+    Ok((duration_ms(t0.elapsed()), rendered))
+}
+
+/// Runs the sweep: per ratio a full-recompute reference pass, a
+/// partition-cache-only incremental pass and a delta-grounding pass over
+/// the identical window sequence, each verified for byte-identity.
+pub fn run_delta_grounding(
+    config: &DeltaGroundingConfig,
+) -> Result<DeltaGroundingResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let base_cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
+    let cache_cfg = ReasonerConfig {
+        incremental: true,
+        cache_capacity: config.cache_capacity,
+        ..base_cfg.clone()
+    };
+    let delta_cfg = ReasonerConfig { delta_ground: true, ..cache_cfg.clone() };
+
+    let mut runs = Vec::new();
+    let mut headline_windows: Option<(Vec<Window>, Vec<String>)> = None;
+    for &ratio in &config.ratios {
+        assert!(ratio > 0 && config.window_size % ratio == 0, "size must divide by ratio {ratio}");
+        let slide = config.window_size / ratio;
+        let windows = churn_windows(&analysis, &syms, config, slide);
+
+        let mut full = ParallelReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            base_cfg.clone(),
+        )?;
+        let (full_ms, full_rendered) = timed_pass(&syms, &mut full, &windows)?;
+
+        let mut cache_only = IncrementalReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            cache_cfg.clone(),
+        )?;
+        let (cache_only_ms, cache_rendered) = timed_pass(&syms, &mut cache_only, &windows)?;
+
+        let mut delta = IncrementalReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            delta_cfg.clone(),
+        )?;
+        assert!(delta.delta_ground_active(), "traffic program passes every delta gate");
+        let (delta_ms, delta_rendered) = timed_pass(&syms, &mut delta, &windows)?;
+        let cache = delta.cache().counters().snapshot();
+
+        if ratio == 8 {
+            headline_windows = Some((windows.clone(), full_rendered.clone()));
+        }
+        runs.push(DeltaGroundingRun {
+            slide,
+            slide_ratio: slide as f64 / config.window_size as f64,
+            full_ms,
+            cache_only_ms,
+            delta_ms,
+            speedup: if delta_ms > 0.0 { cache_only_ms / delta_ms } else { 0.0 },
+            output_identical: full_rendered == cache_rendered && full_rendered == delta_rendered,
+            cache,
+        });
+    }
+
+    // Engine pass at the headline ratio (or the first swept ratio): a
+    // single lane keeps the per-lane delta chain unbroken, which is the
+    // regime the delta path accelerates.
+    let (engine_windows, engine_expected) = match headline_windows {
+        Some(w) => w,
+        None => {
+            let slide = config.window_size / config.ratios[0];
+            let windows = churn_windows(&analysis, &syms, config, slide);
+            let mut full = ParallelReasoner::new(
+                &syms,
+                &program,
+                Some(&analysis.inpre),
+                partitioner.clone(),
+                base_cfg.clone(),
+            )?;
+            let (_, rendered) = timed_pass(&syms, &mut full, &windows)?;
+            (windows, rendered)
+        }
+    };
+    let mut engine = StreamEngine::with_partitioned_lanes(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig { mode: ParallelMode::Threads, ..delta_cfg },
+        EngineConfig { in_flight: 1, queue_depth: 1 },
+    )?;
+    for w in &engine_windows {
+        engine.submit(w.clone())?;
+    }
+    let report = engine.finish();
+    let engine_output_identical = outputs_match(&syms, &report.outputs, &engine_expected);
+
+    Ok(DeltaGroundingResult {
+        window_size: config.window_size,
+        windows: config.windows,
+        cache_capacity: config.cache_capacity,
+        partitions: analysis.plan.communities,
+        retract_fraction: config.retract_fraction,
+        runs,
+        engine: report.stats,
+        engine_output_identical,
+    })
+}
+
+/// Renders the result as the `BENCH_delta_grounding.json` document.
+pub fn delta_grounding_json(result: &DeltaGroundingResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"large_traffic_retraction_heavy_churn\",");
+    let _ = writeln!(out, "  \"mode\": \"sequential\",");
+    let _ = writeln!(out, "  \"baseline\": \"partition_cache_incremental\",");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"cache_capacity\": {},", result.cache_capacity);
+    let _ = writeln!(out, "  \"partitions\": {},", result.partitions);
+    let _ = writeln!(out, "  \"retract_fraction\": {:.2},", result.retract_fraction);
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, run) in result.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"slide\": {}, \"slide_ratio\": {:.4}, \"full_ms\": {:.4}, \
+             \"cache_only_ms\": {:.4}, \"delta_ms\": {:.4}, \"speedup\": {:.4}, \
+             \"output_identical\": {}, \"cache\": {}}}{}",
+            run.slide,
+            run.slide_ratio,
+            run.full_ms,
+            run.cache_only_ms,
+            run.delta_ms,
+            run.speedup,
+            run.output_identical,
+            run.cache.to_json(),
+            if i + 1 < result.runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    // Omitted (not fabricated as 0.0) when ratio 8 wasn't swept: the CI
+    // gate then reports a missing headline key instead of a fake
+    // regression.
+    if let Some(r) = result.at_eighth() {
+        let _ = writeln!(out, "  \"speedup_at_eighth\": {:.4},", r.speedup);
+    }
+    let _ = writeln!(out, "  \"engine\": {},", result.engine.to_json());
+    let _ = writeln!(out, "  \"engine_output_identical\": {},", result.engine_output_identical);
+    let _ = writeln!(out, "  \"output_identical_all\": {}", result.output_identical_all());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> DeltaGroundingConfig {
+        DeltaGroundingConfig {
+            window_size: 160,
+            ratios: vec![8, 1],
+            windows: 4,
+            cache_capacity: 16,
+            ..DeltaGroundingConfig::quick()
+        }
+    }
+
+    #[test]
+    fn sweep_outputs_are_identical_and_delta_path_engages() {
+        let result = run_delta_grounding(&toy_config()).unwrap();
+        assert_eq!(result.runs.len(), 2);
+        assert!(result.output_identical_all(), "delta-ground output diverged");
+        let eighth = result.at_eighth().expect("ratio 8 swept");
+        assert!(
+            eighth.cache.delta_applies > 0,
+            "churned slides must hit the delta path: {:?}",
+            eighth.cache
+        );
+        assert!(result.engine.lanes.len() == 1, "single-lane engine pass");
+        let engine_inc = result.engine.incremental.expect("engine reports counters");
+        assert!(engine_inc.delta_applies > 0, "engine lanes delta-ground too: {engine_inc:?}");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let result = run_delta_grounding(&toy_config()).unwrap();
+        let json = delta_grounding_json(&result);
+        assert!(json.contains("\"baseline\": \"partition_cache_incremental\""));
+        assert!(json.contains("\"workload\": \"large_traffic_retraction_heavy_churn\""));
+        assert!(json.contains("\"retract_fraction\": 0.50"));
+        assert!(json.contains("\"sweep\": ["));
+        assert!(json.contains("\"speedup_at_eighth\":"));
+        assert!(json.contains("\"delta_applies\":"));
+        assert!(json.contains("\"queue_high_water\":"));
+        assert!(json.contains("\"output_identical_all\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn headline_key_is_omitted_when_eighth_not_swept() {
+        // A custom sweep without ratio 8 must not fabricate a 0.0 headline
+        // (which would hard-fail the CI gate on a healthy record); the key
+        // is omitted so the gate reports the missing key instead.
+        let result =
+            run_delta_grounding(&DeltaGroundingConfig { ratios: vec![1], ..toy_config() }).unwrap();
+        let json = delta_grounding_json(&result);
+        assert!(!json.contains("\"speedup_at_eighth\""), "{json}");
+    }
+}

@@ -5,9 +5,9 @@
 use asp_core::{AspError, Program, Symbols};
 use asp_solver::SolverConfig;
 use sr_core::{
-    window_accuracy, AnalysisConfig, DependencyAnalysis, ParallelMode, ParallelReasoner,
-    PlanPartitioner, Projection, RandomPartitioner, ReasonerConfig, ReasonerOutput, SingleReasoner,
-    UnknownPredicate,
+    reasoner_pool, window_accuracy, AnalysisConfig, DependencyAnalysis, ParallelMode,
+    ParallelReasoner, PlanPartitioner, Projection, RandomPartitioner, ReasonerConfig,
+    ReasonerOutput, SingleReasoner, UnknownPredicate,
 };
 use sr_stream::{paper_generator, GeneratorKind, Window};
 use std::sync::Arc;
@@ -188,25 +188,53 @@ impl ExperimentBench {
             DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
         let reasoner_cfg = ReasonerConfig { mode: config.mode, ..Default::default() };
         let r = SingleReasoner::new(&syms, &program, None, SolverConfig::default())?;
-        let pr_dep = ParallelReasoner::new(
-            &syms,
-            &program,
-            Some(&analysis.inpre),
-            Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0)),
-            reasoner_cfg.clone(),
-        )?;
-        let mut pr_ran = Vec::new();
-        for &k in &config.random_ks {
-            pr_ran.push((
-                k,
-                ParallelReasoner::new(
+        let dep_partitioner: Arc<dyn sr_core::Partitioner> =
+            Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+        // Threads mode: PR_Dep and every PR_Ran_k share one warm worker
+        // pool (the `Arc` clone in `build_pr`), sized for the widest
+        // partitioning in the sweep; Sequential mode needs no pool. (Not
+        // `PoolRegistry`: each bench has its own `Symbols`, so pools must
+        // not outlive the bench, and within one bench the `Arc` already is
+        // the sharing.)
+        let pool = match config.mode {
+            ParallelMode::Threads => {
+                let workers = config
+                    .random_ks
+                    .iter()
+                    .copied()
+                    .chain([analysis.plan.communities])
+                    .max()
+                    .unwrap_or(1);
+                Some(Arc::new(reasoner_pool(
                     &syms,
                     &program,
                     Some(&analysis.inpre),
-                    Arc::new(RandomPartitioner::new(k, config.seed ^ k as u64)),
-                    reasoner_cfg.clone(),
-                )?,
-            ));
+                    &SolverConfig::default(),
+                    workers,
+                )?))
+            }
+            ParallelMode::Sequential => None,
+        };
+        let build_pr = |partitioner: Arc<dyn sr_core::Partitioner>| match &pool {
+            Some(pool) => Ok(ParallelReasoner::with_pool(
+                &syms,
+                partitioner,
+                reasoner_cfg.clone(),
+                Arc::clone(pool),
+            )),
+            None => ParallelReasoner::new(
+                &syms,
+                &program,
+                Some(&analysis.inpre),
+                partitioner,
+                reasoner_cfg.clone(),
+            ),
+        };
+        let pr_dep = build_pr(dep_partitioner)?;
+        let mut pr_ran = Vec::new();
+        for &k in &config.random_ks {
+            pr_ran
+                .push((k, build_pr(Arc::new(RandomPartitioner::new(k, config.seed ^ k as u64)))?));
         }
         let projection = match &config.projection_predicates {
             None => Projection::derived(&analysis.inpre),

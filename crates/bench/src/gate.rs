@@ -1,0 +1,228 @@
+//! The bench regression gate: validates the machine-written `BENCH_*.json`
+//! records so CI can *fail* on a correctness or performance regression
+//! instead of merely uploading artifacts. Exposed to CI as
+//! `repro check <file>...`.
+//!
+//! Two invariants are enforced per record:
+//!
+//! * **identity** — `output_identical_all` (or, in records without the
+//!   aggregate, every `output_identical` / `ordered_output_identical`
+//!   flag) must be `true`: an optimization that changes answers is a bug,
+//!   whatever its speedup;
+//! * **headline speedup** — the record's headline metric
+//!   (`speedup_at_eighth` for the incremental and delta-grounding sweeps,
+//!   `best_speedup_windows_per_sec` for the throughput record) must be
+//!   ≥ 1.0. Per-ratio entries may legitimately dip below 1.0 (tumbling
+//!   windows have nothing to reuse), so only the headline gates.
+//!
+//! The records are produced by this workspace's own hand-rolled writers
+//! (the workspace has no JSON serializer dependency), so the checker is a
+//! matching hand-rolled scanner over the known `"key": value` shape rather
+//! than a general JSON parser.
+
+/// One record's gate outcome: the headline numbers worth echoing into the
+/// CI log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateSummary {
+    /// Which headline-speedup key was found.
+    pub speedup_key: &'static str,
+    /// Its value.
+    pub speedup: f64,
+    /// Identity flags inspected (aggregate counts as one).
+    pub identity_flags: usize,
+}
+
+/// Every `value` token following `"key": ` in `json`, trimmed of trailing
+/// `,`/`}`/`]`.
+fn values_of<'j>(json: &'j str, key: &str) -> Vec<&'j str> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let token = rest
+            .trim_start()
+            .split(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+            .next()
+            .unwrap_or("");
+        out.push(token);
+    }
+    out
+}
+
+/// Checks one bench record. `Ok` carries the headline summary; `Err`
+/// carries every violation found (empty never).
+pub fn check_record(json: &str) -> Result<GateSummary, Vec<String>> {
+    let mut violations = Vec::new();
+
+    // Identity: the aggregate when present, every per-run flag otherwise.
+    let aggregate = values_of(json, "output_identical_all");
+    let flags: Vec<(&str, &str)> = if aggregate.is_empty() {
+        let mut per_run: Vec<(&str, &str)> = Vec::new();
+        for key in ["output_identical", "ordered_output_identical", "engine_output_identical"] {
+            per_run.extend(values_of(json, key).into_iter().map(|v| (key, v)));
+        }
+        per_run
+    } else {
+        aggregate.into_iter().map(|v| ("output_identical_all", v)).collect()
+    };
+    if flags.is_empty() {
+        violations.push("no output-identity flag found in the record".to_string());
+    }
+    for (key, value) in &flags {
+        match *value {
+            "true" => {}
+            "false" => violations.push(format!("{key} is false: output diverged")),
+            other => violations.push(format!("{key} has a non-boolean value {other:?}")),
+        }
+    }
+
+    // Headline speedup: the first headline key the record carries.
+    let mut speedup: Option<(&'static str, f64)> = None;
+    for key in ["speedup_at_eighth", "best_speedup_windows_per_sec"] {
+        if let Some(v) = values_of(json, key).first() {
+            match v.parse::<f64>() {
+                Ok(x) => speedup = Some((key, x)),
+                Err(_) => violations.push(format!("{key} has a non-numeric value {v:?}")),
+            }
+            break;
+        }
+    }
+    match speedup {
+        Some((key, x)) if x < 1.0 => {
+            violations.push(format!("{key} regressed below 1.0: {x:.4}"));
+        }
+        None if violations.is_empty() => {
+            violations.push("no headline speedup key found in the record".to_string());
+        }
+        _ => {}
+    }
+
+    match (violations.is_empty(), speedup) {
+        (true, Some((speedup_key, speedup))) => {
+            Ok(GateSummary { speedup_key, speedup, identity_flags: flags.len() })
+        }
+        _ => Err(violations),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_SWEEP: &str = r#"{
+      "sweep": [
+        {"slide": 40, "speedup": 2.31, "output_identical": true},
+        {"slide": 320, "speedup": 0.79, "output_identical": true}
+      ],
+      "speedup_at_eighth": 2.3122,
+      "output_identical_all": true
+    }"#;
+
+    const GOOD_THROUGHPUT: &str = r#"{
+      "runs": [
+        {"in_flight": 1, "ordered_output_identical": true, "stats": {}},
+        {"in_flight": 2, "ordered_output_identical": true, "stats": {}}
+      ],
+      "best_speedup_windows_per_sec": 1.0030
+    }"#;
+
+    #[test]
+    fn good_records_pass() {
+        let sweep = check_record(GOOD_SWEEP).unwrap();
+        assert_eq!(sweep.speedup_key, "speedup_at_eighth");
+        assert!((sweep.speedup - 2.3122).abs() < 1e-9);
+        assert_eq!(sweep.identity_flags, 1, "aggregate flag wins");
+
+        let tp = check_record(GOOD_THROUGHPUT).unwrap();
+        assert_eq!(tp.speedup_key, "best_speedup_windows_per_sec");
+        assert_eq!(tp.identity_flags, 2, "per-run flags checked without an aggregate");
+    }
+
+    #[test]
+    fn per_ratio_dip_below_one_is_allowed() {
+        // GOOD_SWEEP has a 0.79x tumbling entry; only the headline gates.
+        assert!(check_record(GOOD_SWEEP).is_ok());
+    }
+
+    #[test]
+    fn diverged_output_fails() {
+        let bad =
+            GOOD_SWEEP.replace("\"output_identical_all\": true", "\"output_identical_all\": false");
+        let violations = check_record(&bad).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("output diverged")), "{violations:?}");
+    }
+
+    #[test]
+    fn one_diverged_run_fails_without_aggregate() {
+        let bad = GOOD_THROUGHPUT.replace(
+            "\"in_flight\": 2, \"ordered_output_identical\": true",
+            "\"in_flight\": 2, \"ordered_output_identical\": false",
+        );
+        let violations = check_record(&bad).unwrap_err();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+    }
+
+    #[test]
+    fn regressed_headline_speedup_fails() {
+        let bad =
+            GOOD_SWEEP.replace("\"speedup_at_eighth\": 2.3122", "\"speedup_at_eighth\": 0.9421");
+        let violations = check_record(&bad).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("regressed below 1.0: 0.9421")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn missing_keys_fail() {
+        let violations = check_record("{}").unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("no output-identity flag")), "{violations:?}");
+        let no_speedup = check_record(r#"{"output_identical_all": true}"#).unwrap_err();
+        assert!(no_speedup.iter().any(|v| v.contains("no headline speedup")), "{no_speedup:?}");
+    }
+
+    #[test]
+    fn real_writers_satisfy_the_gate() {
+        // The actual record writers (toy scale) must produce gate-clean
+        // documents — the shape contract between producer and checker.
+        let inc = crate::incremental::run_incremental(&crate::IncrementalConfig {
+            window_size: 160,
+            ratios: vec![8],
+            windows: 3,
+            cache_capacity: 16,
+            ..crate::IncrementalConfig::quick()
+        })
+        .unwrap();
+        check_record(&crate::incremental_json(&inc)).unwrap();
+
+        let dg = crate::delta_grounding::run_delta_grounding(&crate::DeltaGroundingConfig {
+            window_size: 160,
+            ratios: vec![8],
+            windows: 3,
+            cache_capacity: 16,
+            ..crate::DeltaGroundingConfig::quick()
+        })
+        .unwrap();
+        check_record(&crate::delta_grounding_json(&dg)).unwrap();
+
+        // The throughput writer's *shape* contract (CI gates this record
+        // first): key renames must fail here, not in a red CI step. The
+        // toy-scale speedup value itself is hardware-dependent, so a
+        // below-1.0 headline is the one violation tolerated.
+        let tp = crate::throughput::run_throughput(&crate::ThroughputConfig {
+            window_size: 100,
+            windows: 2,
+            in_flight: vec![1],
+            ..crate::ThroughputConfig::quick(crate::PROGRAM_P)
+        })
+        .unwrap();
+        match check_record(&crate::throughput_json(&tp)) {
+            Ok(summary) => assert_eq!(summary.speedup_key, "best_speedup_windows_per_sec"),
+            Err(violations) => assert!(
+                violations.iter().all(|v| v.contains("regressed below 1.0")),
+                "shape violation: {violations:?}"
+            ),
+        }
+    }
+}

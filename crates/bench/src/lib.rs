@@ -5,13 +5,20 @@
 
 #![warn(missing_docs)]
 
+pub mod delta_grounding;
 pub mod experiment;
+pub mod gate;
 pub mod incremental;
 pub mod programs;
 pub mod report;
 pub mod throughput;
 
+pub use delta_grounding::{
+    delta_grounding_json, run_delta_grounding, DeltaGroundingConfig, DeltaGroundingResult,
+    DeltaGroundingRun,
+};
 pub use experiment::{run, Cell, ExperimentBench, ExperimentConfig, ExperimentResult, Series};
+pub use gate::{check_record, GateSummary};
 pub use incremental::{
     incremental_json, run_incremental, IncrementalConfig, IncrementalResult, IncrementalRun,
 };

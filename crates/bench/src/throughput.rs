@@ -137,6 +137,8 @@ pub fn sequential_baseline(
         items_per_sec: items_total as f64 / elapsed.as_secs_f64(),
         submit_blocked_ms: 0.0,
         incremental: None,
+        lanes: Vec::new(),
+        queue_high_water: 0,
         latency: LatencyStats::from_samples(&latencies),
     };
     Ok((stats, rendered))

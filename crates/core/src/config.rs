@@ -99,6 +99,15 @@ pub struct ReasonerConfig {
     /// Capacity (entries) of the partition-level result cache used when
     /// `incremental` is on. `0` disables caching (every partition misses).
     pub cache_capacity: usize,
+    /// Delta-driven grounding inside dirty partitions (requires
+    /// `incremental`): instead of re-grounding a changed partition from
+    /// scratch, maintain its grounding across windows and apply the
+    /// partition-scoped [`WindowDelta`](sr_stream::WindowDelta)
+    /// (retract/assert ground instances). Falls back to full re-grounding
+    /// whenever the delta chain breaks, the partitioner is not
+    /// content-routed, or the program is outside the supported fragment
+    /// (see [`asp_grounder::DeltaGrounder`]).
+    pub delta_ground: bool,
 }
 
 impl Default for ReasonerConfig {
@@ -112,6 +121,7 @@ impl Default for ReasonerConfig {
             combine: CombinePolicy::Strict,
             incremental: false,
             cache_capacity: 256,
+            delta_ground: false,
         }
     }
 }

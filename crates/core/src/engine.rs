@@ -60,6 +60,30 @@ pub struct EngineOutput {
     pub result: Result<ReasonerOutput, AspError>,
 }
 
+/// Busy-time accounting of one engine lane, reported in
+/// [`EngineStats::lanes`] — the observability groundwork for adaptive
+/// in-flight control (idle lanes ⇒ shrink, saturated lanes plus submit
+/// blocking ⇒ grow).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LaneOccupancy {
+    /// Wall-clock the lane spent inside `Reasoner::process`.
+    pub busy_ms: f64,
+    /// Windows the lane processed.
+    pub windows: u64,
+    /// `busy_ms` over the run's elapsed wall clock (0 when nothing ran).
+    pub busy_fraction: f64,
+}
+
+impl LaneOccupancy {
+    /// Renders the occupancy as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"busy_ms\": {:.4}, \"windows\": {}, \"busy_fraction\": {:.4}}}",
+            self.busy_ms, self.windows, self.busy_fraction
+        )
+    }
+}
+
 /// Throughput report of one engine run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -83,6 +107,11 @@ pub struct EngineStats {
     /// Partition-cache effectiveness when the lanes run the incremental
     /// reasoner; `None` otherwise.
     pub incremental: Option<IncrementalSnapshot>,
+    /// Per-lane occupancy (busy-time fraction over the run).
+    pub lanes: Vec<LaneOccupancy>,
+    /// High-water mark of submitted-but-unclaimed windows (queue depth the
+    /// backpressure bound actually reached).
+    pub queue_high_water: u64,
     /// Per-window reasoning latency distribution.
     pub latency: LatencyStats,
 }
@@ -91,10 +120,12 @@ impl EngineStats {
     /// Renders the report as a JSON object (hand-rolled; the workspace has
     /// no JSON serializer dependency).
     pub fn to_json(&self) -> String {
+        let lanes: Vec<String> = self.lanes.iter().map(LaneOccupancy::to_json).collect();
         format!(
             "{{\"windows\": {}, \"errors\": {}, \"items\": {}, \"elapsed_ms\": {:.4}, \
              \"windows_per_sec\": {:.4}, \"items_per_sec\": {:.4}, \
-             \"submit_blocked_ms\": {:.4}, \"incremental\": {}, \"latency\": {}}}",
+             \"submit_blocked_ms\": {:.4}, \"incremental\": {}, \"lanes\": [{}], \
+             \"queue_high_water\": {}, \"latency\": {}}}",
             self.windows,
             self.errors,
             self.items,
@@ -103,6 +134,8 @@ impl EngineStats {
             self.items_per_sec,
             self.submit_blocked_ms,
             self.incremental.as_ref().map_or_else(|| "null".to_string(), |i| i.to_json()),
+            lanes.join(", "),
+            self.queue_high_water,
             self.latency.to_json()
         )
     }
@@ -120,6 +153,30 @@ pub struct EngineReport {
 struct LaneResult {
     seq: u64,
     output: EngineOutput,
+}
+
+/// Lock-free occupancy accounting shared between `submit`, the lanes and
+/// `finish`.
+struct OccupancyAcc {
+    /// Per-lane busy nanoseconds inside `Reasoner::process`.
+    busy_ns: Vec<std::sync::atomic::AtomicU64>,
+    /// Per-lane processed-window counts.
+    lane_windows: Vec<std::sync::atomic::AtomicU64>,
+    /// Submitted-but-unclaimed windows right now.
+    queued: std::sync::atomic::AtomicU64,
+    /// High-water mark of `queued`.
+    queue_high_water: std::sync::atomic::AtomicU64,
+}
+
+impl OccupancyAcc {
+    fn new(lanes: usize) -> Self {
+        OccupancyAcc {
+            busy_ns: (0..lanes).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
+            lane_windows: (0..lanes).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
+            queued: std::sync::atomic::AtomicU64::new(0),
+            queue_high_water: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -144,6 +201,7 @@ pub struct StreamEngine {
     blocked: Duration,
     /// The lanes' shared partition cache when they run incrementally.
     cache: Option<Arc<PartitionCache>>,
+    occupancy: Arc<OccupancyAcc>,
 }
 
 impl StreamEngine {
@@ -165,14 +223,17 @@ impl StreamEngine {
         let (result_tx, result_rx) = channel::<LaneResult>();
         let (output_tx, output_rx) = channel::<EngineOutput>();
         let stats = Arc::new(Mutex::new(StatsAcc::default()));
+        let occupancy = Arc::new(OccupancyAcc::new(lanes_n));
 
         let mut lanes = Vec::with_capacity(lanes_n);
         for (i, mut reasoner) in reasoners.into_iter().enumerate() {
             let input_rx = Arc::clone(&input_rx);
             let result_tx = result_tx.clone();
+            let occ = Arc::clone(&occupancy);
             let handle = std::thread::Builder::new()
                 .name(format!("engine-lane-{i}"))
                 .spawn(move || loop {
+                    use std::sync::atomic::Ordering;
                     // Holding the lock while blocked on `recv` is the
                     // hand-off: exactly one idle lane waits for the next
                     // window, the rest queue on the mutex.
@@ -181,17 +242,21 @@ impl StreamEngine {
                         rx.recv()
                     };
                     let Ok((seq, window)) = next else { return };
+                    occ.queued.fetch_sub(1, Ordering::Relaxed);
                     let t0 = Instant::now();
                     let result =
                         std::panic::catch_unwind(AssertUnwindSafe(|| reasoner.process(&window)))
                             .unwrap_or_else(|_| {
                                 Err(AspError::Internal("engine lane reasoner panicked".into()))
                             });
+                    let latency = t0.elapsed();
+                    occ.busy_ns[i].fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+                    occ.lane_windows[i].fetch_add(1, Ordering::Relaxed);
                     let output = EngineOutput {
                         seq,
                         window_id: window.id,
                         items: window.len(),
-                        latency: t0.elapsed(),
+                        latency,
                         result,
                     };
                     if result_tx.send(LaneResult { seq, output }).is_err() {
@@ -241,6 +306,7 @@ impl StreamEngine {
             started: None,
             blocked: Duration::ZERO,
             cache: None,
+            occupancy,
         })
     }
 
@@ -269,12 +335,14 @@ impl StreamEngine {
             let mut engine = StreamEngine::new(config, |_lane| {
                 Ok(Box::new(IncrementalReasoner::with_pool(
                     syms,
+                    program,
+                    inpre,
                     partitioner.clone(),
                     reasoner_cfg.clone(),
                     pool.clone(),
                     cache.clone(),
                     program_id,
-                )) as Box<dyn Reasoner>)
+                )?) as Box<dyn Reasoner>)
             })?;
             engine.cache = Some(cache);
             return Ok(engine);
@@ -307,8 +375,19 @@ impl StreamEngine {
             self.input.as_ref().ok_or_else(|| AspError::Internal("engine already shut".into()))?;
         self.started.get_or_insert_with(Instant::now);
         let seq = self.submitted;
+        // Count the window as queued before handing it over: a lane may
+        // claim (and decrement) it while `send` is still returning.
+        {
+            use std::sync::atomic::Ordering;
+            let q = self.occupancy.queued.fetch_add(1, Ordering::Relaxed) + 1;
+            self.occupancy.queue_high_water.fetch_max(q, Ordering::Relaxed);
+        }
         let t0 = Instant::now();
-        input.send((seq, window)).map_err(|_| AspError::Internal("engine input closed".into()))?;
+        let sent = input.send((seq, window));
+        if sent.is_err() {
+            self.occupancy.queued.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(AspError::Internal("engine input closed".into()));
+        }
         self.blocked += t0.elapsed();
         self.submitted += 1;
         Ok(())
@@ -407,15 +486,37 @@ impl StreamEngine {
             _ => Duration::ZERO,
         };
         let elapsed_s = elapsed.as_secs_f64();
+        let elapsed_ms = duration_ms(elapsed);
+        let lanes = {
+            use std::sync::atomic::Ordering;
+            self.occupancy
+                .busy_ns
+                .iter()
+                .zip(&self.occupancy.lane_windows)
+                .map(|(busy, windows)| {
+                    let busy_ms = busy.load(Ordering::Relaxed) as f64 / 1e6;
+                    LaneOccupancy {
+                        busy_ms,
+                        windows: windows.load(Ordering::Relaxed),
+                        busy_fraction: if elapsed_ms > 0.0 { busy_ms / elapsed_ms } else { 0.0 },
+                    }
+                })
+                .collect()
+        };
         let stats = EngineStats {
             windows: acc.windows,
             errors: acc.errors,
             items: acc.items,
-            elapsed_ms: duration_ms(elapsed),
+            elapsed_ms,
             windows_per_sec: if elapsed_s > 0.0 { acc.windows as f64 / elapsed_s } else { 0.0 },
             items_per_sec: if elapsed_s > 0.0 { acc.items as f64 / elapsed_s } else { 0.0 },
             submit_blocked_ms: duration_ms(self.blocked),
             incremental: self.cache.as_ref().map(|c| c.counters().snapshot()),
+            lanes,
+            queue_high_water: self
+                .occupancy
+                .queue_high_water
+                .load(std::sync::atomic::Ordering::Relaxed),
             latency: LatencyStats::from_samples(&acc.latencies_ms),
         };
         EngineReport { outputs, stats }
@@ -503,6 +604,37 @@ mod tests {
         assert_eq!(report.stats.errors, 0);
         assert_eq!(report.stats.latency.count, 6);
         assert!(report.stats.windows_per_sec > 0.0);
+    }
+
+    #[test]
+    fn lane_occupancy_and_queue_high_water_are_reported() {
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 3 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(2, None)).unwrap();
+        for w in windows(8) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.stats.lanes.len(), 2, "one occupancy record per lane");
+        let total_windows: u64 = report.stats.lanes.iter().map(|l| l.windows).sum();
+        assert_eq!(total_windows, 8, "every window accounted to some lane");
+        assert!(report.stats.lanes.iter().any(|l| l.busy_ms > 0.0), "sleeping lanes were busy");
+        for lane in &report.stats.lanes {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&lane.busy_fraction),
+                "busy fraction is a fraction: {}",
+                lane.busy_fraction
+            );
+        }
+        assert!(report.stats.queue_high_water >= 1, "submissions outpaced the slow lanes");
+        assert!(
+            report.stats.queue_high_water <= 3 + 1 + 2,
+            "bounded by queue_depth + the in-send window + one transient per lane, got {}",
+            report.stats.queue_high_water
+        );
+        let json = report.stats.to_json();
+        assert!(json.contains("\"lanes\": [{"), "{json}");
+        assert!(json.contains("\"busy_fraction\":"), "{json}");
+        assert!(json.contains("\"queue_high_water\":"), "{json}");
     }
 
     #[test]

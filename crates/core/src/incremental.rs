@@ -12,7 +12,7 @@
 //! byte-identical to full recomputation — the cache changes *where* answers
 //! come from, never *what* they are.
 //!
-//! Fingerprints, not the [`WindowDelta`](sr_stream::WindowDelta) metadata,
+//! Fingerprints, not the [`WindowDelta`] metadata,
 //! are the correctness mechanism: a content fingerprint is sound for any
 //! [`Partitioner`] (including the window-id-seeded random baseline, whose
 //! splits change even when the window content does not), while deltas
@@ -26,9 +26,10 @@ use crate::parallel::{max_timing, reasoner_pool, sum_timing, ReasonerPool};
 use crate::partition::Partitioner;
 use crate::reasoner::{merge_stats, Reasoner, ReasonerOutput, SingleReasoner, Timing};
 use asp_core::{AnswerSet, AspError, FastMap, Predicate, Program, Symbols};
+use asp_grounder::{DeltaGrounder, Grounder};
 use asp_solver::{SolveStats, SolverConfig};
-use sr_rdf::{Node, Triple};
-use sr_stream::Window;
+use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
+use sr_stream::{Window, WindowDelta};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -90,6 +91,15 @@ pub fn fingerprint_items(items: &[Triple]) -> u128 {
 /// computed under a different rule set.
 pub fn program_fingerprint(syms: &Symbols, program: &Program) -> u64 {
     fnv(FNV_OFFSET, program.display(syms).to_string().as_bytes())
+}
+
+/// True when `program` is inside the [`DeltaGrounder`] supported fragment
+/// (single-head rules, acyclic dependency graph) — the program-side gate
+/// of [`ReasonerConfig::delta_ground`]. The reasoner checks this itself
+/// and silently falls back to cache-only reuse; front ends can call it to
+/// *warn* instead. Fails only when the program doesn't compile.
+pub fn delta_ground_supported(syms: &Symbols, program: &Program) -> Result<bool, AspError> {
+    Ok(DeltaGrounder::supports(&Grounder::new(syms, program)?))
 }
 
 struct CacheEntry {
@@ -197,9 +207,94 @@ impl PartitionCache {
     }
 }
 
+/// Per-partition maintained grounding for the delta-ground fast path: the
+/// [`DeltaGrounder`] state plus the identity of the window content it
+/// currently represents.
+///
+/// # The `base_id` invariant
+///
+/// [`SlidingWindower`](sr_stream::SlidingWindower) emits `delta` relative
+/// to the previous emission *globally*, while
+/// [`IncrementalReasoner::process`] re-partitions every window — so a
+/// projected per-partition delta is only meaningful against the partition
+/// state built from that same base window. The maintained grounding
+/// therefore records the id of the window it represents, and
+/// [`IncrementalReasoner::delta_process`] trusts a delta **only when
+/// `delta.base_id == window_id`** (and the state is valid); any mismatch —
+/// a skipped window, a lane handing off mid-stream, a windower reset —
+/// falls back to a full rebuild from the partition content. The
+/// `delta_base_mismatch_falls_back_to_reground` regression test pins the
+/// mismatch path down.
+struct DeltaPartition {
+    grounder: DeltaGrounder,
+    /// Window id whose partition content the state represents (the only id
+    /// an incoming `delta.base_id` may match — see the struct docs).
+    window_id: u64,
+    /// Content fingerprint of that partition.
+    content_fp: u128,
+    /// False until the first successful (re)build.
+    valid: bool,
+}
+
+/// Per-lane delta-grounding state: one maintained grounding per partition
+/// (windows on one lane are processed in submission order, so the delta
+/// chain `base_id -> id` can be followed per lane), with the lane's own
+/// triple→fact transformer.
+struct DeltaLane {
+    format: FormatProcessor,
+    parts: Vec<DeltaPartition>,
+}
+
+impl DeltaLane {
+    /// Builds the lane when every gate holds: `delta_ground` requested, the
+    /// partitioner routes by content, and the program is in the
+    /// [`DeltaGrounder`] supported fragment. `None` otherwise — the caller
+    /// silently keeps the partition-cache-only behavior.
+    fn build(
+        syms: &Symbols,
+        program: &Program,
+        inpre: Option<&[Predicate]>,
+        partitioner: &Arc<dyn Partitioner>,
+        config: &ReasonerConfig,
+    ) -> Result<Option<DeltaLane>, AspError> {
+        if !config.delta_ground || !config.incremental || !partitioner.content_routed() {
+            return Ok(None);
+        }
+        let grounder = Arc::new(Grounder::new(syms, program)?);
+        if !DeltaGrounder::supports(&grounder) {
+            return Ok(None);
+        }
+        let edb;
+        let inpre = match inpre {
+            Some(i) => i,
+            None => {
+                edb = program.edb_predicates();
+                &edb
+            }
+        };
+        let format_cfg = FormatConfig::from_input_signature(syms, inpre);
+        let n = partitioner.partitions().max(1);
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            parts.push(DeltaPartition {
+                grounder: DeltaGrounder::new(Arc::clone(&grounder))?,
+                window_id: 0,
+                content_fp: 0,
+                valid: false,
+            });
+        }
+        Ok(Some(DeltaLane { format: FormatProcessor::new(syms, &format_cfg), parts }))
+    }
+}
+
 /// The incremental parallel reasoner: partition → fingerprint → reuse clean
 /// partitions from the [`PartitionCache`], re-solve only dirty ones →
-/// combine. Implements [`Reasoner`], so it drops into the
+/// combine. With [`ReasonerConfig::delta_ground`] on, dirty partitions are
+/// additionally served by a per-partition maintained grounding
+/// ([`DeltaGrounder`]): the partition-scoped window delta is applied
+/// (retract/assert) instead of re-grounding the partition from scratch,
+/// with automatic fallback to a full rebuild when the delta chain breaks.
+/// Implements [`Reasoner`], so it drops into the
 /// [`StreamRulePipeline`](crate::pipeline::StreamRulePipeline) and the
 /// [`StreamEngine`](crate::engine::StreamEngine) unchanged.
 pub struct IncrementalReasoner {
@@ -212,6 +307,10 @@ pub struct IncrementalReasoner {
     sequential: Vec<SingleReasoner>,
     cache: Arc<PartitionCache>,
     program_id: u64,
+    /// Delta-ground fast path, when every gate holds (see
+    /// [`DeltaLane::build`]). Runs in the caller thread: maintained
+    /// grounder state is inherently per-lane.
+    delta: Option<DeltaLane>,
 }
 
 impl IncrementalReasoner {
@@ -251,6 +350,7 @@ impl IncrementalReasoner {
                 (None, vec![SingleReasoner::new(syms, program, inpre, solver)?])
             }
         };
+        let delta = DeltaLane::build(syms, program, inpre, &partitioner, &config)?;
         Ok(IncrementalReasoner {
             syms: syms.clone(),
             partitioner,
@@ -259,22 +359,29 @@ impl IncrementalReasoner {
             sequential,
             cache,
             program_id,
+            delta,
         })
     }
 
     /// Builds the reasoner on top of an existing shared pool *and* shared
     /// cache (Threads semantics). The pool's workers must have been built
-    /// for the same program/signature; `program_id` scopes the cache keys
-    /// (see [`program_fingerprint`]).
+    /// for the same `program`/signature; `program_id` scopes the cache keys
+    /// (see [`program_fingerprint`]). The program itself is needed to build
+    /// the per-lane delta-grounding state when
+    /// [`ReasonerConfig::delta_ground`] is on.
+    #[allow(clippy::too_many_arguments)] // lane-construction plumbing: every argument is shared state
     pub fn with_pool(
         syms: &Symbols,
+        program: &Program,
+        inpre: Option<&[Predicate]>,
         partitioner: Arc<dyn Partitioner>,
         config: ReasonerConfig,
         pool: Arc<ReasonerPool>,
         cache: Arc<PartitionCache>,
         program_id: u64,
-    ) -> Self {
-        IncrementalReasoner {
+    ) -> Result<Self, AspError> {
+        let delta = DeltaLane::build(syms, program, inpre, &partitioner, &config)?;
+        Ok(IncrementalReasoner {
             syms: syms.clone(),
             partitioner,
             config,
@@ -282,7 +389,14 @@ impl IncrementalReasoner {
             sequential: Vec::new(),
             cache,
             program_id,
-        }
+            delta,
+        })
+    }
+
+    /// True when the delta-ground fast path is active (all gates passed:
+    /// config, content-routed partitioner, supported program fragment).
+    pub fn delta_ground_active(&self) -> bool {
+        self.delta.is_some()
     }
 
     /// Number of parallel partitions.
@@ -293,6 +407,98 @@ impl IncrementalReasoner {
     /// The shared partition cache.
     pub fn cache(&self) -> &Arc<PartitionCache> {
         &self.cache
+    }
+
+    /// Projects the window delta onto partitions through the partitioner's
+    /// content routing. `None` when the window carries no delta or any item
+    /// lacks a content route.
+    fn project_delta(&self, window: &Window, partitions: usize) -> Option<Vec<WindowDelta>> {
+        let delta = window.delta.as_ref()?;
+        let mut routable = true;
+        let routed = delta.project(partitions, |item| match self.partitioner.item_routes(item) {
+            Some(routes) => routes,
+            None => {
+                routable = false;
+                Vec::new()
+            }
+        });
+        routable.then_some(routed)
+    }
+
+    /// Serves one dirty partition from the maintained grounding: applies
+    /// the partition-scoped delta when the chain from the previous window
+    /// is intact, rebuilds from the full partition content otherwise, then
+    /// solves the maintained ground program. `Ok(None)` hands the partition
+    /// back to the scratch path (rebuild failed).
+    fn delta_process(
+        &mut self,
+        i: usize,
+        window: &Window,
+        items: &[Triple],
+        fp: u128,
+        projected: Option<&[WindowDelta]>,
+    ) -> Result<Option<(Vec<AnswerSet>, Timing, SolveStats)>, AspError> {
+        use std::sync::atomic::Ordering;
+        let Some(lane) = self.delta.as_mut() else { return Ok(None) };
+        let st = &mut lane.parts[i];
+        let t0 = Instant::now();
+        let mut transform = std::time::Duration::ZERO;
+        let mut applied = false;
+        if st.valid {
+            if let (Some(projected), Some(delta)) = (projected, window.delta.as_ref()) {
+                // The base_id invariant (see [`DeltaPartition`]): the delta
+                // relates this window to `delta.base_id`, so it can only be
+                // applied to partition state built from exactly that window.
+                if delta.base_id == st.window_id {
+                    let pd = &projected[i];
+                    let t_t = Instant::now();
+                    let added = lane.format.window_to_facts(&pd.added);
+                    let retracted = lane.format.window_to_facts(&pd.retracted);
+                    transform += t_t.elapsed();
+                    match st.grounder.apply(&added, &retracted) {
+                        Ok(()) => {
+                            applied = true;
+                            self.cache.counters().delta_applies.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Chain broken (e.g. underflow): rebuild below.
+                        Err(_) => st.valid = false,
+                    }
+                }
+            }
+        }
+        if !applied {
+            st.valid = false;
+            if st.grounder.reset().is_err() {
+                return Ok(None);
+            }
+            let t_t = Instant::now();
+            let facts = lane.format.window_to_facts(items);
+            transform += t_t.elapsed();
+            if st.grounder.apply(&facts, &[]).is_err() {
+                let _ = st.grounder.reset();
+                return Ok(None);
+            }
+            self.cache.counters().delta_regrounds.fetch_add(1, Ordering::Relaxed);
+        }
+        let ground = t0.elapsed().saturating_sub(transform);
+        // The maintained instantiations are the ground program: extract the
+        // unique answer set directly (stratified evaluation) instead of
+        // simplify → translate → CDCL over a rebuilt program. Equality with
+        // `solve_ground(ground_program())` is the supported fragment's
+        // guarantee, enforced by the identity tests.
+        let t_s = Instant::now();
+        let answers = match st.grounder.answer() {
+            Some(atoms) => vec![AnswerSet::new(atoms, &self.syms)],
+            None => Vec::new(),
+        };
+        let solve = t_s.elapsed();
+        let stats =
+            SolveStats { atoms: answers.first().map_or(0, AnswerSet::len), ..Default::default() };
+        st.window_id = window.id;
+        st.content_fp = fp;
+        st.valid = true;
+        let timing = Timing { total: t0.elapsed(), transform, ground, solve, ..Default::default() };
+        Ok(Some((answers, timing, stats)))
     }
 
     /// Processes one window: partition → fingerprint/lookup → solve dirty →
@@ -309,7 +515,8 @@ impl IncrementalReasoner {
         // Clean partitions come straight from the cache; the rest are dirty.
         let mut per_partition: Vec<Option<Arc<Vec<AnswerSet>>>> =
             fingerprints.iter().map(|&fp| self.cache.get(self.program_id, fp)).collect();
-        let dirty: Vec<usize> = (0..parts.len()).filter(|&i| per_partition[i].is_none()).collect();
+        let mut dirty: Vec<usize> =
+            (0..parts.len()).filter(|&i| per_partition[i].is_none()).collect();
         // Fingerprinting + cache lookups are the incremental handler's
         // overhead: account them to the partitioning stage.
         let partition_time = t_part.elapsed();
@@ -318,20 +525,65 @@ impl IncrementalReasoner {
         let mut critical = Timing::default();
         let mut fresh: Vec<(usize, Vec<AnswerSet>)> = Vec::with_capacity(dirty.len());
 
+        if self.delta.is_some() {
+            // Clean partitions leave the maintained grounding untouched;
+            // advance its window id when the content provably matches.
+            if let Some(lane) = self.delta.as_mut() {
+                for (i, cached) in per_partition.iter().enumerate() {
+                    let st = &mut lane.parts[i];
+                    if cached.is_some() && st.valid && st.content_fp == fingerprints[i] {
+                        st.window_id = window.id;
+                    }
+                }
+            }
+            // Dirty partitions: delta-ground in the caller thread; anything
+            // the maintained grounding cannot serve falls through to the
+            // pool/sequential scratch path below. Projecting the delta
+            // clones every added/retracted triple, so skip it outright in
+            // the all-clean steady state the cache is built to produce.
+            let projected =
+                if dirty.is_empty() { None } else { self.project_delta(window, parts.len()) };
+            let mut remaining = Vec::with_capacity(dirty.len());
+            for &i in &dirty {
+                match self.delta_process(
+                    i,
+                    window,
+                    &parts[i],
+                    fingerprints[i],
+                    projected.as_deref(),
+                )? {
+                    Some((answers, timing, s)) => {
+                        stats = merge_stats(stats, s);
+                        // The delta path runs serially in the caller: its
+                        // stages extend the critical path additively.
+                        critical = sum_timing(critical, timing);
+                        fresh.push((i, answers));
+                    }
+                    None => remaining.push(i),
+                }
+            }
+            dirty = remaining;
+        }
+
         match &self.pool {
             Some(pool) => {
                 let payloads: Vec<Vec<Triple>> =
                     dirty.iter().map(|&i| std::mem::take(&mut parts[i])).collect();
                 let batch = pool.submit(window.id, payloads);
+                // The pool batch is concurrent within itself (max) but only
+                // starts after the serial delta loop above, so its critical
+                // path *adds* to whatever `critical` already holds.
+                let mut pool_critical = Timing::default();
                 for (k, outcome) in batch.wait().into_iter().enumerate() {
                     let result = outcome.map_err(|_| {
                         AspError::Internal("incremental reasoner worker panicked".into())
                     })?;
                     let (answers, timing, s) = result?;
                     stats = merge_stats(stats, s);
-                    critical = max_timing(critical, timing);
+                    pool_critical = max_timing(pool_critical, timing);
                     fresh.push((dirty[k], answers));
                 }
+                critical = sum_timing(critical, pool_critical);
             }
             None => {
                 for &i in &dirty {
@@ -596,6 +848,144 @@ mod tests {
             assert_eq!(render(&syms, &full), render(&syms, &inc));
         }
         assert_eq!(ir.cache().counters().snapshot().hits, 0, "capacity 0 never hits");
+    }
+
+    fn sliding_stream(copies: usize) -> Vec<Triple> {
+        let mut stream = Vec::new();
+        for i in 0..copies {
+            let mut items = motivating_items();
+            // Vary one reading per round so consecutive windows differ.
+            items[0] = t("newcastle", "average_speed", Node::Int(10 + i as i64));
+            stream.extend(items);
+        }
+        stream
+    }
+
+    #[test]
+    fn delta_ground_is_identical_and_applies_deltas() {
+        let cfg = ReasonerConfig {
+            incremental: true,
+            delta_ground: true,
+            mode: ParallelMode::Sequential,
+            ..Default::default()
+        };
+        let (syms, mut pr, mut ir) = build_pair(cfg);
+        assert!(ir.delta_ground_active(), "plan partitioner + program P pass every gate");
+        let mut windower = SlidingWindower::new(6, 2);
+        for item in sliding_stream(4) {
+            if let Some(w) = windower.push(item) {
+                let full = pr.process(&w).unwrap();
+                let inc = ir.process(&w).unwrap();
+                assert_eq!(render(&syms, &full), render(&syms, &inc), "window {}", w.id);
+            }
+        }
+        let snap = ir.cache().counters().snapshot();
+        assert!(snap.delta_applies > 0, "overlapping windows must hit the delta path: {snap:?}");
+        assert!(snap.delta_regrounds > 0, "the first window has no delta base");
+    }
+
+    #[test]
+    fn delta_ground_requires_content_routed_partitioner() {
+        let syms = Symbols::new();
+        let program = parse_program(&syms, PROGRAM_P).unwrap();
+        let partitioner: Arc<dyn Partitioner> = Arc::new(RandomPartitioner::new(2, 7));
+        let cfg = ReasonerConfig { incremental: true, delta_ground: true, ..Default::default() };
+        let ir = IncrementalReasoner::new(&syms, &program, None, partitioner, cfg).unwrap();
+        assert!(!ir.delta_ground_active(), "random partitioner has no content routing");
+    }
+
+    #[test]
+    fn delta_ground_requires_supported_program_fragment() {
+        let syms = Symbols::new();
+        let program = parse_program(&syms, "a :- not b. b :- not a.").unwrap();
+        let partitioner: Arc<dyn Partitioner> =
+            Arc::new(PlanPartitioner::new(paper_plan(), UnknownPredicate::Partition0));
+        let cfg = ReasonerConfig { incremental: true, delta_ground: true, ..Default::default() };
+        let ir = IncrementalReasoner::new(&syms, &program, None, partitioner, cfg).unwrap();
+        assert!(!ir.delta_ground_active(), "negation loop is outside the delta fragment");
+    }
+
+    #[test]
+    fn delta_ground_falls_back_on_broken_chain() {
+        // Windows without delta metadata (fresh Window::new) force a full
+        // rebuild every time — output must stay identical and the apply
+        // counter must stay at zero.
+        let cfg = ReasonerConfig {
+            incremental: true,
+            delta_ground: true,
+            mode: ParallelMode::Sequential,
+            ..Default::default()
+        };
+        let (syms, mut pr, mut ir) = build_pair(cfg);
+        for id in 0..3 {
+            let mut items = motivating_items();
+            items[0] = t("newcastle", "average_speed", Node::Int(10 + id as i64));
+            let w = Window::new(id, items);
+            let full = pr.process(&w).unwrap();
+            let inc = ir.process(&w).unwrap();
+            assert_eq!(render(&syms, &full), render(&syms, &inc));
+        }
+        let snap = ir.cache().counters().snapshot();
+        assert_eq!(snap.delta_applies, 0, "no deltas attached, no incremental applies");
+        assert!(snap.delta_regrounds > 0);
+    }
+
+    #[test]
+    fn delta_base_mismatch_falls_back_to_reground() {
+        // Regression for the base_id invariant: a window whose delta claims
+        // a base the partition state was NOT built from (skipped window,
+        // windower reset) must be re-grounded from scratch, never applied —
+        // and the output must stay byte-identical to full recomputation.
+        let cfg = ReasonerConfig {
+            incremental: true,
+            delta_ground: true,
+            mode: ParallelMode::Sequential,
+            ..Default::default()
+        };
+        let (syms, mut pr, mut ir) = build_pair(cfg);
+        let w0 = Window::new(0, motivating_items());
+        ir.process(&w0).unwrap();
+        pr.process(&w0).unwrap();
+        let applies_before = ir.cache().counters().snapshot().delta_applies;
+
+        // Window 2 with a delta claiming base 1 — but the partition states
+        // were built from window 0, so the chain is broken.
+        let mut items = motivating_items();
+        items.remove(2); // drop the traffic light
+        let delta = sr_stream::WindowDelta {
+            base_id: 1,
+            added: Vec::new(),
+            retracted: vec![motivating_items()[2].clone()],
+        };
+        let w2 = Window::new(2, items.clone()).with_delta(delta);
+        let inc = ir.process(&w2).unwrap();
+        let full = pr.process(&Window::new(2, items)).unwrap();
+        assert_eq!(render(&syms, &full), render(&syms, &inc), "mismatch path diverged");
+
+        let snap = ir.cache().counters().snapshot();
+        assert_eq!(
+            snap.delta_applies, applies_before,
+            "a delta with a mismatched base_id must never be applied"
+        );
+        assert!(snap.delta_regrounds > 0, "the dirty partition was rebuilt instead");
+
+        // A window whose delta DOES chain from window 2 is applied again.
+        let mut items3 = motivating_items();
+        items3.remove(2);
+        items3[0] = t("newcastle", "average_speed", Node::Int(12));
+        let delta3 = sr_stream::WindowDelta {
+            base_id: 2,
+            added: vec![items3[0].clone()],
+            retracted: vec![motivating_items()[0].clone()],
+        };
+        let w3 = Window::new(3, items3.clone()).with_delta(delta3);
+        let inc3 = ir.process(&w3).unwrap();
+        let full3 = pr.process(&Window::new(3, items3)).unwrap();
+        assert_eq!(render(&syms, &full3), render(&syms, &inc3));
+        assert!(
+            ir.cache().counters().snapshot().delta_applies > applies_before,
+            "a correctly chained delta is applied incrementally again"
+        );
     }
 
     #[test]

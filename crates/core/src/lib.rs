@@ -39,15 +39,18 @@ pub use config::{
     UnknownPredicate,
 };
 pub use decompose::{decompose, to_plan, Decomposition, DecompositionMethod};
-pub use engine::{EngineConfig, EngineOutput, EngineReport, EngineStats, StreamEngine};
+pub use engine::{
+    EngineConfig, EngineOutput, EngineReport, EngineStats, LaneOccupancy, StreamEngine,
+};
 pub use exec::{BatchHandle, JobPanicked, JobTag, WorkerPool};
 pub use extended::ExtendedDepGraph;
 pub use incremental::{
-    fingerprint_items, program_fingerprint, IncrementalReasoner, PartitionCache,
+    delta_ground_supported, fingerprint_items, program_fingerprint, IncrementalReasoner,
+    PartitionCache,
 };
 pub use input_graph::InputDepGraph;
 pub use metrics::{duration_ms, percentile, CacheCounters, IncrementalSnapshot, LatencyStats};
-pub use parallel::{reasoner_pool, ParallelReasoner, ReasonerPool};
+pub use parallel::{reasoner_pool, ParallelReasoner, PoolRegistry, ReasonerPool};
 pub use partition::{Partitioner, PlanPartitioner, RandomPartitioner};
 pub use pipeline::{PipelineOutput, StreamRulePipeline};
 pub use plan::PartitioningPlan;

@@ -97,6 +97,13 @@ pub struct CacheCounters {
     pub misses: AtomicU64,
     /// Entries evicted to respect the cache capacity.
     pub evictions: AtomicU64,
+    /// Dirty partitions handled by applying the partition-scoped window
+    /// delta to a maintained grounding (the delta-ground fast path).
+    pub delta_applies: AtomicU64,
+    /// Dirty partitions the delta grounder had to rebuild from the full
+    /// partition content (no delta attached, broken chain, or an
+    /// incremental apply that bailed out).
+    pub delta_regrounds: AtomicU64,
 }
 
 impl CacheCounters {
@@ -110,6 +117,8 @@ impl CacheCounters {
             misses,
             evictions: self.evictions.load(Ordering::Relaxed),
             dirty_partition_ratio: if total > 0 { misses as f64 / total as f64 } else { 0.0 },
+            delta_applies: self.delta_applies.load(Ordering::Relaxed),
+            delta_regrounds: self.delta_regrounds.load(Ordering::Relaxed),
         }
     }
 }
@@ -127,6 +136,10 @@ pub struct IncrementalSnapshot {
     /// `misses / (hits + misses)` — the fraction of partition computations
     /// that were actually dirty (0 when nothing was processed).
     pub dirty_partition_ratio: f64,
+    /// Dirty partitions served by incremental delta grounding.
+    pub delta_applies: u64,
+    /// Dirty partitions the delta grounder rebuilt from scratch.
+    pub delta_regrounds: u64,
 }
 
 impl IncrementalSnapshot {
@@ -135,8 +148,14 @@ impl IncrementalSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-             \"dirty_partition_ratio\": {:.4}}}",
-            self.hits, self.misses, self.evictions, self.dirty_partition_ratio
+             \"dirty_partition_ratio\": {:.4}, \"delta_applies\": {}, \
+             \"delta_regrounds\": {}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.dirty_partition_ratio,
+            self.delta_applies,
+            self.delta_regrounds
         )
     }
 }

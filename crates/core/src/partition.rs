@@ -13,6 +13,23 @@ pub trait Partitioner: Send + Sync {
     fn partitions(&self) -> usize;
     /// Splits a window. Every returned vector feeds one parallel reasoner.
     fn partition(&self, window: &Window) -> Vec<Vec<Triple>>;
+    /// Content-based per-item routing, when the partitioner supports it:
+    /// the partition indices `item` would land in (possibly several under
+    /// duplication, possibly none under a drop policy), *independent of the
+    /// window* the item arrives in. `None` means routing depends on window
+    /// context (e.g. the window-id-seeded random baseline), so window
+    /// deltas cannot be projected per partition and consumers such as
+    /// delta-driven grounding must fall back. When `Some`, the routes must
+    /// agree exactly with [`Partitioner::partition`].
+    fn item_routes(&self, _item: &Triple) -> Option<Vec<u32>> {
+        None
+    }
+    /// True when [`Partitioner::item_routes`] returns `Some` for every item
+    /// (routing is a pure function of item content). Gate for consumers
+    /// that need stable per-partition deltas.
+    fn content_routed(&self) -> bool {
+        false
+    }
 }
 
 /// Algorithm 1: group items by predicate, route each group to the
@@ -78,6 +95,23 @@ impl Partitioner for PlanPartitioner {
             }
         }
         parts
+    }
+
+    fn item_routes(&self, item: &Triple) -> Option<Vec<u32>> {
+        // Routing is by predicate, so it never depends on the window: the
+        // exact per-item form of `partition` above.
+        Some(match self.plan.communities_of(item.predicate_name()) {
+            Some(cs) => cs.to_vec(),
+            None => match self.unknown {
+                UnknownPredicate::Drop => Vec::new(),
+                UnknownPredicate::Partition0 => vec![0],
+                UnknownPredicate::Broadcast => (0..self.plan.communities as u32).collect(),
+            },
+        })
+    }
+
+    fn content_routed(&self) -> bool {
+        true
     }
 }
 
@@ -172,6 +206,38 @@ mod tests {
         let total: usize = parts.iter().map(Vec::len).sum();
         // dup counted twice (duplication), others once.
         assert_eq!(total, w.len() + 1);
+    }
+
+    #[test]
+    fn item_routes_agree_with_partition() {
+        for unknown in
+            [UnknownPredicate::Partition0, UnknownPredicate::Drop, UnknownPredicate::Broadcast]
+        {
+            let p = PlanPartitioner::new(plan2(), unknown);
+            let w = window(&["a", "b", "dup", "mystery"]);
+            let parts = p.partition(&w);
+            let mut routed: Vec<Vec<Triple>> = vec![Vec::new(); p.partitions()];
+            for item in &w.items {
+                for r in p.item_routes(item).expect("plan routing is content-based") {
+                    routed[r as usize].push(item.clone());
+                }
+            }
+            for (i, part) in parts.iter().enumerate() {
+                let mut a = part.clone();
+                let mut b = routed[i].clone();
+                let key = |t: &Triple| format!("{t}");
+                a.sort_by_key(key);
+                b.sort_by_key(key);
+                assert_eq!(a, b, "partition {i} diverged under {unknown:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_partitioner_has_no_content_routing() {
+        let p = RandomPartitioner::new(3, 42);
+        let w = window(&["a"]);
+        assert!(p.item_routes(&w.items[0]).is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!   of Listing 1 exercises and the accuracy plots are non-degenerate.
 
 use crate::rng::Pcg32;
+use crate::window::{Window, WindowDelta};
 use serde::{Deserialize, Serialize};
 use sr_rdf::{Node, Triple};
 use std::sync::Arc;
@@ -308,6 +309,104 @@ impl WorkloadGenerator for BurstyGenerator {
     }
 }
 
+/// Retraction-heavy sliding stream: emits [`Window`]s directly (with exact
+/// [`WindowDelta`] metadata) where each slide retracts `slide` items of
+/// which a fixed fraction — [`ChurnStream::new`]'s `retract_fraction` — is
+/// drawn uniformly from the *live window interior* instead of the expiring
+/// FIFO tail. Interior retractions are what assert/retract reasoners
+/// (oclingo-style) call true retractions: they kill facts whose join
+/// partners are still live, so every derivation chain they support must be
+/// torn down (DRed over-delete) rather than aged out. `retract_fraction
+/// == 0` degenerates to the [`SlidingWindower`](crate::SlidingWindower)
+/// FIFO regime; `1.0` retracts entirely at random. Window size stays
+/// constant: every slide adds `slide` fresh items from the inner generator.
+pub struct ChurnStream {
+    inner: Box<dyn WorkloadGenerator + Send>,
+    size: usize,
+    slide: usize,
+    retract_fraction: f64,
+    rng: Pcg32,
+    next_id: u64,
+    window: Vec<Triple>,
+}
+
+impl std::fmt::Debug for ChurnStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChurnStream")
+            .field("size", &self.size)
+            .field("slide", &self.slide)
+            .field("retract_fraction", &self.retract_fraction)
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChurnStream {
+    /// A churn stream over `inner`, windows of `size` items sliding by
+    /// `slide`, with `retract_fraction` of each slide's retractions drawn
+    /// uniformly from the live window. `retract_fraction` must be in
+    /// `[0, 1]`; `slide` must not exceed `size`.
+    pub fn new(
+        inner: Box<dyn WorkloadGenerator + Send>,
+        size: usize,
+        slide: usize,
+        retract_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(size > 0, "window size must be positive");
+        assert!(slide > 0 && slide <= size, "slide must be in 1..=size");
+        assert!((0.0..=1.0).contains(&retract_fraction), "fraction must be in [0, 1]");
+        ChurnStream {
+            inner,
+            size,
+            slide,
+            retract_fraction,
+            rng: Pcg32::seed(seed ^ 0xc4u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            next_id: 0,
+            window: Vec::new(),
+        }
+    }
+
+    /// Produces the next window. The first call fills a fresh window (no
+    /// delta base); every later call retracts `slide` items (interior-random
+    /// per `retract_fraction`, FIFO for the remainder), adds `slide` fresh
+    /// items and attaches the exact [`WindowDelta`] — the multiset invariant
+    /// `multiset(current) = multiset(base) - retracted + added` holds by
+    /// construction.
+    pub fn next_window(&mut self) -> Window {
+        if self.next_id == 0 {
+            self.window = self.inner.window(self.size);
+            let w = Window::new(0, self.window.clone());
+            self.next_id = 1;
+            return w;
+        }
+        let n_random = ((self.slide as f64 * self.retract_fraction).round() as usize)
+            .min(self.slide)
+            .min(self.window.len());
+        let mut retracted = Vec::with_capacity(self.slide);
+        for _ in 0..n_random {
+            let i = self.rng.below(self.window.len() as u64) as usize;
+            retracted.push(self.window.remove(i));
+        }
+        let fifo = (self.slide - n_random).min(self.window.len());
+        retracted.extend(self.window.drain(..fifo));
+        let added = self.inner.window(self.slide);
+        self.window.extend(added.iter().cloned());
+        let id = self.next_id;
+        self.next_id += 1;
+        Window {
+            id,
+            items: self.window.clone(),
+            delta: Some(WindowDelta { base_id: id - 1, added, retracted }),
+        }
+    }
+
+    /// Collects the next `n` windows.
+    pub fn windows(&mut self, n: usize) -> Vec<Window> {
+        (0..n).map(|_| self.next_window()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +509,91 @@ mod tests {
         let mut a = BurstyGenerator::new(groups.clone(), 3, 50, 9);
         let mut b = BurstyGenerator::new(groups, 3, 50, 9);
         assert_eq!(a.window(60), b.window(60));
+    }
+
+    #[test]
+    fn churn_stream_keeps_window_size_and_delta_invariant() {
+        for fraction in [0.0, 0.5, 1.0] {
+            let inner = paper_generator(GeneratorKind::CorrelatedSparse, 11);
+            let mut churn = ChurnStream::new(inner, 40, 10, fraction, 7);
+            let mut prev: Option<Window> = None;
+            for _ in 0..6 {
+                let w = churn.next_window();
+                assert_eq!(w.len(), 40, "window size stays constant");
+                if let Some(base) = &prev {
+                    let d = w.delta.as_ref().expect("every later window carries a delta");
+                    assert_eq!(d.base_id, base.id);
+                    assert_eq!(d.added.len(), 10);
+                    assert_eq!(d.retracted.len(), 10);
+                    // multiset(current) = multiset(base) - retracted + added
+                    let mut reconstructed = base.items.clone();
+                    for r in &d.retracted {
+                        let pos = reconstructed
+                            .iter()
+                            .position(|x| x == r)
+                            .expect("retracted item was in the base window");
+                        reconstructed.remove(pos);
+                    }
+                    reconstructed.extend(d.added.iter().cloned());
+                    let sort = |mut v: Vec<Triple>| {
+                        v.sort_by_key(|x| format!("{x}"));
+                        v
+                    };
+                    assert_eq!(
+                        sort(reconstructed),
+                        sort(w.items.clone()),
+                        "delta invariant broken at fraction {fraction}"
+                    );
+                } else {
+                    assert!(w.delta.is_none(), "first window has no base");
+                }
+                prev = Some(w);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_stream_zero_fraction_expires_fifo() {
+        let inner = paper_generator(GeneratorKind::CorrelatedSparse, 3);
+        let mut churn = ChurnStream::new(inner, 20, 5, 0.0, 9);
+        let w0 = churn.next_window();
+        let w1 = churn.next_window();
+        let d = w1.delta.unwrap();
+        assert_eq!(d.retracted, w0.items[..5].to_vec(), "fraction 0 retracts the oldest items");
+    }
+
+    #[test]
+    fn churn_stream_full_fraction_retracts_interior_items() {
+        // With fraction 1.0 and enough rounds, some retraction must hit a
+        // non-oldest item (probability of always drawing the head is ~0).
+        let inner = paper_generator(GeneratorKind::CorrelatedSparse, 5);
+        let mut churn = ChurnStream::new(inner, 30, 6, 1.0, 21);
+        let mut interior_hit = false;
+        let mut prev = churn.next_window();
+        for _ in 0..8 {
+            let w = churn.next_window();
+            let d = w.delta.clone().unwrap();
+            let oldest: Vec<&Triple> = prev.items[..6].iter().collect();
+            if d.retracted.iter().any(|r| !oldest.contains(&r)) {
+                interior_hit = true;
+            }
+            prev = w;
+        }
+        assert!(interior_hit, "random retraction never left the FIFO head");
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic_per_seed() {
+        let make = || {
+            let inner = paper_generator(GeneratorKind::CorrelatedSparse, 2);
+            ChurnStream::new(inner, 24, 8, 0.5, 13)
+        };
+        let (mut a, mut b) = (make(), make());
+        for _ in 0..4 {
+            let (wa, wb) = (a.next_window(), b.next_window());
+            assert_eq!(wa.items, wb.items);
+            assert_eq!(wa.delta, wb.delta);
+        }
     }
 
     #[test]

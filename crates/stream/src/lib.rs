@@ -11,8 +11,8 @@ pub mod source;
 pub mod window;
 
 pub use generator::{
-    paper_generator, BurstyGenerator, CorrelatedConfig, CorrelatedGenerator, FaithfulGenerator,
-    GeneratorKind, WorkloadGenerator, PAPER_PREDICATES,
+    paper_generator, BurstyGenerator, ChurnStream, CorrelatedConfig, CorrelatedGenerator,
+    FaithfulGenerator, GeneratorKind, WorkloadGenerator, PAPER_PREDICATES,
 };
 pub use query::QueryProcessor;
 pub use rng::Pcg32;

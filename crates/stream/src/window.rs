@@ -33,6 +33,35 @@ impl WindowDelta {
     pub fn is_unchanged(&self) -> bool {
         self.added.is_empty() && self.retracted.is_empty()
     }
+
+    /// Projects the delta onto `partitions` sub-streams through a per-item
+    /// routing function (an item may be routed to several partitions —
+    /// duplicated predicates — or to none). Valid only for *content-based*
+    /// routing (the same item always takes the same routes): then each
+    /// projected delta satisfies the window invariant per partition,
+    /// `multiset(part_i(current)) = multiset(part_i(base)) - retracted_i +
+    /// added_i`, which is what partition-scoped incremental grounding
+    /// consumes.
+    pub fn project(
+        &self,
+        partitions: usize,
+        mut route: impl FnMut(&Triple) -> Vec<u32>,
+    ) -> Vec<WindowDelta> {
+        let mut out: Vec<WindowDelta> = (0..partitions)
+            .map(|_| WindowDelta { base_id: self.base_id, ..Default::default() })
+            .collect();
+        for item in &self.added {
+            for r in route(item) {
+                out[r as usize].added.push(item.clone());
+            }
+        }
+        for item in &self.retracted {
+            for r in route(item) {
+                out[r as usize].retracted.push(item.clone());
+            }
+        }
+        out
+    }
 }
 
 /// An input window handed to a reasoner.
@@ -522,6 +551,26 @@ mod tests {
                 prev = Some(win);
             }
         }
+    }
+
+    #[test]
+    fn delta_projection_routes_and_duplicates() {
+        let delta = WindowDelta { base_id: 3, added: vec![t(1), t(2)], retracted: vec![t(3)] };
+        // Route by parity; even items are duplicated into both partitions.
+        let parts = delta.project(2, |item| {
+            let v = item.s.as_int().unwrap();
+            if v % 2 == 0 {
+                vec![0, 1]
+            } else {
+                vec![0]
+            }
+        });
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].base_id, 3);
+        assert_eq!(parts[0].added, vec![t(1), t(2)]);
+        assert_eq!(parts[1].added, vec![t(2)], "even item duplicated");
+        assert_eq!(parts[0].retracted, vec![t(3)]);
+        assert!(parts[1].retracted.is_empty());
     }
 
     #[test]

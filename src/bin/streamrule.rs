@@ -7,8 +7,8 @@
 //!                     [--size N] [--windows K] [--seed S]
 //! streamrule run <program.lp> [--data data.nt] [--window N] [--windows K]
 //!                [--mode single|dep|random:K] [--in-flight L] [--rate R]
-//!                [--seed S] [--json out.json] [--events]
-//!                [--incremental] [--cache-size N] [--slide S]
+//!                [--seed S] [--json out.json] [--trials T] [--events]
+//!                [--incremental] [--cache-size N] [--slide S] [--delta-ground]
 //! ```
 //!
 //! `run` streams tuple windows — read from an N-Triples file or generated
@@ -16,11 +16,16 @@
 //! pipelined `StreamEngine` keeps `L` windows reasoning concurrently
 //! (ordered, deterministic emission); `--rate R` throttles submission to
 //! `R` windows/second; `--json` records throughput statistics (plus a
-//! sequential-baseline comparison) in the `BENCH_throughput.json` shape.
+//! sequential-baseline comparison) in the `BENCH_throughput.json` shape,
+//! taking the best of `--trials T` engine and baseline passes (default 3)
+//! so one noisy sample can't skew the record.
 //! `--slide S` cuts sliding windows (S < window re-processes the overlap)
 //! and `--incremental` reuses cached answer sets for partitions whose
 //! content fingerprint is unchanged, with `--cache-size N` bounding the
-//! partition cache (see `sr-core::incremental`).
+//! partition cache (see `sr-core::incremental`). `--delta-ground` (implies
+//! `--incremental`) additionally maintains each dirty partition's grounding
+//! across windows, applying the partition-scoped window delta instead of
+//! re-grounding from scratch (dependency-partitioned modes only).
 
 use sr_bench::{
     outputs_match, sequential_baseline, throughput_json, ThroughputResult, ThroughputRun,
@@ -57,8 +62,8 @@ const USAGE: &str = "usage:
   streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
   streamrule generate --out data.nt [--kind faithful|correlated|sparse] [--size N] [--windows K] [--seed S]
   streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
-                 [--in-flight L] [--rate R] [--seed S] [--json out.json] [--events]
-                 [--incremental] [--cache-size N] [--slide S]";
+                 [--in-flight L] [--rate R] [--seed S] [--json out.json] [--trials T] [--events]
+                 [--incremental] [--cache-size N] [--slide S] [--delta-ground]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -255,14 +260,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .unwrap_or("256")
         .parse()
         .map_err(|_| "bad --cache-size")?;
-    let incremental = has_flag(args, "--incremental");
+    let delta_ground = has_flag(args, "--delta-ground");
+    let incremental = has_flag(args, "--incremental") || delta_ground;
     if incremental && matches!(mode, RunMode::Single) {
-        return Err("--incremental caches per-partition results; it needs a partitioned mode \
-                    (--mode dep or --mode random:K)"
+        return Err("--incremental/--delta-ground cache per-partition results; they need a \
+                    partitioned mode (--mode dep or --mode random:K)"
             .into());
     }
-    let reasoner_cfg =
-        ReasonerConfig { incremental, cache_capacity: cache_size, ..Default::default() };
+    if delta_ground && matches!(mode, RunMode::Random(_)) {
+        return Err("--delta-ground needs content-based routing (--mode dep); the window-seeded \
+                    random partitioner reshuffles items across windows"
+            .into());
+    }
+    if delta_ground && !delta_ground_supported(&syms, &program).map_err(|e| e.to_string())? {
+        // The third --delta-ground gate (the other two error out above):
+        // warn instead of letting the reasoner silently degrade, so bench
+        // numbers aren't misattributed to a path that never engaged.
+        eprintln!(
+            "warning: program is outside the delta-grounding fragment (single-head rules, \
+             acyclic dependencies); falling back to cache-only incremental reuse"
+        );
+    }
+    let reasoner_cfg = ReasonerConfig {
+        incremental,
+        cache_capacity: cache_size,
+        delta_ground,
+        ..Default::default()
+    };
 
     let windows = build_windows(args, window_size, slide, windows_cap, seed)?;
     let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
@@ -275,6 +299,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
 
     let json_path = flag_value(args, "--json");
+    let trials: usize =
+        flag_value(args, "--trials").unwrap_or("3").parse().map_err(|_| "bad --trials")?;
+    if trials == 0 {
+        return Err("bad --trials".into());
+    }
+    if flag_value(args, "--trials").is_some() && json_path.is_none() {
+        return Err("--trials repeats the --json benchmark passes; add --json out.json".into());
+    }
     if in_flight == 0 {
         if json_path.is_some() || rate > 0.0 {
             return Err(
@@ -306,6 +338,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         in_flight,
         rate,
         json_path,
+        trials,
         &projection,
     )
 }
@@ -461,6 +494,12 @@ fn print_cache_line(s: &IncrementalSnapshot) {
         "cache: {} hits, {} misses, {} evictions, dirty partition ratio {:.2}",
         s.hits, s.misses, s.evictions, s.dirty_partition_ratio
     );
+    if s.delta_applies + s.delta_regrounds > 0 {
+        println!(
+            "delta grounding: {} incremental applies, {} full regrounds",
+            s.delta_applies, s.delta_regrounds
+        );
+    }
 }
 
 /// The pipelined path: `in_flight` engine lanes over a shared worker pool,
@@ -477,33 +516,37 @@ fn run_engine(
     in_flight: usize,
     rate: f64,
     json_path: Option<&str>,
+    trials: usize,
     projection: &Projection,
 ) -> Result<(), String> {
     use std::time::Duration;
 
-    let config = EngineConfig { in_flight, queue_depth: in_flight };
-    let mut engine = match mode.partitioner(analysis) {
-        None => StreamEngine::new(config, |_lane| {
-            Ok(Box::new(SingleReasoner::new(syms, program, None, SolverConfig::default())?)
-                as Box<dyn Reasoner>)
-        }),
-        // Partitioned modes: all lanes share one worker pool sized so each
-        // in-flight window can still fan out over its partitions (and, with
-        // --incremental, one partition-level result cache).
-        Some(partitioner) => StreamEngine::with_partitioned_lanes(
-            syms,
-            program,
-            Some(&analysis.inpre),
-            partitioner,
-            reasoner_cfg.clone(),
-            config,
-        ),
-    }
-    .map_err(|e| e.to_string())?;
+    let make_engine = || {
+        let config = EngineConfig { in_flight, queue_depth: in_flight };
+        match mode.partitioner(analysis) {
+            None => StreamEngine::new(config, |_lane| {
+                Ok(Box::new(SingleReasoner::new(syms, program, None, SolverConfig::default())?)
+                    as Box<dyn Reasoner>)
+            }),
+            // Partitioned modes: all lanes share one worker pool sized so
+            // each in-flight window can still fan out over its partitions
+            // (and, with --incremental, one partition-level result cache).
+            Some(partitioner) => StreamEngine::with_partitioned_lanes(
+                syms,
+                program,
+                Some(&analysis.inpre),
+                partitioner,
+                reasoner_cfg.clone(),
+                config,
+            ),
+        }
+        .map_err(|e| e.to_string())
+    };
 
     let interval = if rate > 0.0 { Duration::from_secs_f64(1.0 / rate) } else { Duration::ZERO };
     let Some(json_path) = json_path else {
         // No baseline pass needed: hand the windows to the engine outright.
+        let mut engine = make_engine()?;
         for window in windows {
             engine.submit(window).map_err(|e| e.to_string())?;
             if !interval.is_zero() {
@@ -514,21 +557,49 @@ fn run_engine(
         return Ok(());
     };
 
-    // `--json`: keep the windows for the sequential-baseline speedup record.
-    for window in &windows {
-        engine.submit(window.clone()).map_err(|e| e.to_string())?;
-        if !interval.is_zero() {
-            std::thread::sleep(interval);
+    // `--json`: best of `trials` cold passes on each side. A single
+    // engine/baseline sample hovers near 1.0x on toy CI workloads, so one
+    // scheduler hiccup would flip the bench gate; the max of several
+    // samples is stable. Identity must hold on *every* engine pass.
+    let mut base_stats: Option<EngineStats> = None;
+    let mut base_rendered: Vec<String> = Vec::new();
+    for trial in 0..trials {
+        // Fresh reasoner per pass: with --incremental, a reused one would
+        // replay warm caches and no longer measure the baseline.
+        let (mut baseline, _) = build_reasoner(syms, program, analysis, mode, reasoner_cfg)?;
+        let (stats, rendered) =
+            sequential_baseline(syms, baseline.as_mut(), &windows).map_err(|e| e.to_string())?;
+        if trial == 0 {
+            base_rendered = rendered;
+        }
+        if base_stats.as_ref().is_none_or(|b| stats.windows_per_sec > b.windows_per_sec) {
+            base_stats = Some(stats);
         }
     }
-    let report = engine.finish();
+    let base_stats = base_stats.expect("trials >= 1");
+
+    let mut best_report: Option<EngineReport> = None;
+    let mut identical = true;
+    for _ in 0..trials {
+        let mut engine = make_engine()?;
+        for window in &windows {
+            engine.submit(window.clone()).map_err(|e| e.to_string())?;
+            if !interval.is_zero() {
+                std::thread::sleep(interval);
+            }
+        }
+        let report = engine.finish();
+        identical &= outputs_match(syms, &report.outputs, &base_rendered);
+        if best_report
+            .as_ref()
+            .is_none_or(|b| report.stats.windows_per_sec > b.stats.windows_per_sec)
+        {
+            best_report = Some(report);
+        }
+    }
+    let report = best_report.expect("trials >= 1");
     print_engine_report(syms, &report, in_flight, projection);
 
-    // Baseline through the same harness sr-bench's `repro throughput` uses.
-    let (mut baseline, _) = build_reasoner(syms, program, analysis, mode, reasoner_cfg)?;
-    let (base_stats, base_rendered) =
-        sequential_baseline(syms, baseline.as_mut(), &windows).map_err(|e| e.to_string())?;
-    let identical = outputs_match(syms, &report.outputs, &base_rendered);
     let result = ThroughputResult {
         window_size: windows.first().map_or(0, Window::len),
         windows: windows.len(),

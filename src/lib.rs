@@ -49,18 +49,18 @@ pub mod prelude {
     pub use asp_parser::{parse_program, parse_rule};
     pub use asp_solver::{solve, solve_ground, SolveResult, SolverConfig};
     pub use sr_core::{
-        answer_accuracy, atom_level_partition, duration_ms, fingerprint_items, program_fingerprint,
-        reasoner_pool, window_accuracy, AnalysisConfig, CombinePolicy, DependencyAnalysis,
-        DuplicationPolicy, EngineConfig, EngineOutput, EngineReport, EngineStats,
-        IncrementalReasoner, IncrementalSnapshot, LatencyStats, ParallelMode, ParallelReasoner,
-        PartitionCache, Partitioner, PartitioningPlan, PlanPartitioner, Projection,
-        RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput, ReasonerPool, SingleReasoner,
-        StreamEngine, StreamRulePipeline, UnknownPredicate,
+        answer_accuracy, atom_level_partition, delta_ground_supported, duration_ms,
+        fingerprint_items, program_fingerprint, reasoner_pool, window_accuracy, AnalysisConfig,
+        CombinePolicy, DependencyAnalysis, DuplicationPolicy, EngineConfig, EngineOutput,
+        EngineReport, EngineStats, IncrementalReasoner, IncrementalSnapshot, LatencyStats,
+        ParallelMode, ParallelReasoner, PartitionCache, Partitioner, PartitioningPlan,
+        PlanPartitioner, Projection, RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput,
+        ReasonerPool, SingleReasoner, StreamEngine, StreamRulePipeline, UnknownPredicate,
     };
     pub use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
     pub use sr_stream::{
-        paper_generator, BurstyGenerator, CorrelatedGenerator, FaithfulGenerator, GeneratorKind,
-        QueryProcessor, SlidingWindower, StreamItem, TimeWindower, TupleWindower, Window,
-        WindowDelta, Windower, WorkloadGenerator, PAPER_PREDICATES,
+        paper_generator, BurstyGenerator, ChurnStream, CorrelatedGenerator, FaithfulGenerator,
+        GeneratorKind, QueryProcessor, SlidingWindower, StreamItem, TimeWindower, TupleWindower,
+        Window, WindowDelta, Windower, WorkloadGenerator, PAPER_PREDICATES,
     };
 }

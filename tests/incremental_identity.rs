@@ -10,6 +10,7 @@ use sr_bench::programs::LARGE_TRAFFIC;
 use sr_bench::{program_p_prime, PROGRAM_P};
 use std::sync::Arc;
 use stream_reasoner::prelude::*;
+use stream_reasoner::sr_stream::Pcg32;
 
 const PROGRAMS: [&str; 2] = [PROGRAM_P, LARGE_TRAFFIC];
 
@@ -56,6 +57,18 @@ fn assert_identical(
     windows: &[Window],
     capacity: usize,
 ) -> Result<(), TestCaseError> {
+    assert_identical_with(source, partitioner_of, windows, capacity, false)
+}
+
+/// Like [`assert_identical`], optionally with delta-driven grounding inside
+/// dirty partitions enabled on the incremental side.
+fn assert_identical_with(
+    source: &str,
+    partitioner_of: impl Fn(&DependencyAnalysis) -> Arc<dyn Partitioner>,
+    windows: &[Window],
+    capacity: usize,
+    delta_ground: bool,
+) -> Result<(), TestCaseError> {
     let syms = Symbols::new();
     let program = parse_program(&syms, source).unwrap();
     let analysis =
@@ -64,8 +77,12 @@ fn assert_identical(
     // Sequential mode keeps the property runs single-threaded and fast; the
     // engine-level tests cover the pooled path.
     let base_cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
-    let inc_cfg =
-        ReasonerConfig { incremental: true, cache_capacity: capacity, ..base_cfg.clone() };
+    let inc_cfg = ReasonerConfig {
+        incremental: true,
+        cache_capacity: capacity,
+        delta_ground,
+        ..base_cfg.clone()
+    };
     let mut full = ParallelReasoner::new(
         &syms,
         &program,
@@ -91,8 +108,190 @@ fn assert_identical(
     Ok(())
 }
 
+/// Deterministic (unique-answer-set) programs inside the delta-grounding
+/// fragment: what `ReasonerConfig::delta_ground` actually accelerates.
+const DELTA_PROGRAMS: [&str; 2] = [PROGRAM_P, LARGE_TRAFFIC];
+
+/// Drives a random add/retract sequence through a [`DeltaGrounder`] and
+/// checks, after every step, that the maintained grounding is semantically
+/// equal to grounding the current fact multiset from scratch, that solving
+/// both ground programs yields byte-identical answer sets, and that the
+/// direct [`DeltaGrounder::answer`] extraction matches the solver.
+fn assert_delta_grounder_identity(
+    source: &str,
+    seed: u64,
+    steps: usize,
+    batch: usize,
+) -> Result<(), TestCaseError> {
+    use stream_reasoner::asp_grounder::{DeltaGrounder, Grounder};
+    use stream_reasoner::asp_solver::solve_ground;
+    use stream_reasoner::sr_rdf::{FormatConfig, FormatProcessor};
+
+    let syms = Symbols::new();
+    let program = parse_program(&syms, source).unwrap();
+    let inpre = program.edb_predicates();
+    let grounder = std::sync::Arc::new(Grounder::new(&syms, &program).unwrap());
+    prop_assert!(DeltaGrounder::supports(&grounder), "traffic programs are in the fragment");
+    let mut dg = DeltaGrounder::new(std::sync::Arc::clone(&grounder)).unwrap();
+
+    let mut format =
+        FormatProcessor::new(&syms, &FormatConfig::from_input_signature(&syms, &inpre));
+    let mut generator = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+    let pool = format.window_to_facts(&generator.window(batch * steps + batch));
+
+    let mut rng = Pcg32::seed(seed ^ 0xd1fa);
+    let mut current: Vec<GroundAtom> = Vec::new();
+    let mut cursor = 0usize;
+    for step in 0..steps {
+        // Add a fresh batch; retract a random subset of what is present.
+        let added = &pool[cursor..cursor + batch];
+        cursor += batch;
+        let mut retracted: Vec<GroundAtom> = Vec::new();
+        let keep_prob = rng.below(3); // 0..=2: retract roughly 0%/50%/100%
+        current.retain(|fact| {
+            if rng.below(2) < keep_prob.min(2) {
+                true
+            } else {
+                retracted.push(fact.clone());
+                false
+            }
+        });
+        current.extend_from_slice(added);
+        dg.apply(added, &retracted).unwrap();
+
+        let scratch = grounder.ground(&current).unwrap();
+        let maintained = dg.ground_program();
+        prop_assert_eq!(
+            maintained.canonical_form(&syms),
+            scratch.canonical_form(&syms),
+            "ground program diverged at step {} ({} facts)",
+            step,
+            current.len()
+        );
+
+        let solver = SolverConfig::default();
+        let from_scratch = solve_ground(&syms, &scratch, &solver).unwrap();
+        let from_maintained = solve_ground(&syms, &maintained, &solver).unwrap();
+        let rendered = |r: &stream_reasoner::asp_solver::SolveResult| {
+            r.answer_sets.iter().map(|a| a.display(&syms).to_string()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(
+            rendered(&from_scratch),
+            rendered(&from_maintained),
+            "solver output diverged at step {}",
+            step
+        );
+
+        let direct = match dg.answer() {
+            Some(atoms) => vec![AnswerSet::new(atoms, &syms).display(&syms).to_string()],
+            None => Vec::new(),
+        };
+        prop_assert_eq!(
+            rendered(&from_scratch),
+            direct,
+            "direct answer extraction diverged at step {}",
+            step
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole invariant: random add/retract sequences through the
+    /// [`DeltaGrounder`] keep the maintained grounding semantically equal
+    /// to from-scratch grounding, with answer sets byte-identical both
+    /// through the solver and through the direct stratified extraction.
+    #[test]
+    fn delta_grounder_matches_scratch_under_random_churn(
+        program_idx in 0usize..2,
+        seed in 0u64..1_000,
+        steps in 2usize..6,
+        batch in 5usize..40,
+    ) {
+        assert_delta_grounder_identity(DELTA_PROGRAMS[program_idx], seed, steps, batch)?;
+    }
+
+    /// End-to-end: the delta-grounding incremental reasoner is byte-
+    /// identical to full recomputation on sliding streams (the same
+    /// harness as the partition-cache property above).
+    #[test]
+    fn delta_ground_reasoner_is_byte_identical(
+        program_idx in 0usize..2,
+        size in 40usize..=100,
+        divisor_idx in 0usize..4,
+        capacity in prop_oneof![Just(0usize), Just(4), Just(64)],
+        seed in 0u64..1_000,
+    ) {
+        let slide = (size / [1, 2, 4, 8][divisor_idx]).max(1);
+        let windows = sliding_windows(GeneratorKind::CorrelatedSparse, seed, size, slide, 3);
+        let source = DELTA_PROGRAMS[program_idx].to_string();
+        assert_identical_with(
+            &source,
+            |analysis| Arc::new(PlanPartitioner::new(
+                analysis.plan.clone(),
+                UnknownPredicate::Partition0,
+            )),
+            &windows,
+            capacity,
+            true,
+        )?;
+    }
+
+    /// Retraction-heavy streams: a fixed fraction of each slide's
+    /// retractions hits the live window interior ([`ChurnStream`]), the
+    /// regime where the DRed over-delete/re-derive path must tear down
+    /// derivation chains whose join partners are still live. Output must
+    /// stay byte-identical to full recomputation.
+    #[test]
+    fn delta_ground_is_byte_identical_on_retraction_heavy_streams(
+        program_idx in 0usize..2,
+        size in 40usize..=100,
+        divisor_idx in 0usize..3,
+        fraction_idx in 0usize..3,
+        capacity in prop_oneof![Just(0usize), Just(64)],
+        seed in 0u64..1_000,
+    ) {
+        let slide = (size / [2, 4, 8][divisor_idx]).max(1);
+        let fraction = [0.25, 0.5, 1.0][fraction_idx];
+        let inner = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+        let mut churn = ChurnStream::new(inner, size, slide, fraction, seed ^ 0xc0de);
+        let windows = churn.windows(4);
+        let source = DELTA_PROGRAMS[program_idx].to_string();
+        assert_identical_with(
+            &source,
+            |analysis| Arc::new(PlanPartitioner::new(
+                analysis.plan.clone(),
+                UnknownPredicate::Partition0,
+            )),
+            &windows,
+            capacity,
+            true,
+        )?;
+    }
+
+    /// Requesting `delta_ground` under the window-seeded random partitioner
+    /// must gate the fast path off (no content routing) while staying
+    /// byte-identical — the delta-on vs -off × partitioner cross check.
+    #[test]
+    fn delta_ground_request_under_random_partitioner_is_byte_identical(
+        program_idx in 0usize..2,
+        k in 2usize..=4,
+        size in 40usize..=80,
+        seed in 0u64..1_000,
+    ) {
+        let slide = (size / 4).max(1);
+        let windows = sliding_windows(GeneratorKind::CorrelatedSparse, seed, size, slide, 3);
+        let source = DELTA_PROGRAMS[program_idx].to_string();
+        assert_identical_with(
+            &source,
+            |_| Arc::new(RandomPartitioner::new(k, seed ^ 0xf00d)),
+            &windows,
+            64,
+            true,
+        )?;
+    }
 
     /// PR_Dep: dependency-partitioned incremental reasoning is identical to
     /// full recomputation for arbitrary programs, slides and capacities.
