@@ -12,10 +12,10 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    csv, delta_grounding_json, incremental_json, program_p_prime, run, run_delta_grounding,
-    run_incremental, run_throughput, table, throughput_json, DeltaGroundingConfig,
-    ExperimentConfig, ExperimentResult, IncrementalConfig, Measure, Series, ThroughputConfig,
-    PROGRAM_P,
+    csv, delta_grounding_json, incremental_json, multi_tenant_json, program_p_prime, run,
+    run_delta_grounding, run_incremental, run_multi_tenant, run_throughput, table, throughput_json,
+    DeltaGroundingConfig, ExperimentConfig, ExperimentResult, IncrementalConfig, Measure,
+    MultiTenantConfig, Series, ThroughputConfig, PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
@@ -24,13 +24,14 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|multi-tenant] [--quick]
        repro check <BENCH_*.json>...
        repro --smoke
        repro --help
 
   all          every figure, the Section IV claims, the ablations and the
-               throughput + incremental + delta-ground sweeps (default)
+               throughput + incremental + delta-ground + multi-tenant
+               sweeps (default)
   figN         one figure's grid and CSV (written to results/)
   claims       the Section IV headline claims on the measured grids
   ablations    partitioning ablations beyond the paper
@@ -42,10 +43,14 @@ usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|d
                sliding-window sweep: delta-driven grounding inside dirty
                partitions vs the partition-cache-only incremental reasoner
                (writes results/BENCH_delta_grounding.json)
+  multi-tenant tenant count x duplicate-ratio sweep: one shared
+               MultiTenantEngine vs N independent pipelines
+               (writes results/BENCH_multi_tenant.json)
   check        regression-gate one or more BENCH_*.json records: exit 1 when
                any output-identity flag is false or the record's headline
-               speedup (speedup_at_eighth / best_speedup_windows_per_sec)
-               fell below 1.0 — the CI bench-gate step
+               speedup (speedup_at_eighth / best_speedup_windows_per_sec /
+               shared_work_speedup_at_dup1) fell below 1.0 — the CI
+               bench-gate step
   --quick      small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke      seconds-fast end-to-end pipeline check, no files written
 ";
@@ -126,6 +131,49 @@ fn main() {
     if matches!(what, "all" | "delta-grounding") {
         delta_grounding(quick);
     }
+    if matches!(what, "all" | "multi-tenant") {
+        multi_tenant(quick);
+    }
+}
+
+/// The multi-tenant serving sweep (beyond the paper): one shared
+/// `MultiTenantEngine` vs N independent pipelines over tenant count ×
+/// duplicate ratio, recorded as `results/BENCH_multi_tenant.json`.
+fn multi_tenant(quick: bool) {
+    println!("\n== Multi-tenant: shared program serving vs independent pipelines ==");
+    let cfg = if quick { MultiTenantConfig::quick() } else { MultiTenantConfig::paper() };
+    let result = run_multi_tenant(&cfg).expect("multi-tenant sweep");
+    println!(
+        "  window {} items (slide {}), {} windows per cell, {} programs, cache capacity {}",
+        result.window_size, result.slide, result.windows, result.programs, result.cache_capacity
+    );
+    for run in &result.runs {
+        println!(
+            "  tenants {:>2} dup {:.2}: independent {:.1} ms, shared {:.1} ms -> {:.2}x, \
+             dedup ratio {:.2} ({} runs saved), identical: {}",
+            run.tenants,
+            run.dup_ratio,
+            run.independent_ms,
+            run.shared_ms,
+            run.speedup,
+            run.dedup.dedup_ratio,
+            run.dedup.shared_runs_saved,
+            run.output_identical
+        );
+    }
+    if let Some(stats) = &result.stats {
+        println!(
+            "  headline cell: {:.2} windows/s, window latency p50 {:.2} ms / p99 {:.2} ms, \
+             {} tenant latency series",
+            stats.windows_per_sec,
+            stats.latency.p50_ms,
+            stats.latency.p99_ms,
+            stats.tenants.len()
+        );
+    }
+    let path = "results/BENCH_multi_tenant.json";
+    std::fs::write(Path::new(path), multi_tenant_json(&result)).expect("write multi-tenant json");
+    println!("[json written to {path}]");
 }
 
 /// The CI bench gate: checks every given record with

@@ -11,9 +11,11 @@
 //!   whatever its speedup;
 //! * **headline speedup** — the record's headline metric
 //!   (`speedup_at_eighth` for the incremental and delta-grounding sweeps,
-//!   `best_speedup_windows_per_sec` for the throughput record) must be
+//!   `best_speedup_windows_per_sec` for the throughput record,
+//!   `shared_work_speedup_at_dup1` for the multi-tenant sweep) must be
 //!   ≥ 1.0. Per-ratio entries may legitimately dip below 1.0 (tumbling
-//!   windows have nothing to reuse), so only the headline gates.
+//!   windows have nothing to reuse; a zero-duplication cell pays the
+//!   scheduler overhead for nothing), so only the headline gates.
 //!
 //! The records are produced by this workspace's own hand-rolled writers
 //! (the workspace has no JSON serializer dependency), so the checker is a
@@ -79,7 +81,8 @@ pub fn check_record(json: &str) -> Result<GateSummary, Vec<String>> {
 
     // Headline speedup: the first headline key the record carries.
     let mut speedup: Option<(&'static str, f64)> = None;
-    for key in ["speedup_at_eighth", "best_speedup_windows_per_sec"] {
+    for key in ["speedup_at_eighth", "best_speedup_windows_per_sec", "shared_work_speedup_at_dup1"]
+    {
         if let Some(v) = values_of(json, key).first() {
             match v.parse::<f64>() {
                 Ok(x) => speedup = Some((key, x)),
@@ -224,5 +227,23 @@ mod tests {
                 "shape violation: {violations:?}"
             ),
         }
+
+        // Multi-tenant: at full duplication the shared engine runs each
+        // window once instead of N times, so even a toy-scale headline
+        // comfortably clears 1.0 — gated strictly.
+        let mt = crate::multi_tenant::run_multi_tenant(&crate::MultiTenantConfig {
+            programs: vec![crate::PROGRAM_P.to_string()],
+            window_size: 120,
+            slide: 30,
+            windows: 3,
+            tenant_counts: vec![4],
+            dup_ratios: vec![1.0],
+            cache_capacity: 32,
+            ..crate::MultiTenantConfig::quick()
+        })
+        .unwrap();
+        let summary = check_record(&crate::multi_tenant_json(&mt)).unwrap();
+        assert_eq!(summary.speedup_key, "shared_work_speedup_at_dup1");
+        assert!(summary.speedup >= 1.0);
     }
 }

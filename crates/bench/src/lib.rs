@@ -9,6 +9,7 @@ pub mod delta_grounding;
 pub mod experiment;
 pub mod gate;
 pub mod incremental;
+pub mod multi_tenant;
 pub mod programs;
 pub mod report;
 pub mod throughput;
@@ -21,6 +22,9 @@ pub use experiment::{run, Cell, ExperimentBench, ExperimentConfig, ExperimentRes
 pub use gate::{check_record, GateSummary};
 pub use incremental::{
     incremental_json, run_incremental, IncrementalConfig, IncrementalResult, IncrementalRun,
+};
+pub use multi_tenant::{
+    multi_tenant_json, run_multi_tenant, MultiTenantConfig, MultiTenantResult, MultiTenantRun,
 };
 pub use programs::{program_p_prime, PROGRAM_P, RULE_R7};
 pub use report::{csv, table, Measure};

@@ -1,0 +1,405 @@
+//! Multi-tenant serving experiment: N tenant programs over one shared
+//! sliding-window stream, the [`MultiTenantEngine`] versus N independent
+//! single-program pipelines, swept over tenant count × duplicate ratio.
+//! Emits `results/BENCH_multi_tenant.json` via [`multi_tenant_json`].
+//!
+//! The duplicate ratio controls how many tenants run the *same* program
+//! text: at ratio 1.0 every tenant shares one serving entry and the
+//! scheduler runs each window once, so the speedup over N independent
+//! pipelines approaches N — that cell (at the largest swept tenant count)
+//! is the headline `shared_work_speedup_at_dup1` the CI gate checks. At
+//! ratio 0.0 every tenant gets a unique program variant (a distinct
+//! `tenant_tag(<i>).` fact appended), so no runs dedup and the comparison
+//! isolates the scheduler's overhead. Both sides run
+//! [`ParallelMode::Sequential`] incremental pipelines so the measured gap
+//! is shared *work*, not thread-pool scheduling.
+//!
+//! Correctness bar: every tenant's output under the shared engine is
+//! byte-identical to its own independent pipeline, window by window, in
+//! every swept cell (`output_identical_all` in the record).
+
+use crate::programs::{program_p_prime, LARGE_TRAFFIC, PROGRAM_P};
+use crate::throughput::render_output;
+use asp_core::{AspError, Symbols};
+use asp_parser::parse_program;
+use sr_core::{
+    duration_ms, AnalysisConfig, DedupSnapshot, DependencyAnalysis, EngineStats,
+    IncrementalReasoner, MultiTenantEngine, ParallelMode, PlanPartitioner, ReasonerConfig,
+    TenantPartitioner,
+};
+use sr_stream::{FaithfulGenerator, SlidingWindower, Window, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Multi-tenant experiment definition.
+#[derive(Clone, Debug)]
+pub struct MultiTenantConfig {
+    /// Distinct ASP programs tenants draw from. `programs[0]` is the one
+    /// duplicated tenants share; the rest are cycled over the remaining
+    /// tenants (each uniquified with a `tenant_tag(<i>).` fact).
+    pub programs: Vec<String>,
+    /// Items per window.
+    pub window_size: usize,
+    /// Slide (items) between windows.
+    pub slide: usize,
+    /// Windows streamed per cell.
+    pub windows: usize,
+    /// Tenant counts to sweep.
+    pub tenant_counts: Vec<usize>,
+    /// Duplicate ratios to sweep (fraction of tenants on `programs[0]`).
+    pub dup_ratios: Vec<f64>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Capacity of the shared partition cache (and of each independent
+    /// pipeline's private cache, so neither side is starved).
+    pub cache_capacity: usize,
+}
+
+impl MultiTenantConfig {
+    /// The default sweep: 12 sliding windows of 1,200 items (slide 300)
+    /// over the union workload of P, P' and the large traffic set, at
+    /// 2/4/8 tenants × duplicate ratios 0.0/0.5/1.0.
+    pub fn paper() -> Self {
+        MultiTenantConfig {
+            programs: vec![PROGRAM_P.to_string(), program_p_prime(), LARGE_TRAFFIC.to_string()],
+            window_size: 1_200,
+            slide: 300,
+            windows: 12,
+            tenant_counts: vec![2, 4, 8],
+            dup_ratios: vec![0.0, 0.5, 1.0],
+            seed: 2017,
+            cache_capacity: 256,
+        }
+    }
+
+    /// A smoke-test sweep for CI / `--quick`.
+    pub fn quick() -> Self {
+        MultiTenantConfig {
+            window_size: 240,
+            slide: 60,
+            windows: 6,
+            tenant_counts: vec![2, 8],
+            dup_ratios: vec![0.0, 1.0],
+            ..Self::paper()
+        }
+    }
+}
+
+/// One `(tenant count, duplicate ratio)` cell's measurement.
+#[derive(Clone, Debug)]
+pub struct MultiTenantRun {
+    /// Tenants served in this cell.
+    pub tenants: usize,
+    /// Fraction of tenants running the shared `programs[0]`.
+    pub dup_ratio: f64,
+    /// Wall time of the N independent single-program pipelines (ms).
+    pub independent_ms: f64,
+    /// Wall time of the shared [`MultiTenantEngine`] pass (ms).
+    pub shared_ms: f64,
+    /// `independent_ms / shared_ms`.
+    pub speedup: f64,
+    /// Whether every tenant's shared-engine output was byte-identical to
+    /// its own independent pipeline, window by window.
+    pub output_identical: bool,
+    /// The scheduler's dedup counters after the pass.
+    pub dedup: DedupSnapshot,
+}
+
+/// Result of the multi-tenant experiment.
+#[derive(Clone, Debug)]
+pub struct MultiTenantResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Slide (items) between windows.
+    pub slide: usize,
+    /// Windows per cell.
+    pub windows: usize,
+    /// Shared-cache capacity.
+    pub cache_capacity: usize,
+    /// Distinct source programs in the pool.
+    pub programs: usize,
+    /// One measurement per swept cell, in sweep order.
+    pub runs: Vec<MultiTenantRun>,
+    /// Scheduler stats (per-tenant latency percentiles, dedup counters)
+    /// from the headline cell, when it was swept.
+    pub stats: Option<EngineStats>,
+}
+
+impl MultiTenantResult {
+    /// The headline cell: duplicate ratio 1.0 at the largest swept tenant
+    /// count, when swept.
+    pub fn at_dup1(&self) -> Option<&MultiTenantRun> {
+        self.runs.iter().filter(|r| (r.dup_ratio - 1.0).abs() < 1e-9).max_by_key(|r| r.tenants)
+    }
+
+    /// True when every cell's outputs matched the independent pipelines.
+    pub fn output_identical_all(&self) -> bool {
+        self.runs.iter().all(|r| r.output_identical)
+    }
+}
+
+/// The union of every program's input predicate names, in first-seen order
+/// — the generator's vocabulary, so every tenant's inputs occur in the
+/// shared stream.
+fn input_union(programs: &[String]) -> Result<Vec<String>, AspError> {
+    let mut names: Vec<String> = Vec::new();
+    for source in programs {
+        let syms = Symbols::new();
+        let program = parse_program(&syms, source)?;
+        let analysis =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+        for p in &analysis.inpre {
+            let name = syms.resolve(p.name).to_string();
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Pre-generates the sliding-window sequence every cell replays.
+fn sliding_windows(config: &MultiTenantConfig, predicates: Vec<String>) -> Vec<Window> {
+    let mut generator = FaithfulGenerator::new(predicates, config.seed);
+    let total = config.window_size + config.slide * (config.windows.saturating_sub(1));
+    let mut windower = SlidingWindower::new(config.window_size, config.slide);
+    let mut windows = Vec::with_capacity(config.windows);
+    for item in generator.window(total) {
+        if let Some(w) = windower.push(item) {
+            windows.push(w);
+            if windows.len() == config.windows {
+                break;
+            }
+        }
+    }
+    windows
+}
+
+/// The program source tenant `i` runs in a cell with `n_dup` duplicated
+/// tenants: the first `n_dup` share `programs[0]` verbatim; the rest cycle
+/// the remaining programs, each uniquified with a `tenant_tag(<i>).` fact
+/// so its fingerprint (and serving entry) is its own.
+fn tenant_source(config: &MultiTenantConfig, i: usize, n_dup: usize) -> String {
+    if i < n_dup {
+        return config.programs[0].clone();
+    }
+    let pool = if config.programs.len() > 1 { &config.programs[1..] } else { &config.programs[..] };
+    let base = &pool[(i - n_dup) % pool.len()];
+    format!("{base}\ntenant_tag({i}).\n")
+}
+
+/// Runs one tenant's independent pipeline over all windows, returning wall
+/// time and per-window rendered answers.
+fn independent_pass(
+    source: &str,
+    cfg: &ReasonerConfig,
+    windows: &[Window],
+) -> Result<(f64, Vec<String>), AspError> {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, source)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), cfg.unknown));
+    let mut reasoner =
+        IncrementalReasoner::new(&syms, &program, Some(&analysis.inpre), partitioner, cfg.clone())?;
+    let mut rendered = Vec::with_capacity(windows.len());
+    let t0 = Instant::now();
+    for window in windows {
+        let out = reasoner.process(window)?;
+        rendered.push(render_output(&syms, &out));
+    }
+    Ok((duration_ms(t0.elapsed()), rendered))
+}
+
+/// Runs the sweep: per cell, N independent incremental pipelines versus one
+/// shared [`MultiTenantEngine`] over the identical window sequence, every
+/// tenant byte-checked against its own pipeline.
+pub fn run_multi_tenant(config: &MultiTenantConfig) -> Result<MultiTenantResult, AspError> {
+    assert!(!config.programs.is_empty(), "at least one program");
+    let predicates = input_union(&config.programs)?;
+    let windows = sliding_windows(config, predicates);
+    assert_eq!(windows.len(), config.windows, "generator fed every window");
+    let cfg = ReasonerConfig {
+        mode: ParallelMode::Sequential,
+        incremental: true,
+        cache_capacity: config.cache_capacity,
+        ..Default::default()
+    };
+    let max_tenants = config.tenant_counts.iter().copied().max().unwrap_or(0);
+
+    let mut runs = Vec::new();
+    let mut stats = None;
+    for &tenants in &config.tenant_counts {
+        for &dup_ratio in &config.dup_ratios {
+            let n_dup = ((tenants as f64) * dup_ratio).round() as usize;
+            let sources: Vec<String> =
+                (0..tenants).map(|i| tenant_source(config, i, n_dup)).collect();
+
+            // N independent pipelines, each with its own cache of the same
+            // capacity (the shared side holds one such cache for everyone).
+            let mut independent_ms = 0.0;
+            let mut expected: Vec<Vec<String>> = Vec::with_capacity(tenants);
+            for source in &sources {
+                let (ms, rendered) = independent_pass(source, &cfg, &windows)?;
+                independent_ms += ms;
+                expected.push(rendered);
+            }
+
+            // One shared engine serving every tenant.
+            let mut engine = MultiTenantEngine::new(cfg.clone());
+            for (i, source) in sources.iter().enumerate() {
+                engine.admit(&format!("t{i}"), source, TenantPartitioner::Dependency)?;
+            }
+            let mut got: Vec<Vec<String>> = vec![Vec::new(); tenants];
+            let t0 = Instant::now();
+            for window in &windows {
+                for out in engine.process(window)? {
+                    let idx: usize = out.tenant[1..].parse().expect("tenant ids are t<index>");
+                    got[idx].push(render_output(&out.syms, &out.output));
+                }
+            }
+            let shared_ms = duration_ms(t0.elapsed());
+
+            let output_identical = got == expected;
+            let dedup = engine.dedup_snapshot();
+            if tenants == max_tenants && (dup_ratio - 1.0).abs() < 1e-9 {
+                stats = Some(engine.stats());
+            }
+            runs.push(MultiTenantRun {
+                tenants,
+                dup_ratio,
+                independent_ms,
+                shared_ms,
+                speedup: if shared_ms > 0.0 { independent_ms / shared_ms } else { 0.0 },
+                output_identical,
+                dedup,
+            });
+        }
+    }
+
+    Ok(MultiTenantResult {
+        window_size: config.window_size,
+        slide: config.slide,
+        windows: config.windows,
+        cache_capacity: config.cache_capacity,
+        programs: config.programs.len(),
+        runs,
+        stats,
+    })
+}
+
+/// Renders the result as the `BENCH_multi_tenant.json` document.
+pub fn multi_tenant_json(result: &MultiTenantResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"faithful_union_sliding\",");
+    let _ = writeln!(out, "  \"mode\": \"sequential\",");
+    let _ = writeln!(out, "  \"baseline\": \"independent_incremental_pipelines\",");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"slide\": {},", result.slide);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"cache_capacity\": {},", result.cache_capacity);
+    let _ = writeln!(out, "  \"programs\": {},", result.programs);
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, run) in result.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"tenants\": {}, \"dup_ratio\": {:.2}, \"independent_ms\": {:.4}, \
+             \"shared_ms\": {:.4}, \"speedup\": {:.4}, \"output_identical\": {}, \
+             \"dedup\": {}}}{}",
+            run.tenants,
+            run.dup_ratio,
+            run.independent_ms,
+            run.shared_ms,
+            run.speedup,
+            run.output_identical,
+            run.dedup.to_json(),
+            if i + 1 < result.runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    // Omitted (not fabricated as 0.0) when the dup-1.0 cell wasn't swept:
+    // the CI gate then reports a missing headline key instead of a fake
+    // regression.
+    if let Some(run) = result.at_dup1() {
+        let _ = writeln!(out, "  \"shared_work_speedup_at_dup1\": {:.4},", run.speedup);
+    }
+    if let Some(stats) = &result.stats {
+        let _ = writeln!(out, "  \"engine\": {},", stats.to_json());
+    }
+    let _ = writeln!(out, "  \"output_identical_all\": {}", result.output_identical_all());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> MultiTenantConfig {
+        MultiTenantConfig {
+            programs: vec![PROGRAM_P.to_string(), program_p_prime()],
+            window_size: 120,
+            slide: 30,
+            windows: 3,
+            tenant_counts: vec![3],
+            dup_ratios: vec![0.0, 1.0],
+            cache_capacity: 32,
+            ..MultiTenantConfig::quick()
+        }
+    }
+
+    #[test]
+    fn every_cell_is_byte_identical_and_dup1_dedups_fully() {
+        let result = run_multi_tenant(&toy_config()).unwrap();
+        assert_eq!(result.runs.len(), 2);
+        assert!(result.output_identical_all(), "a tenant diverged from its own pipeline");
+        let dup1 = result.at_dup1().expect("dup 1.0 swept");
+        assert_eq!(dup1.tenants, 3);
+        assert_eq!(
+            dup1.dedup.program_runs, result.windows as u64,
+            "full duplication runs each window exactly once"
+        );
+        assert_eq!(dup1.dedup.tenant_windows, 3 * result.windows as u64);
+        let dup0 = &result.runs[0];
+        assert!((dup0.dup_ratio).abs() < 1e-9);
+        assert_eq!(
+            dup0.dedup.program_runs,
+            3 * result.windows as u64,
+            "unique variants share nothing"
+        );
+        assert_eq!(dup0.dedup.shared_runs_saved, 0);
+        let stats = result.stats.as_ref().expect("headline cell captured stats");
+        assert_eq!(stats.tenants.len(), 3, "per-tenant latency series");
+        assert!(stats.dedup.is_some());
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let result = run_multi_tenant(&toy_config()).unwrap();
+        let json = multi_tenant_json(&result);
+        assert!(json.contains("\"baseline\": \"independent_incremental_pipelines\""));
+        assert!(json.contains("\"sweep\": ["));
+        assert!(json.contains("\"dup_ratio\": 1.00"));
+        assert!(json.contains("\"dedup\": {"));
+        assert!(json.contains("\"shared_work_speedup_at_dup1\":"));
+        assert!(json.contains("\"engine\": {"));
+        assert!(json.contains("\"tenants\": [{"), "per-tenant latency embedded: {json}");
+        assert!(json.contains("\"output_identical_all\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn headline_key_is_omitted_when_dup1_not_swept() {
+        // Without a dup-1.0 cell there is no shared-work headline; the key
+        // (and the headline cell's engine stats) must be omitted rather
+        // than fabricated, so the CI gate reports a missing key instead of
+        // a fake regression.
+        let result =
+            run_multi_tenant(&MultiTenantConfig { dup_ratios: vec![0.0], ..toy_config() }).unwrap();
+        let json = multi_tenant_json(&result);
+        assert!(!json.contains("\"shared_work_speedup_at_dup1\""), "{json}");
+        assert!(!json.contains("\"engine\""), "{json}");
+        assert!(json.contains("\"output_identical_all\": true"));
+    }
+}

@@ -135,11 +135,15 @@ pub fn sequential_baseline(
         elapsed_ms: duration_ms(elapsed),
         windows_per_sec: windows.len() as f64 / elapsed.as_secs_f64(),
         items_per_sec: items_total as f64 / elapsed.as_secs_f64(),
-        submit_blocked_ms: 0.0,
+        // No engine, no submit path: the key is honestly absent from the
+        // JSON rather than fabricated as 0.0 (see `EngineStats::to_json`).
+        submit_blocked_ms: None,
         incremental: None,
         lanes: Vec::new(),
         queue_high_water: 0,
         latency: LatencyStats::from_samples(&latencies),
+        tenants: Vec::new(),
+        dedup: None,
     };
     Ok((stats, rendered))
 }

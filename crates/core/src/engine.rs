@@ -12,7 +12,9 @@
 
 use crate::config::ReasonerConfig;
 use crate::incremental::{program_fingerprint, IncrementalReasoner, PartitionCache};
-use crate::metrics::{duration_ms, IncrementalSnapshot, LatencyStats};
+use crate::metrics::{
+    duration_ms, DedupSnapshot, IncrementalSnapshot, LatencyStats, TenantLatency,
+};
 use crate::parallel::{reasoner_pool, ParallelReasoner};
 use crate::partition::Partitioner;
 use crate::reasoner::{Reasoner, ReasonerOutput};
@@ -102,8 +104,11 @@ pub struct EngineStats {
     /// Total time [`StreamEngine::submit`] spent blocked on backpressure
     /// (queue full). Distinguishes saturation from idle lanes: a run with
     /// high `submit_blocked_ms` was producer-limited by the engine, one
-    /// without was consumer-limited by the stream.
-    pub submit_blocked_ms: f64,
+    /// without was consumer-limited by the stream. `None` when the run had
+    /// no submit path at all (sequential baseline, multi-tenant scheduler):
+    /// the JSON then omits the key honestly instead of fabricating `0.0`,
+    /// so record readers can tell "never blocked" from "not applicable".
+    pub submit_blocked_ms: Option<f64>,
     /// Partition-cache effectiveness when the lanes run the incremental
     /// reasoner; `None` otherwise.
     pub incremental: Option<IncrementalSnapshot>,
@@ -114,30 +119,49 @@ pub struct EngineStats {
     pub queue_high_water: u64,
     /// Per-window reasoning latency distribution.
     pub latency: LatencyStats,
+    /// Per-tenant latency summaries when the stats come from the
+    /// multi-tenant scheduler; empty otherwise (and then omitted from the
+    /// JSON).
+    pub tenants: Vec<TenantLatency>,
+    /// Work-deduplication counters of the multi-tenant scheduler; `None`
+    /// for single-program runs (omitted from the JSON).
+    pub dedup: Option<DedupSnapshot>,
 }
 
 impl EngineStats {
     /// Renders the report as a JSON object (hand-rolled; the workspace has
-    /// no JSON serializer dependency).
+    /// no JSON serializer dependency). Inapplicable sections are *omitted*,
+    /// never fabricated: `submit_blocked_ms` only appears when the run had a
+    /// submit path, `tenants`/`dedup` only when the stats come from the
+    /// multi-tenant scheduler.
     pub fn to_json(&self) -> String {
         let lanes: Vec<String> = self.lanes.iter().map(LaneOccupancy::to_json).collect();
-        format!(
-            "{{\"windows\": {}, \"errors\": {}, \"items\": {}, \"elapsed_ms\": {:.4}, \
-             \"windows_per_sec\": {:.4}, \"items_per_sec\": {:.4}, \
-             \"submit_blocked_ms\": {:.4}, \"incremental\": {}, \"lanes\": [{}], \
-             \"queue_high_water\": {}, \"latency\": {}}}",
-            self.windows,
-            self.errors,
-            self.items,
-            self.elapsed_ms,
-            self.windows_per_sec,
-            self.items_per_sec,
-            self.submit_blocked_ms,
-            self.incremental.as_ref().map_or_else(|| "null".to_string(), |i| i.to_json()),
-            lanes.join(", "),
-            self.queue_high_water,
-            self.latency.to_json()
-        )
+        let mut fields = vec![
+            format!("\"windows\": {}", self.windows),
+            format!("\"errors\": {}", self.errors),
+            format!("\"items\": {}", self.items),
+            format!("\"elapsed_ms\": {:.4}", self.elapsed_ms),
+            format!("\"windows_per_sec\": {:.4}", self.windows_per_sec),
+            format!("\"items_per_sec\": {:.4}", self.items_per_sec),
+        ];
+        if let Some(blocked) = self.submit_blocked_ms {
+            fields.push(format!("\"submit_blocked_ms\": {blocked:.4}"));
+        }
+        fields.push(format!(
+            "\"incremental\": {}",
+            self.incremental.as_ref().map_or_else(|| "null".to_string(), |i| i.to_json())
+        ));
+        fields.push(format!("\"lanes\": [{}]", lanes.join(", ")));
+        fields.push(format!("\"queue_high_water\": {}", self.queue_high_water));
+        fields.push(format!("\"latency\": {}", self.latency.to_json()));
+        if !self.tenants.is_empty() {
+            let tenants: Vec<String> = self.tenants.iter().map(TenantLatency::to_json).collect();
+            fields.push(format!("\"tenants\": [{}]", tenants.join(", ")));
+        }
+        if let Some(dedup) = &self.dedup {
+            fields.push(format!("\"dedup\": {}", dedup.to_json()));
+        }
+        format!("{{{}}}", fields.join(", "))
     }
 }
 
@@ -510,7 +534,7 @@ impl StreamEngine {
             elapsed_ms,
             windows_per_sec: if elapsed_s > 0.0 { acc.windows as f64 / elapsed_s } else { 0.0 },
             items_per_sec: if elapsed_s > 0.0 { acc.items as f64 / elapsed_s } else { 0.0 },
-            submit_blocked_ms: duration_ms(self.blocked),
+            submit_blocked_ms: Some(duration_ms(self.blocked)),
             incremental: self.cache.as_ref().map(|c| c.counters().snapshot()),
             lanes,
             queue_high_water: self
@@ -518,6 +542,8 @@ impl StreamEngine {
                 .queue_high_water
                 .load(std::sync::atomic::Ordering::Relaxed),
             latency: LatencyStats::from_samples(&acc.latencies_ms),
+            tenants: Vec::new(),
+            dedup: None,
         };
         EngineReport { outputs, stats }
     }
@@ -710,15 +736,18 @@ mod tests {
             engine.submit(w).unwrap();
         }
         let report = engine.finish();
-        assert!(
-            report.stats.submit_blocked_ms > 0.0,
-            "saturated submission must record blocking, got {}",
-            report.stats.submit_blocked_ms
-        );
+        let blocked = report.stats.submit_blocked_ms.expect("the engine path always reports it");
+        assert!(blocked > 0.0, "saturated submission must record blocking, got {blocked}");
         assert!(report.stats.incremental.is_none(), "no incremental lanes here");
         let json = report.stats.to_json();
         assert!(json.contains("\"submit_blocked_ms\":"), "{json}");
         assert!(json.contains("\"incremental\": null"), "{json}");
+        assert!(!json.contains("\"tenants\":"), "single-program stats omit tenant sections");
+        assert!(!json.contains("\"dedup\":"), "{json}");
+        // A run with no submit path omits the key honestly instead of
+        // fabricating 0.0 (the `--json` shape contract across modes).
+        let stats = EngineStats { submit_blocked_ms: None, ..report.stats };
+        assert!(!stats.to_json().contains("submit_blocked_ms"), "{}", stats.to_json());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use asp_core::{AnswerSet, AspError, FastMap, Predicate, Program, Symbols};
 use asp_grounder::{DeltaGrounder, Grounder};
 use asp_solver::{SolveStats, SolverConfig};
 use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
-use sr_stream::{Window, WindowDelta};
+use sr_stream::{DeltaProjections, Window, WindowDelta};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -425,6 +425,26 @@ impl IncrementalReasoner {
         routable.then_some(routed)
     }
 
+    /// Like [`IncrementalReasoner::project_delta`], but through the shared
+    /// [`DeltaProjections`] memo when one is supplied *and* the partitioner
+    /// exposes a stable routing identity
+    /// ([`Partitioner::route_signature`]) — then tenants whose programs
+    /// share a partitioning plan project each window's delta once between
+    /// them. Falls back to a private projection otherwise.
+    fn projected_delta(
+        &self,
+        window: &Window,
+        partitions: usize,
+        shared: Option<&DeltaProjections>,
+    ) -> Option<Arc<Vec<WindowDelta>>> {
+        if let (Some(memo), Some(signature)) = (shared, self.partitioner.route_signature()) {
+            return memo.get_or_project(window, signature, partitions, |item| {
+                self.partitioner.item_routes(item)
+            });
+        }
+        self.project_delta(window, partitions).map(Arc::new)
+    }
+
     /// Serves one dirty partition from the maintained grounding: applies
     /// the partition-scoped delta when the chain from the previous window
     /// is intact, rebuilds from the full partition content otherwise, then
@@ -506,6 +526,20 @@ impl IncrementalReasoner {
     /// [`ParallelReasoner`](crate::parallel::ParallelReasoner) over the same
     /// partitioner.
     pub fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+        self.process_shared(window, None)
+    }
+
+    /// [`IncrementalReasoner::process`] with an optional shared
+    /// [`DeltaProjections`] memo: reasoners serving the same stream (the
+    /// multi-tenant scheduler's per-program reasoners) hand in one memo so
+    /// the window delta is projected once per routing function instead of
+    /// once per reasoner. Passing `None` is exactly `process`; the output
+    /// is byte-identical either way.
+    pub fn process_shared(
+        &mut self,
+        window: &Window,
+        shared: Option<&DeltaProjections>,
+    ) -> Result<ReasonerOutput, AspError> {
         let start = Instant::now();
         let t_part = Instant::now();
         let mut parts = self.partitioner.partition(window);
@@ -541,8 +575,11 @@ impl IncrementalReasoner {
             // pool/sequential scratch path below. Projecting the delta
             // clones every added/retracted triple, so skip it outright in
             // the all-clean steady state the cache is built to produce.
-            let projected =
-                if dirty.is_empty() { None } else { self.project_delta(window, parts.len()) };
+            let projected = if dirty.is_empty() {
+                None
+            } else {
+                self.projected_delta(window, parts.len(), shared)
+            };
             let mut remaining = Vec::with_capacity(dirty.len());
             for &i in &dirty {
                 match self.delta_process(
@@ -550,7 +587,7 @@ impl IncrementalReasoner {
                     window,
                     &parts[i],
                     fingerprints[i],
-                    projected.as_deref(),
+                    projected.as_deref().map(Vec::as_slice),
                 )? {
                     Some((answers, timing, s)) => {
                         stats = merge_stats(stats, s);

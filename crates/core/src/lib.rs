@@ -24,11 +24,13 @@ pub mod extended;
 pub mod incremental;
 pub mod input_graph;
 pub mod metrics;
+pub mod multi_tenant;
 pub mod parallel;
 pub mod partition;
 pub mod pipeline;
 pub mod plan;
 pub mod reasoner;
+pub mod registry;
 
 pub use accuracy::{answer_accuracy, window_accuracy, Projection};
 pub use analysis::DependencyAnalysis;
@@ -49,9 +51,14 @@ pub use incremental::{
     PartitionCache,
 };
 pub use input_graph::InputDepGraph;
-pub use metrics::{duration_ms, percentile, CacheCounters, IncrementalSnapshot, LatencyStats};
+pub use metrics::{
+    duration_ms, percentile, CacheCounters, DedupSnapshot, IncrementalSnapshot, LatencyStats,
+    TenantLatency,
+};
+pub use multi_tenant::{MultiTenantEngine, TenantOutput};
 pub use parallel::{reasoner_pool, ParallelReasoner, PoolRegistry, ReasonerPool};
 pub use partition::{Partitioner, PlanPartitioner, RandomPartitioner};
 pub use pipeline::{PipelineOutput, StreamRulePipeline};
 pub use plan::PartitioningPlan;
 pub use reasoner::{Reasoner, ReasonerOutput, SingleReasoner, Timing};
+pub use registry::{ProgramEntry, ProgramRegistry, TenantPartitioner};

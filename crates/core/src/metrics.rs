@@ -160,6 +160,85 @@ impl IncrementalSnapshot {
     }
 }
 
+/// Per-tenant latency summary reported by the multi-tenant scheduler
+/// ([`MultiTenantEngine`](crate::multi_tenant::MultiTenantEngine)), embedded
+/// in [`EngineStats`](crate::engine::EngineStats). The latency a tenant
+/// observes is the wall clock until *its program's* result is ready for the
+/// window — tenants deduplicated onto one program run record the same
+/// sample.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantLatency {
+    /// Tenant id (a plain identifier; rendered unescaped into JSON).
+    pub tenant: String,
+    /// Fingerprint of the program the tenant is subscribed to (see
+    /// [`program_fingerprint`](crate::incremental::program_fingerprint)).
+    pub program: u64,
+    /// Per-window latency distribution observed by this tenant.
+    pub latency: LatencyStats,
+}
+
+impl TenantLatency {
+    /// Renders the summary as a JSON object (hand-rolled, as for
+    /// [`LatencyStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tenant\": \"{}\", \"program\": {}, \"latency\": {}}}",
+            self.tenant,
+            self.program,
+            self.latency.to_json()
+        )
+    }
+}
+
+/// Work-deduplication counters of the multi-tenant scheduler: how many
+/// tenant-window results were served versus how many program runs actually
+/// happened. The dedup key is `(program fingerprint, partitioner)` — N
+/// tenants behind one key cost one run per window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DedupSnapshot {
+    /// Tenants currently admitted.
+    pub tenants: u64,
+    /// Distinct `(program, partitioner)` entries currently admitted.
+    pub programs: u64,
+    /// Windows processed.
+    pub windows: u64,
+    /// Tenant-window results served (one per tenant per window).
+    pub tenant_windows: u64,
+    /// Program runs actually executed (one per distinct program per window).
+    pub program_runs: u64,
+    /// `tenant_windows - program_runs`: runs avoided by sharing.
+    pub shared_runs_saved: u64,
+    /// `shared_runs_saved / tenant_windows` (0 when nothing was served).
+    pub dedup_ratio: f64,
+    /// Window-delta projections computed (once per routing function per
+    /// window — see [`sr_stream::DeltaProjections`]).
+    pub projections_computed: u64,
+    /// Window-delta projections served from the shared memo.
+    pub projections_reused: u64,
+}
+
+impl DedupSnapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled, as for
+    /// [`LatencyStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tenants\": {}, \"programs\": {}, \"windows\": {}, \
+             \"tenant_windows\": {}, \"program_runs\": {}, \
+             \"shared_runs_saved\": {}, \"dedup_ratio\": {:.4}, \
+             \"projections_computed\": {}, \"projections_reused\": {}}}",
+            self.tenants,
+            self.programs,
+            self.windows,
+            self.tenant_windows,
+            self.program_runs,
+            self.shared_runs_saved,
+            self.dedup_ratio,
+            self.projections_computed,
+            self.projections_reused
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +277,34 @@ mod tests {
         let json = LatencyStats::from_samples(&[2.0]).to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"p99_ms\": 2.0000"));
+    }
+
+    #[test]
+    fn tenant_latency_and_dedup_render_json() {
+        let t = TenantLatency {
+            tenant: "t0".into(),
+            program: 42,
+            latency: LatencyStats::from_samples(&[2.0]),
+        };
+        let json = t.to_json();
+        assert!(json.contains("\"tenant\": \"t0\""), "{json}");
+        assert!(json.contains("\"program\": 42"), "{json}");
+        assert!(json.contains("\"p99_ms\": 2.0000"), "{json}");
+        let d = DedupSnapshot {
+            tenants: 8,
+            programs: 3,
+            windows: 10,
+            tenant_windows: 80,
+            program_runs: 30,
+            shared_runs_saved: 50,
+            dedup_ratio: 0.625,
+            projections_computed: 10,
+            projections_reused: 20,
+        };
+        let json = d.to_json();
+        assert!(json.contains("\"dedup_ratio\": 0.6250"), "{json}");
+        assert!(json.contains("\"shared_runs_saved\": 50"), "{json}");
+        assert!(json.contains("\"projections_reused\": 20"), "{json}");
     }
 
     #[test]

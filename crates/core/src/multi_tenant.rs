@@ -1,0 +1,379 @@
+//! The multi-tenant scheduler: N tenant programs served over one shared
+//! stream, with per-window work deduplicated by serving key.
+//!
+//! [`MultiTenantEngine`] wraps a [`ProgramRegistry`] and processes each
+//! window **once per distinct `(program, partitioner)` entry**, not once
+//! per tenant: every tenant attached to an entry receives the same
+//! `Arc`-shared [`ReasonerOutput`], so N tenants running the same rule set
+//! cost ~1 tenant. Within one entry the window is routed and its partition
+//! fingerprints are computed exactly once (that is what the entry's
+//! [`IncrementalReasoner`](crate::incremental::IncrementalReasoner) does);
+//! across entries the [`PartitionCache`]
+//! is shared (keys are program-scoped) and window-delta projections are
+//! shared through a [`DeltaProjections`] memo keyed by routing signature —
+//! entries whose programs happen to induce the same partitioning plan
+//! project each delta once between them.
+//!
+//! Correctness bar: each tenant's output is byte-identical to running its
+//! own single-program pipeline over the same windows (property-tested in
+//! `tests/multi_tenant_identity.rs`, including admit/retire mid-stream).
+//! Scheduling is deterministic: entries run in first-admission order and
+//! tenants emit in admission order within their entry.
+
+use crate::engine::EngineStats;
+use crate::incremental::PartitionCache;
+use crate::metrics::{duration_ms, DedupSnapshot, LatencyStats, TenantLatency};
+use crate::reasoner::ReasonerOutput;
+use crate::registry::{ProgramRegistry, TenantPartitioner};
+use asp_core::{AspError, Symbols};
+use sr_stream::{DeltaProjections, Window};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One tenant's view of a processed window. Tenants deduplicated onto the
+/// same program run share the `Arc` (and record the same latency — the
+/// wall clock until their program's result was ready).
+pub struct TenantOutput {
+    /// The tenant id.
+    pub tenant: String,
+    /// Fingerprint of the tenant's program.
+    pub program: u64,
+    /// The program-scoped symbol store (renders `output`'s answer sets).
+    pub syms: Symbols,
+    /// Wall-clock latency until this result was ready.
+    pub latency: Duration,
+    /// The shared reasoner output.
+    pub output: Arc<ReasonerOutput>,
+}
+
+/// Per-tenant latency samples in first-seen order. Retired tenants keep
+/// their recorded history so a final report never loses data.
+struct TenantSamples {
+    tenant: String,
+    program: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// The scheduler. See the module docs for the execution model.
+pub struct MultiTenantEngine {
+    registry: ProgramRegistry,
+    projections: DeltaProjections,
+    samples: Vec<TenantSamples>,
+    window_latencies_ms: Vec<f64>,
+    windows: u64,
+    items: u64,
+    tenant_windows: u64,
+    program_runs: u64,
+    started: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+impl MultiTenantEngine {
+    /// An engine with no tenants. `config` applies to every admitted
+    /// program (see [`ProgramRegistry::new`]).
+    pub fn new(config: crate::config::ReasonerConfig) -> Self {
+        MultiTenantEngine {
+            registry: ProgramRegistry::new(config),
+            projections: DeltaProjections::new(),
+            samples: Vec::new(),
+            window_latencies_ms: Vec::new(),
+            windows: 0,
+            items: 0,
+            tenant_windows: 0,
+            program_runs: 0,
+            started: None,
+            last_done: None,
+        }
+    }
+
+    /// Admits a tenant (delegates to [`ProgramRegistry::admit`]); valid
+    /// mid-stream — the tenant joins at the next window.
+    pub fn admit(
+        &mut self,
+        tenant: &str,
+        source: &str,
+        partitioner: TenantPartitioner,
+    ) -> Result<u64, AspError> {
+        self.registry.admit(tenant, source, partitioner)
+    }
+
+    /// Retires a tenant (delegates to [`ProgramRegistry::retire`]); valid
+    /// mid-stream — the tenant's recorded latency history is kept for the
+    /// final report.
+    pub fn retire(&mut self, tenant: &str) -> Result<u64, AspError> {
+        self.registry.retire(tenant)
+    }
+
+    /// The underlying registry (tenant/program introspection).
+    pub fn registry(&self) -> &ProgramRegistry {
+        &self.registry
+    }
+
+    /// The cache shared by every admitted program.
+    pub fn cache(&self) -> &Arc<PartitionCache> {
+        self.registry.cache()
+    }
+
+    /// Processes one window for every admitted tenant: each registry entry
+    /// runs once, every tenant of the entry receives the shared result.
+    /// Outputs are ordered deterministically (entries in first-admission
+    /// order, tenants in admission order within their entry). An empty
+    /// registry yields an empty vector — the window still counts.
+    pub fn process(&mut self, window: &Window) -> Result<Vec<TenantOutput>, AspError> {
+        let t_window = Instant::now();
+        self.started.get_or_insert(t_window);
+        let mut outputs = Vec::with_capacity(self.registry.tenant_count());
+        // Split borrows: the registry's reasoners need `&mut`, the shared
+        // projection memo and the sample sink are sibling fields.
+        let projections = &self.projections;
+        let samples = &mut self.samples;
+        for entry in self.registry.entries_mut() {
+            let t0 = Instant::now();
+            let output = entry.reasoner.process_shared(window, Some(projections))?;
+            let latency = t0.elapsed();
+            self.program_runs += 1;
+            let shared = Arc::new(output);
+            for tenant in &entry.tenants {
+                self.tenant_windows += 1;
+                record(samples, tenant, entry.fingerprint, duration_ms(latency));
+                outputs.push(TenantOutput {
+                    tenant: tenant.clone(),
+                    program: entry.fingerprint,
+                    syms: entry.syms.clone(),
+                    latency,
+                    output: Arc::clone(&shared),
+                });
+            }
+        }
+        self.windows += 1;
+        self.items += window.len() as u64;
+        self.window_latencies_ms.push(duration_ms(t_window.elapsed()));
+        self.last_done = Some(Instant::now());
+        Ok(outputs)
+    }
+
+    /// The current work-deduplication counters.
+    pub fn dedup_snapshot(&self) -> DedupSnapshot {
+        let saved = self.tenant_windows - self.program_runs;
+        DedupSnapshot {
+            tenants: self.registry.tenant_count() as u64,
+            programs: self.registry.program_count() as u64,
+            windows: self.windows,
+            tenant_windows: self.tenant_windows,
+            program_runs: self.program_runs,
+            shared_runs_saved: saved,
+            dedup_ratio: if self.tenant_windows > 0 {
+                saved as f64 / self.tenant_windows as f64
+            } else {
+                0.0
+            },
+            projections_computed: self.projections.computed(),
+            projections_reused: self.projections.reused(),
+        }
+    }
+
+    /// A throughput/latency report over everything processed so far:
+    /// overall stats plus per-tenant latency p50/p95/p99 (`tenants`) and
+    /// the dedup counters (`dedup`). `submit_blocked_ms` is `None` — the
+    /// scheduler runs in the caller, there is no submit queue to block on.
+    pub fn stats(&self) -> EngineStats {
+        let elapsed = match (self.started, self.last_done) {
+            (Some(t0), Some(t1)) => t1.saturating_duration_since(t0),
+            _ => Duration::ZERO,
+        };
+        let elapsed_s = elapsed.as_secs_f64();
+        EngineStats {
+            windows: self.windows,
+            errors: 0,
+            items: self.items,
+            elapsed_ms: duration_ms(elapsed),
+            windows_per_sec: if elapsed_s > 0.0 { self.windows as f64 / elapsed_s } else { 0.0 },
+            items_per_sec: if elapsed_s > 0.0 { self.items as f64 / elapsed_s } else { 0.0 },
+            submit_blocked_ms: None,
+            incremental: Some(self.cache().counters().snapshot()),
+            lanes: Vec::new(),
+            queue_high_water: 0,
+            latency: LatencyStats::from_samples(&self.window_latencies_ms),
+            tenants: self
+                .samples
+                .iter()
+                .map(|s| TenantLatency {
+                    tenant: s.tenant.clone(),
+                    program: s.program,
+                    latency: LatencyStats::from_samples(&s.latencies_ms),
+                })
+                .collect(),
+            dedup: Some(self.dedup_snapshot()),
+        }
+    }
+}
+
+fn record(samples: &mut Vec<TenantSamples>, tenant: &str, program: u64, latency_ms: f64) {
+    match samples.iter_mut().find(|s| s.tenant == tenant) {
+        Some(s) => {
+            // A tenant id reused after retirement continues its sample
+            // series under whatever program it now runs.
+            s.program = program;
+            s.latencies_ms.push(latency_ms);
+        }
+        None => samples.push(TenantSamples {
+            tenant: tenant.to_string(),
+            program,
+            latencies_ms: vec![latency_ms],
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ParallelMode, ReasonerConfig};
+    use sr_rdf::{Node, Triple};
+
+    const PROGRAM_A: &str = "jam(X) :- slow(X), busy(X), not light(X).";
+    const PROGRAM_B: &str = "fire(X) :- smoke(X), heat(X).";
+
+    fn engine() -> MultiTenantEngine {
+        MultiTenantEngine::new(ReasonerConfig {
+            incremental: true,
+            mode: ParallelMode::Sequential,
+            ..Default::default()
+        })
+    }
+
+    fn t(s: &str, p: &str) -> Triple {
+        Triple::new(Node::iri(s), Node::iri(p), Node::Int(1))
+    }
+
+    fn window(id: u64) -> Window {
+        Window::new(id, vec![t("a", "slow"), t("a", "busy"), t("b", "smoke"), t("b", "heat")])
+    }
+
+    fn rendered(out: &TenantOutput) -> Vec<String> {
+        out.output.answers.iter().map(|a| a.display(&out.syms).to_string()).collect()
+    }
+
+    #[test]
+    fn duplicate_tenants_share_one_program_run() {
+        let mut eng = engine();
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.admit("t1", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.admit("t2", PROGRAM_B, TenantPartitioner::Dependency).unwrap();
+        let outputs = eng.process(&window(0)).unwrap();
+        assert_eq!(outputs.len(), 3, "every tenant gets a result");
+        assert_eq!(outputs[0].tenant, "t0");
+        assert_eq!(outputs[1].tenant, "t1");
+        assert!(
+            Arc::ptr_eq(&outputs[0].output, &outputs[1].output),
+            "tenants of one program share the same Arc"
+        );
+        assert!(!Arc::ptr_eq(&outputs[0].output, &outputs[2].output));
+        assert!(rendered(&outputs[0])[0].contains("jam(a)"), "{:?}", rendered(&outputs[0]));
+        assert!(rendered(&outputs[2])[0].contains("fire(b)"), "{:?}", rendered(&outputs[2]));
+        let dedup = eng.dedup_snapshot();
+        assert_eq!(dedup.tenant_windows, 3);
+        assert_eq!(dedup.program_runs, 2, "two distinct programs ran");
+        assert_eq!(dedup.shared_runs_saved, 1);
+        assert!((dedup.dedup_ratio - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_report_per_tenant_latency_and_dedup() {
+        let mut eng = engine();
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.admit("t1", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        for id in 0..3 {
+            eng.process(&window(id)).unwrap();
+        }
+        let stats = eng.stats();
+        assert_eq!(stats.windows, 3);
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.tenants[0].latency.count, 3, "one sample per window");
+        assert_eq!(stats.tenants[0].program, stats.tenants[1].program);
+        assert!(stats.submit_blocked_ms.is_none(), "no submit path, key omitted");
+        let dedup = stats.dedup.expect("scheduler stats always carry dedup");
+        assert_eq!(dedup.program_runs, 3, "one run per window despite two tenants");
+        assert_eq!(dedup.tenant_windows, 6);
+        let json = stats.to_json();
+        assert!(json.contains("\"tenants\": [{"), "{json}");
+        assert!(json.contains("\"dedup\": {"), "{json}");
+        assert!(!json.contains("\"submit_blocked_ms\""), "{json}");
+        assert!(
+            stats.incremental.is_some(),
+            "shared cache counters surface through the usual field"
+        );
+    }
+
+    #[test]
+    fn retire_mid_stream_keeps_counters_and_history_consistent() {
+        let mut eng = engine();
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.admit("t1", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.process(&window(0)).unwrap();
+        let before = eng.cache().counters().snapshot();
+        assert!(before.hits + before.misses > 0, "window 0 touched the cache");
+
+        // t1 — and then t0, the *last* tenant of the program — retire
+        // mid-stream; the cache and its counters must stay consistent.
+        eng.retire("t1").unwrap();
+        let outputs = eng.process(&window(1)).unwrap();
+        assert_eq!(outputs.len(), 1, "only t0 is served now");
+        eng.retire("t0").unwrap();
+        assert!(eng.registry().is_empty());
+        let after_drop = eng.cache().counters().snapshot();
+        assert!(
+            after_drop.hits >= before.hits && after_drop.misses >= before.misses,
+            "dropping the last tenant never rolls counters back"
+        );
+        assert!(!eng.cache().is_empty(), "entries stay and age out of the LRU");
+
+        // Processing with no tenants is a no-op result, not an error.
+        assert!(eng.process(&window(2)).unwrap().is_empty());
+        let unchanged = eng.cache().counters().snapshot();
+        assert_eq!(unchanged, after_drop, "no tenants, no cache traffic");
+
+        // Re-admitting the program rehydrates from the surviving entries:
+        // window 2's content was never solved, but window 1's was.
+        eng.admit("t2", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.process(&window(1)).unwrap();
+        let rehydrated = eng.cache().counters().snapshot();
+        assert!(
+            rehydrated.hits > unchanged.hits,
+            "the re-admitted program hits entries its predecessor cached: {rehydrated:?}"
+        );
+        let stats = eng.stats();
+        assert_eq!(stats.tenants.len(), 3, "retired tenants keep their recorded history");
+        assert_eq!(stats.tenants[0].tenant, "t0");
+        assert_eq!(stats.tenants[0].latency.count, 2, "t0 saw windows 0 and 1");
+        assert_eq!(stats.tenants[1].latency.count, 1, "t1 only saw window 0");
+    }
+
+    #[test]
+    fn shared_projection_memo_engages_across_matching_plans() {
+        // Two distinct programs over the same predicates can induce the
+        // same partitioning plan — their entries then share each window's
+        // delta projection through the memo.
+        let mut eng = MultiTenantEngine::new(ReasonerConfig {
+            incremental: true,
+            delta_ground: true,
+            mode: ParallelMode::Sequential,
+            ..Default::default()
+        });
+        eng.admit("t0", "jam(X) :- slow(X), busy(X).", TenantPartitioner::Dependency).unwrap();
+        eng.admit("t1", "calm(X) :- slow(X), not busy(X).", TenantPartitioner::Dependency).unwrap();
+        assert_eq!(eng.registry().program_count(), 2);
+        let mut windower = sr_stream::SlidingWindower::new(4, 2);
+        let stream: Vec<Triple> =
+            (0..16).map(|i| t(if i % 2 == 0 { "a" } else { "b" }, "slow")).collect();
+        for item in stream {
+            if let Some(w) = windower.push(item) {
+                eng.process(&w).unwrap();
+            }
+        }
+        let dedup = eng.dedup_snapshot();
+        assert!(
+            dedup.projections_reused > 0,
+            "matching routing signatures must share projections: {dedup:?}"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared per-window delta projections for multi-tenant serving.
+//!
+//! Projecting a [`WindowDelta`] onto partitions clones
+//! every added/retracted triple, so when several reasoners consume the same
+//! window through the *same routing function* (tenants running programs
+//! with identical partitioning plans), re-projecting per consumer wastes
+//! work. [`DeltaProjections`] memoizes the projection per
+//! `(routing signature, partition count)` for the current window: the first
+//! consumer computes it, the rest reuse the `Arc`.
+//!
+//! The memo retains only one window at a time — consumers of a multi-tenant
+//! scheduler all see the same window before the next one arrives — and
+//! clears itself when a new window id shows up, so memory stays bounded by
+//! the number of distinct routing functions in flight.
+
+use crate::window::{Window, WindowDelta};
+use sr_rdf::Triple;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+struct ProjectionState {
+    /// Window the cached projections belong to. Entries from any other
+    /// window are stale and flushed on first access.
+    window_id: u64,
+    /// `(routing signature, partition count)` → projected deltas, or `None`
+    /// when the delta was absent/unroutable (memoized too, so every
+    /// consumer skips the same dead end without retrying).
+    entries: HashMap<(u64, usize), Option<Arc<Vec<WindowDelta>>>>,
+}
+
+/// A thread-safe memo of per-partition delta projections, shared by every
+/// reasoner serving the same stream (see the module docs).
+pub struct DeltaProjections {
+    state: Mutex<ProjectionState>,
+    computed: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl Default for DeltaProjections {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaProjections {
+    /// An empty memo.
+    pub fn new() -> Self {
+        DeltaProjections {
+            state: Mutex::new(ProjectionState { window_id: 0, entries: HashMap::new() }),
+            computed: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the projection of `window`'s delta onto `partitions`
+    /// sub-streams, computing it through `route` on first request and
+    /// serving the memoized `Arc` afterwards. `signature` must identify the
+    /// routing function: callers with equal signatures **must** route every
+    /// item identically (see `Partitioner::route_signature` in `sr-core`).
+    ///
+    /// `None` when the window carries no delta or `route` returns `None`
+    /// for some item (no stable content route) — both memoized as well.
+    pub fn get_or_project(
+        &self,
+        window: &Window,
+        signature: u64,
+        partitions: usize,
+        mut route: impl FnMut(&Triple) -> Option<Vec<u32>>,
+    ) -> Option<Arc<Vec<WindowDelta>>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.window_id != window.id {
+            state.entries.clear();
+            state.window_id = window.id;
+        }
+        if let Some(cached) = state.entries.get(&(signature, partitions)) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        let projected = window.delta.as_ref().and_then(|delta| {
+            let mut routable = true;
+            let routed = delta.project(partitions, |item| match route(item) {
+                Some(routes) => routes,
+                None => {
+                    routable = false;
+                    Vec::new()
+                }
+            });
+            routable.then(|| Arc::new(routed))
+        });
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        state.entries.insert((signature, partitions), projected.clone());
+        projected
+    }
+
+    /// Projections computed from scratch (one per distinct routing function
+    /// per window).
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from the memo instead of re-projecting.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_rdf::Node;
+
+    fn t(i: i64) -> Triple {
+        Triple::new(Node::Int(i), Node::iri("p"), Node::Int(i))
+    }
+
+    fn window_with_delta(id: u64) -> Window {
+        Window::new(id, vec![t(1), t(2)]).with_delta(WindowDelta {
+            base_id: id - 1,
+            added: vec![t(2)],
+            retracted: vec![t(0)],
+        })
+    }
+
+    #[test]
+    fn second_consumer_reuses_the_projection() {
+        let memo = DeltaProjections::new();
+        let w = window_with_delta(1);
+        let route = |item: &Triple| Some(vec![(item.s.as_int().unwrap() % 2) as u32]);
+        let a = memo.get_or_project(&w, 7, 2, route).expect("routable delta projects");
+        let b = memo.get_or_project(&w, 7, 2, route).expect("memoized");
+        assert!(Arc::ptr_eq(&a, &b), "same Arc served to both consumers");
+        assert_eq!(memo.computed(), 1);
+        assert_eq!(memo.reused(), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].added, vec![t(2)], "even items route to partition 0");
+        assert!(a[1].added.is_empty());
+    }
+
+    #[test]
+    fn distinct_signatures_project_independently() {
+        let memo = DeltaProjections::new();
+        let w = window_with_delta(1);
+        let all_to_zero = memo.get_or_project(&w, 1, 2, |_| Some(vec![0])).unwrap();
+        let all_to_one = memo.get_or_project(&w, 2, 2, |_| Some(vec![1])).unwrap();
+        assert_eq!(all_to_zero[0].added.len(), 1);
+        assert_eq!(all_to_one[1].added.len(), 1);
+        assert_eq!(memo.computed(), 2, "different routing functions never share");
+        assert_eq!(memo.reused(), 0);
+    }
+
+    #[test]
+    fn new_window_clears_stale_entries() {
+        let memo = DeltaProjections::new();
+        let route = |_: &Triple| Some(vec![0]);
+        memo.get_or_project(&window_with_delta(1), 7, 1, route);
+        memo.get_or_project(&window_with_delta(2), 7, 1, route);
+        assert_eq!(memo.computed(), 2, "window 2 recomputes, never serves window 1's entry");
+    }
+
+    #[test]
+    fn unroutable_and_missing_deltas_are_memoized_as_none() {
+        let memo = DeltaProjections::new();
+        let w = window_with_delta(1);
+        assert!(memo.get_or_project(&w, 7, 2, |_| None).is_none(), "unroutable item");
+        assert!(memo.get_or_project(&w, 7, 2, |_| None).is_none());
+        assert_eq!(memo.computed(), 1, "the dead end is memoized too");
+        assert_eq!(memo.reused(), 1);
+        let no_delta = Window::new(3, vec![t(1)]);
+        assert!(memo.get_or_project(&no_delta, 7, 2, |_| Some(vec![0])).is_none());
+    }
+}

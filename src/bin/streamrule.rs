@@ -9,6 +9,7 @@
 //!                [--mode single|dep|random:K] [--in-flight L] [--rate R]
 //!                [--seed S] [--json out.json] [--trials T] [--events]
 //!                [--incremental] [--cache-size N] [--slide S] [--delta-ground]
+//!                [--tenants N] [--dup-ratio R]
 //! ```
 //!
 //! `run` streams tuple windows — read from an N-Triples file or generated
@@ -26,6 +27,13 @@
 //! `--incremental`) additionally maintains each dirty partition's grounding
 //! across windows, applying the partition-scoped window delta instead of
 //! re-grounding from scratch (dependency-partitioned modes only).
+//! `--tenants N` serves the program to `N` tenants through the
+//! multi-tenant scheduler (`sr-core::MultiTenantEngine`): `--dup-ratio R`
+//! (default 1.0) controls how many tenants run the program verbatim and
+//! therefore share one program run per window; the rest get a unique
+//! `tenant_tag(<i>).` variant and their own serving entry. The run reports
+//! per-tenant latency percentiles, the dedup counters and the shared cache
+//! line.
 
 use sr_bench::{
     outputs_match, sequential_baseline, throughput_json, ThroughputResult, ThroughputRun,
@@ -63,7 +71,8 @@ const USAGE: &str = "usage:
   streamrule generate --out data.nt [--kind faithful|correlated|sparse] [--size N] [--windows K] [--seed S]
   streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
                  [--in-flight L] [--rate R] [--seed S] [--json out.json] [--trials T] [--events]
-                 [--incremental] [--cache-size N] [--slide S] [--delta-ground]";
+                 [--incremental] [--cache-size N] [--slide S] [--delta-ground]
+                 [--tenants N] [--dup-ratio R]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -307,6 +316,43 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if flag_value(args, "--trials").is_some() && json_path.is_none() {
         return Err("--trials repeats the --json benchmark passes; add --json out.json".into());
     }
+
+    let tenants: Option<usize> = match flag_value(args, "--tenants") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => return Err("bad --tenants (need N >= 1)".into()),
+        },
+        None => None,
+    };
+    if let Some(tenants) = tenants {
+        let dup_ratio: f64 = flag_value(args, "--dup-ratio")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| "bad --dup-ratio")?;
+        if !(0.0..=1.0).contains(&dup_ratio) {
+            return Err("bad --dup-ratio (need a fraction in [0, 1])".into());
+        }
+        if json_path.is_some()
+            || in_flight > 0
+            || rate > 0.0
+            || flag_value(args, "--trials").is_some()
+        {
+            return Err("--tenants drives the multi-tenant scheduler in the caller thread; \
+                        it is incompatible with --json/--in-flight/--rate/--trials"
+                .into());
+        }
+        if matches!(mode, RunMode::Single) {
+            return Err(
+                "--tenants serves partitioned programs (--mode dep or --mode random:K)".into()
+            );
+        }
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return run_tenants(&source, tenants, dup_ratio, mode, &reasoner_cfg, &windows);
+    } else if flag_value(args, "--dup-ratio").is_some() {
+        return Err("--dup-ratio only applies to the multi-tenant path; add --tenants N".into());
+    }
+
     if in_flight == 0 {
         if json_path.is_some() || rate > 0.0 {
             return Err(
@@ -488,6 +534,75 @@ fn run_sequential(
     Ok(())
 }
 
+/// The multi-tenant path: `tenants` copies of the program served through
+/// one `MultiTenantEngine`. The first `round(tenants * dup_ratio)` tenants
+/// run the source verbatim (sharing one serving entry — and one program run
+/// per window); the rest each get a unique `tenant_tag(<i>).` variant and
+/// their own entry.
+fn run_tenants(
+    source: &str,
+    tenants: usize,
+    dup_ratio: f64,
+    mode: RunMode,
+    reasoner_cfg: &ReasonerConfig,
+    windows: &[Window],
+) -> Result<(), String> {
+    let partitioner = match mode {
+        RunMode::Dep => TenantPartitioner::Dependency,
+        RunMode::Random(k) => TenantPartitioner::Random { k, seed: RANDOM_PARTITIONER_SEED },
+        RunMode::Single => unreachable!("rejected in cmd_run"),
+    };
+    // Serving is cache-backed by design: every entry shares one
+    // partition-level result cache sized by --cache-size.
+    let mut engine =
+        MultiTenantEngine::new(ReasonerConfig { incremental: true, ..reasoner_cfg.clone() });
+    let n_dup = ((tenants as f64) * dup_ratio).round() as usize;
+    for i in 0..tenants {
+        let src =
+            if i < n_dup { source.to_string() } else { format!("{source}\ntenant_tag({i}).\n") };
+        engine.admit(&format!("t{i}"), &src, partitioner).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "serving {tenants} tenant(s) over {} serving entr{} ({n_dup} duplicated)",
+        engine.registry().program_count(),
+        if engine.registry().program_count() == 1 { "y" } else { "ies" }
+    );
+    for window in windows {
+        let outputs = engine.process(window).map_err(|e| e.to_string())?;
+        let answers: usize = outputs.iter().map(|o| o.output.answers.len()).sum();
+        println!(
+            "window {} ({} items): {} tenant result(s), {} answer set(s) total",
+            window.id,
+            window.len(),
+            outputs.len(),
+            answers
+        );
+    }
+    let stats = engine.stats();
+    for t in &stats.tenants {
+        println!(
+            "tenant {} (program {:016x}): p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms over {} window(s)",
+            t.tenant, t.program, t.latency.p50_ms, t.latency.p95_ms, t.latency.p99_ms,
+            t.latency.count
+        );
+    }
+    let dedup = stats.dedup.expect("multi-tenant stats always carry dedup counters");
+    println!(
+        "dedup: {} tenant-windows -> {} program runs ({} saved, ratio {:.2}), \
+         {} projections computed / {} reused",
+        dedup.tenant_windows,
+        dedup.program_runs,
+        dedup.shared_runs_saved,
+        dedup.dedup_ratio,
+        dedup.projections_computed,
+        dedup.projections_reused
+    );
+    if let Some(snapshot) = &stats.incremental {
+        print_cache_line(snapshot);
+    }
+    Ok(())
+}
+
 /// Prints the partition-cache summary of an incremental run.
 fn print_cache_line(s: &IncrementalSnapshot) {
     println!(
@@ -665,7 +780,7 @@ fn print_engine_report(
         stats.latency.p50_ms,
         stats.latency.p95_ms,
         stats.latency.p99_ms,
-        stats.submit_blocked_ms
+        stats.submit_blocked_ms.unwrap_or(0.0)
     );
     if let Some(snapshot) = &stats.incremental {
         print_cache_line(snapshot);

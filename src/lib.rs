@@ -51,16 +51,19 @@ pub mod prelude {
     pub use sr_core::{
         answer_accuracy, atom_level_partition, delta_ground_supported, duration_ms,
         fingerprint_items, program_fingerprint, reasoner_pool, window_accuracy, AnalysisConfig,
-        CombinePolicy, DependencyAnalysis, DuplicationPolicy, EngineConfig, EngineOutput,
-        EngineReport, EngineStats, IncrementalReasoner, IncrementalSnapshot, LatencyStats,
-        ParallelMode, ParallelReasoner, PartitionCache, Partitioner, PartitioningPlan,
-        PlanPartitioner, Projection, RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput,
-        ReasonerPool, SingleReasoner, StreamEngine, StreamRulePipeline, UnknownPredicate,
+        CombinePolicy, DedupSnapshot, DependencyAnalysis, DuplicationPolicy, EngineConfig,
+        EngineOutput, EngineReport, EngineStats, IncrementalReasoner, IncrementalSnapshot,
+        LatencyStats, MultiTenantEngine, ParallelMode, ParallelReasoner, PartitionCache,
+        Partitioner, PartitioningPlan, PlanPartitioner, ProgramRegistry, Projection,
+        RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput, ReasonerPool, SingleReasoner,
+        StreamEngine, StreamRulePipeline, TenantLatency, TenantOutput, TenantPartitioner,
+        UnknownPredicate,
     };
     pub use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
     pub use sr_stream::{
-        paper_generator, BurstyGenerator, ChurnStream, CorrelatedGenerator, FaithfulGenerator,
-        GeneratorKind, QueryProcessor, SlidingWindower, StreamItem, TimeWindower, TupleWindower,
-        Window, WindowDelta, Windower, WorkloadGenerator, PAPER_PREDICATES,
+        paper_generator, BurstyGenerator, ChurnStream, CorrelatedGenerator, DeltaProjections,
+        FaithfulGenerator, GeneratorKind, QueryProcessor, SlidingWindower, StreamItem,
+        TimeWindower, TupleWindower, Window, WindowDelta, Windower, WorkloadGenerator,
+        PAPER_PREDICATES,
     };
 }

@@ -1,0 +1,208 @@
+//! Multi-tenant serving correctness: every tenant's output through the
+//! [`MultiTenantEngine`] must be **byte-identical** to running its own
+//! single-program incremental pipeline over the same windows — across
+//! programs, partitioner choices (dependency plan and the random
+//! baseline), slide/size combinations, and admit/retire mid-stream. Work
+//! sharing (one program run per serving entry, one shared partition cache,
+//! shared delta projections) must never change what any tenant observes.
+
+use proptest::prelude::*;
+use sr_bench::programs::LARGE_TRAFFIC;
+use sr_bench::{program_p_prime, PROGRAM_P};
+use std::collections::HashMap;
+use std::sync::Arc;
+use stream_reasoner::prelude::*;
+
+/// Cuts a sliding-window stream (including the flushed tail) from the paper
+/// workload generator.
+fn sliding_windows(seed: u64, size: usize, slide: usize, emissions: usize) -> Vec<Window> {
+    let mut generator = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+    let mut windower = SlidingWindower::new(size, slide);
+    let total = size + slide * emissions + slide / 2; // odd tail for flush
+    let mut windows = Vec::new();
+    for triple in generator.window(total) {
+        if let Some(w) = windower.push(triple) {
+            windows.push(w);
+        }
+    }
+    if let Some(w) = windower.flush() {
+        windows.push(w);
+    }
+    windows
+}
+
+fn render(syms: &Symbols, out: &ReasonerOutput) -> String {
+    out.answers.iter().map(|a| a.display(syms).to_string()).collect::<Vec<_>>().join("\n")
+}
+
+/// The shared-engine config every property uses: sequential scheduling for
+/// determinism and speed, one shared cache.
+fn serving_config() -> ReasonerConfig {
+    ReasonerConfig {
+        mode: ParallelMode::Sequential,
+        incremental: true,
+        cache_capacity: 64,
+        ..Default::default()
+    }
+}
+
+/// One tenant's independent reference: an [`IncrementalReasoner`] built
+/// exactly the way the registry builds a serving entry (same partitioner
+/// choice, same config) but with its own private cache, run over `windows`.
+fn reference_outputs(
+    source: &str,
+    partitioner: TenantPartitioner,
+    windows: &[Window],
+) -> Vec<String> {
+    let cfg = serving_config();
+    let syms = Symbols::new();
+    let program = parse_program(&syms, source).unwrap();
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+    let part: Arc<dyn Partitioner> = match partitioner {
+        TenantPartitioner::Dependency => {
+            Arc::new(PlanPartitioner::new(analysis.plan.clone(), cfg.unknown))
+        }
+        TenantPartitioner::Random { k, seed } => Arc::new(RandomPartitioner::new(k, seed)),
+    };
+    let mut reasoner =
+        IncrementalReasoner::new(&syms, &program, Some(&analysis.inpre), part, cfg).unwrap();
+    windows.iter().map(|w| render(&syms, &reasoner.process(w).unwrap())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole invariant: a mixed tenant population — duplicated tenants,
+    /// a distinct program, and the same program under the random
+    /// partitioner — each sees output byte-identical to its own pipeline.
+    #[test]
+    fn every_tenant_matches_its_independent_pipeline(
+        size in 40usize..=100,
+        divisor_idx in 0usize..4,
+        seed in 0u64..1_000,
+        dup in 1usize..=3,
+        k in 2usize..=4,
+    ) {
+        let slide = (size / [1, 2, 4, 8][divisor_idx]).max(1);
+        let windows = sliding_windows(seed, size, slide, 3);
+        let p_prime = program_p_prime();
+        let mut population: Vec<(String, &str, TenantPartitioner)> = Vec::new();
+        for i in 0..dup {
+            population.push((format!("dup{i}"), PROGRAM_P, TenantPartitioner::Dependency));
+        }
+        population.push(("prime".into(), &p_prime, TenantPartitioner::Dependency));
+        population.push((
+            "ran".into(),
+            PROGRAM_P,
+            TenantPartitioner::Random { k, seed: seed ^ 0xabcd },
+        ));
+
+        let mut engine = MultiTenantEngine::new(serving_config());
+        for (tenant, source, partitioner) in &population {
+            engine.admit(tenant, source, *partitioner).unwrap();
+        }
+        prop_assert_eq!(
+            engine.registry().program_count(),
+            3,
+            "dup tenants share one entry; the random choice gets its own"
+        );
+
+        let mut got: HashMap<String, Vec<String>> = HashMap::new();
+        for window in &windows {
+            for out in engine.process(window).unwrap() {
+                got.entry(out.tenant.clone())
+                    .or_default()
+                    .push(render(&out.syms, &out.output));
+            }
+        }
+        for (tenant, source, partitioner) in &population {
+            let expected = reference_outputs(source, *partitioner, &windows);
+            prop_assert_eq!(
+                &got[tenant],
+                &expected,
+                "tenant {} diverged from its own pipeline (slide {})",
+                tenant,
+                slide
+            );
+        }
+        let dedup = engine.dedup_snapshot();
+        prop_assert_eq!(
+            dedup.program_runs,
+            3 * windows.len() as u64,
+            "one run per serving entry per window"
+        );
+        prop_assert_eq!(dedup.tenant_windows, (dup as u64 + 2) * windows.len() as u64);
+    }
+
+    /// Admit/retire mid-stream: a tenant that joins at window `j` must see
+    /// exactly what a pipeline started at window `j` computes (its first
+    /// delta's base window was never observed — the broken chain must fall
+    /// back identically on both sides), and a tenant retired at window `r`
+    /// must have seen exactly the prefix.
+    #[test]
+    fn admit_and_retire_mid_stream_keep_byte_identity(
+        size in 40usize..=80,
+        divisor_idx in 0usize..3,
+        seed in 0u64..1_000,
+        join_pick in 1usize..100,
+        retire_pick in 0usize..100,
+    ) {
+        let slide = (size / [2, 4, 8][divisor_idx]).max(1);
+        let windows = sliding_windows(seed, size, slide, 4);
+        let join = 1 + join_pick % (windows.len() - 1);
+        let retire = retire_pick % windows.len();
+
+        let mut engine = MultiTenantEngine::new(serving_config());
+        engine.admit("steady", PROGRAM_P, TenantPartitioner::Dependency).unwrap();
+        engine.admit("leaver", LARGE_TRAFFIC, TenantPartitioner::Dependency).unwrap();
+        let mut got: HashMap<String, Vec<String>> = HashMap::new();
+        for (i, window) in windows.iter().enumerate() {
+            if i == join {
+                engine.admit("joiner", &program_p_prime(), TenantPartitioner::Dependency).unwrap();
+            }
+            for out in engine.process(window).unwrap() {
+                got.entry(out.tenant.clone())
+                    .or_default()
+                    .push(render(&out.syms, &out.output));
+            }
+            if i == retire {
+                engine.retire("leaver").unwrap();
+            }
+        }
+
+        let steady = reference_outputs(PROGRAM_P, TenantPartitioner::Dependency, &windows);
+        prop_assert_eq!(&got["steady"], &steady, "steady tenant diverged");
+        let leaver =
+            reference_outputs(LARGE_TRAFFIC, TenantPartitioner::Dependency, &windows[..=retire]);
+        prop_assert_eq!(&got["leaver"], &leaver, "retired tenant saw a different prefix");
+        let joiner = reference_outputs(
+            &program_p_prime(),
+            TenantPartitioner::Dependency,
+            &windows[join..],
+        );
+        prop_assert_eq!(&got["joiner"], &joiner, "late joiner diverged (joined at {})", join);
+    }
+}
+
+/// Work sharing is observable, not just harmless: with shared delta
+/// projections and one run per entry, duplicated tenants literally receive
+/// the same allocation.
+#[test]
+fn duplicated_tenants_share_allocations() {
+    let windows = sliding_windows(7, 80, 20, 3);
+    let mut engine = MultiTenantEngine::new(serving_config());
+    engine.admit("a", PROGRAM_P, TenantPartitioner::Dependency).unwrap();
+    engine.admit("b", PROGRAM_P, TenantPartitioner::Dependency).unwrap();
+    for window in &windows {
+        let outputs = engine.process(window).unwrap();
+        assert_eq!(outputs.len(), 2);
+        assert!(
+            Arc::ptr_eq(&outputs[0].output, &outputs[1].output),
+            "duplicated tenants must share one Arc'd result"
+        );
+    }
+    let dedup = engine.dedup_snapshot();
+    assert_eq!(dedup.program_runs, windows.len() as u64);
+    assert_eq!(dedup.shared_runs_saved, windows.len() as u64);
+}
