@@ -23,7 +23,7 @@ pub enum CTerm {
 
 impl CTerm {
     /// True when every variable slot in the term is bound.
-    fn bound_under(&self, bound: &[bool]) -> bool {
+    pub(crate) fn bound_under(&self, bound: &[bool]) -> bool {
         match self {
             CTerm::Const(_) | CTerm::Int(_) => true,
             CTerm::Var(s) => bound[*s as usize],
@@ -34,7 +34,7 @@ impl CTerm {
 
     /// Marks variables occurring in non-arithmetic positions as bound
     /// (structural matching binds them).
-    fn mark_bindable(&self, bound: &mut [bool]) {
+    pub(crate) fn mark_bindable(&self, bound: &mut [bool]) {
         match self {
             CTerm::Const(_) | CTerm::Int(_) => {}
             CTerm::Var(s) => bound[*s as usize] = true,
@@ -51,7 +51,7 @@ impl CTerm {
 
     /// True when arithmetic subterms only use already-bound variables, i.e.
     /// the term is matchable.
-    fn matchable_under(&self, bound: &[bool]) -> bool {
+    pub(crate) fn matchable_under(&self, bound: &[bool]) -> bool {
         match self {
             CTerm::Const(_) | CTerm::Int(_) | CTerm::Var(_) => true,
             CTerm::Func(_, args) => args.iter().all(|a| a.matchable_under(bound)),
@@ -309,7 +309,7 @@ fn apply_plan_bindings(plan: &[Step], bound: &mut [bool]) {
     }
 }
 
-fn first_unbound(t: &CTerm, bound: &[bool]) -> Option<u32> {
+pub(crate) fn first_unbound(t: &CTerm, bound: &[bool]) -> Option<u32> {
     match t {
         CTerm::Const(_) | CTerm::Int(_) => None,
         CTerm::Var(s) => (!bound[*s as usize]).then_some(*s),
@@ -322,123 +322,18 @@ fn first_unbound(t: &CTerm, bound: &[bool]) -> Option<u32> {
 /// `forced_first` (which must be a positive atom) to be matched first — the
 /// semi-naive delta designation. Fails with the slot of an unbindable
 /// variable when the body is unsafe.
+///
+/// This is the syntactic default: the greedy state machine lives in
+/// [`crate::planner::plan`], and this entry point runs it with
+/// [`crate::planner::SyntacticCost`], which reproduces the original
+/// maximize-bound-args heuristic exactly. Cost-based callers pass a
+/// [`crate::stats::RelationStats`] instead.
 pub fn make_plan(
     body: &[CLit],
     var_count: u32,
     forced_first: Option<usize>,
 ) -> Result<Vec<Step>, u32> {
-    let n = body.len();
-    let mut used = vec![false; n];
-    let mut bound = vec![false; var_count as usize];
-    let mut plan: Vec<Step> = Vec::with_capacity(n);
-
-    let push_match = |i: usize,
-                      used: &mut Vec<bool>,
-                      bound: &mut Vec<bool>,
-                      plan: &mut Vec<Step>| {
-        let CLit::Pos(atom) = &body[i] else { unreachable!("match step on non-positive literal") };
-        let static_bound: Box<[bool]> = atom.args.iter().map(|a| a.bound_under(bound)).collect();
-        for a in atom.args.iter() {
-            a.mark_bindable(bound);
-        }
-        plan.push(Step::Match { atom: atom.clone(), static_bound, source: Source::Full });
-        used[i] = true;
-    };
-
-    if let Some(f) = forced_first {
-        push_match(f, &mut used, &mut bound, &mut plan);
-    }
-
-    while used.iter().any(|u| !u) {
-        // 1. Cheap deterministic steps first: bound comparisons and binds.
-        let mut progressed = false;
-        for i in 0..n {
-            if used[i] {
-                continue;
-            }
-            if let CLit::Cmp(lhs, op, rhs) = &body[i] {
-                let lb = lhs.bound_under(&bound);
-                let rb = rhs.bound_under(&bound);
-                if lb && rb {
-                    plan.push(Step::Compare { lhs: lhs.clone(), op: *op, rhs: rhs.clone() });
-                    used[i] = true;
-                    progressed = true;
-                } else if *op == CmpOp::Eq {
-                    // `X = expr` / `expr = X` with exactly one unbound var.
-                    let bind = match (lhs, rhs, lb, rb) {
-                        (CTerm::Var(s), e, false, true) => Some((*s, e.clone())),
-                        (e, CTerm::Var(s), true, false) => Some((*s, e.clone())),
-                        _ => None,
-                    };
-                    if let Some((slot, expr)) = bind {
-                        plan.push(Step::Bind { slot, expr });
-                        bound[slot as usize] = true;
-                        used[i] = true;
-                        progressed = true;
-                    }
-                }
-            }
-        }
-        if progressed {
-            continue;
-        }
-
-        // 2. Best positive match: maximize fully bound args (most selective
-        //    index key), tie-break on source order for determinism.
-        let mut best: Option<(usize, usize)> = None; // (bound_args, idx)
-        for i in 0..n {
-            if used[i] {
-                continue;
-            }
-            if let CLit::Pos(atom) = &body[i] {
-                if !atom.args.iter().all(|a| a.matchable_under(&bound)) {
-                    continue;
-                }
-                let score = atom.args.iter().filter(|a| a.bound_under(&bound)).count();
-                if best.is_none_or(|(s, bi)| score > s || (score == s && i < bi)) {
-                    best = Some((score, i));
-                }
-            }
-        }
-        if let Some((_, i)) = best {
-            push_match(i, &mut used, &mut bound, &mut plan);
-            continue;
-        }
-
-        // 3. Fully bound negative literals.
-        let mut neg_done = false;
-        for i in 0..n {
-            if used[i] {
-                continue;
-            }
-            if let CLit::Neg(atom) = &body[i] {
-                if atom.args.iter().all(|a| a.bound_under(&bound)) {
-                    plan.push(Step::NegCheck { atom: atom.clone() });
-                    used[i] = true;
-                    neg_done = true;
-                }
-            }
-        }
-        if neg_done {
-            continue;
-        }
-
-        // 4. Stuck: report the first unbound variable of an unused literal.
-        for i in 0..n {
-            if used[i] {
-                continue;
-            }
-            let slot = match &body[i] {
-                CLit::Pos(a) | CLit::Neg(a) => a.args.iter().find_map(|t| first_unbound(t, &bound)),
-                CLit::Cmp(l, _, r) => first_unbound(l, &bound).or_else(|| first_unbound(r, &bound)),
-            };
-            if let Some(slot) = slot {
-                return Err(slot);
-            }
-        }
-        unreachable!("stuck plan with no unbound variable");
-    }
-    Ok(plan)
+    crate::planner::plan(body, var_count, forced_first, &crate::planner::SyntacticCost)
 }
 
 /// Compares two ground terms for a builtin comparison. Equality is

@@ -44,8 +44,10 @@
 
 use crate::compile::{compare, make_plan, CAtom, CLit, CompiledRule, Step};
 use crate::instantiate::{unify_args, Grounder};
+use crate::planner::match_signature;
 use crate::relation::key_for;
 use crate::simplify::{finalize_refs, ProtoRule};
+use crate::stats::RelationStats;
 use asp_core::{
     ground_atom_cmp, AspError, FastMap, FastSet, GroundAtom, GroundProgram, GroundTerm, Predicate,
 };
@@ -199,8 +201,10 @@ pub struct DeltaGrounder {
     /// [`drain`]: DeltaGrounder::drain
     seeded: FastMap<Predicate, Arc<[SeededPlan]>>,
     /// Rules with no positive body literal: instantiated once at reset,
-    /// never retracted (they have no support to lose).
-    nullary: Vec<SeededPlan>,
+    /// never retracted (they have no support to lose). `Arc`-shared for the
+    /// same reason as `seeded` — [`DeltaGrounder::reset`] detaches it from
+    /// `&mut self` with a pointer bump instead of a `Vec` clone.
+    nullary: Arc<[SeededPlan]>,
     /// Head-first SCC rank per predicate (see [`topo_ranks`]); evaluating
     /// ranks high→low is stratum order.
     pred_rank: FastMap<Predicate, u32>,
@@ -228,6 +232,19 @@ pub struct DeltaGrounder {
     dead_insts: usize,
     /// Facts currently asserted (multiset size).
     input_facts: usize,
+    /// Relation statistics for cost-based replanning of the seeded plans;
+    /// `None` when cost planning is off. Maintained incrementally at the
+    /// same three sites that mutate `rels` (fact assert, head emit, dead
+    /// removal), so the counts always mirror the possible-set relations.
+    stats: Option<RelationStats>,
+    /// Stats generation the current `seeded` plans were built against.
+    planned_gen: u64,
+    /// Total seeded-plan rebuilds (bounded by generation bumps — the drift
+    /// hysteresis in [`RelationStats`] prevents thrash under churn).
+    replans: u64,
+    /// Cumulative count of rebuilt plans whose relation-visit order differs
+    /// from the syntactic heuristic's choice.
+    plans_reordered: u64,
 }
 
 /// Predicate ranks in head-first SCC order (an edge body→head gives the
@@ -291,6 +308,18 @@ impl DeltaGrounder {
     /// multiset. Fails when the program is outside the supported fragment
     /// or a delta plan cannot be built.
     pub fn new(grounder: Arc<Grounder>) -> Result<Self, AspError> {
+        Self::with_cost_planning(grounder, false)
+    }
+
+    /// Like [`DeltaGrounder::new`], optionally enabling cost-based
+    /// replanning of the seeded plans: relation statistics are maintained
+    /// across windows and the plans are rebuilt (lazily, at the start of an
+    /// [`DeltaGrounder::apply`]) whenever observed cardinalities drift past
+    /// the hysteresis threshold of [`RelationStats`].
+    pub fn with_cost_planning(
+        grounder: Arc<Grounder>,
+        cost_planning: bool,
+    ) -> Result<Self, AspError> {
         let Some((pred_rank, rank_count)) = topo_ranks(&grounder.compiled) else {
             return Err(AspError::Internal(
                 "delta grounding needs single-head rules and an acyclic dependency graph".into(),
@@ -323,7 +352,7 @@ impl DeltaGrounder {
         let mut dg = DeltaGrounder {
             grounder,
             seeded: seeded.into_iter().map(|(pred, plans)| (pred, plans.into())).collect(),
-            nullary,
+            nullary: nullary.into(),
             pred_rank,
             rels: FastMap::default(),
             support: FastMap::default(),
@@ -336,9 +365,63 @@ impl DeltaGrounder {
             live_input_atoms: 0,
             dead_insts: 0,
             input_facts: 0,
+            stats: cost_planning.then(RelationStats::new),
+            planned_gen: 0,
+            replans: 0,
+            plans_reordered: 0,
         };
         dg.reset()?;
         Ok(dg)
+    }
+
+    /// True when cost-based seeded-plan replanning is enabled.
+    pub fn cost_planning(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// Planner counters `(replans, plans_reordered, stats_generation)`;
+    /// `None` when cost planning is off — callers must omit, never
+    /// fabricate, the metrics in that case.
+    pub fn planner_counters(&self) -> Option<(u64, u64, u64)> {
+        self.stats.as_ref().map(|s| (self.replans, self.plans_reordered, s.generation()))
+    }
+
+    /// Rebuilds the seeded plans against the current statistics iff their
+    /// generation moved since the last rebuild — at most one rebuild per
+    /// generation bump, so the drift hysteresis bounds the replan rate.
+    /// Body-free (`nullary`) plans have no joins to reorder and are left
+    /// untouched.
+    fn maybe_replan(&mut self) {
+        let Some(stats) = &self.stats else { return };
+        let generation = stats.generation();
+        if generation == self.planned_gen {
+            return;
+        }
+        self.planned_gen = generation;
+        self.replans += 1;
+        let grounder = Arc::clone(&self.grounder);
+        let mut seeded: FastMap<Predicate, Vec<SeededPlan>> = FastMap::default();
+        let mut reordered = 0u64;
+        for (idx, c) in grounder.compiled.iter().enumerate() {
+            for (j, l) in c.body.iter().enumerate() {
+                let CLit::Pos(a) = l else { continue };
+                // The body compiled, so planning cannot fail (safety is
+                // order-independent); if it somehow does, keep the current
+                // plans — they are correct for any statistics.
+                let Ok(plan) = crate::planner::plan(&c.body, c.var_count, Some(j), stats) else {
+                    debug_assert!(false, "replanning failed on a compiled rule");
+                    return;
+                };
+                if let Ok(base) = make_plan(&c.body, c.var_count, Some(j)) {
+                    if match_signature(&plan) != match_signature(&base) {
+                        reordered += 1;
+                    }
+                }
+                seeded.entry(a.pred).or_default().push((idx as u32, plan.into()));
+            }
+        }
+        self.plans_reordered += reordered;
+        self.seeded = seeded.into_iter().map(|(pred, plans)| (pred, plans.into())).collect();
     }
 
     /// The compiled program this grounder maintains.
@@ -378,9 +461,16 @@ impl DeltaGrounder {
                 AspError::Internal("underflow with no retractions".into())
             }
         };
+        if let Some(stats) = &mut self.stats {
+            stats.clear();
+            // The current plans stay installed (any order is correct); sync
+            // the generation so the clear alone doesn't force a replan.
+            self.planned_gen = stats.generation();
+        }
         let mut queue = VecDeque::new();
-        for (rule, plan) in self.nullary.clone() {
-            self.eval_plan(rule, &plan, None, &mut queue).map_err(to_asp)?;
+        let nullary = Arc::clone(&self.nullary);
+        for &(rule, ref plan) in nullary.iter() {
+            self.eval_plan(rule, plan, None, &mut queue).map_err(to_asp)?;
         }
         // Heads of body-free rules can feed other rules' bodies.
         self.drain(&mut queue).map_err(to_asp)
@@ -395,6 +485,9 @@ impl DeltaGrounder {
         added: &[GroundAtom],
         retracted: &[GroundAtom],
     ) -> Result<(), DeltaError> {
+        // Replan against the statistics of the previous window's end state
+        // (if their generation moved) before touching this window's delta.
+        self.maybe_replan();
         // Retract first: multiset(current) = multiset(base) - retracted + added.
         let mut dead: Vec<GroundAtom> = Vec::new();
         for f in retracted {
@@ -428,6 +521,9 @@ impl DeltaGrounder {
             }
             if newly_present {
                 self.rels.entry(f.predicate()).or_default().insert(f.args.clone());
+                if let Some(stats) = &mut self.stats {
+                    stats.insert(f.predicate(), &f.args);
+                }
                 queue.push_back(f.clone());
             }
         }
@@ -470,6 +566,9 @@ impl DeltaGrounder {
         while let Some(atom) = dead.pop() {
             if let Some(rel) = self.rels.get_mut(&atom.predicate()) {
                 rel.remove(&atom.args);
+                if let Some(stats) = &mut self.stats {
+                    stats.remove(atom.predicate(), &atom.args);
+                }
             }
             self.support.remove(&atom);
             let Some(watchers) = self.dependents.remove(&atom) else { continue };
@@ -666,6 +765,9 @@ impl DeltaGrounder {
             s.derived += 1;
             if newly_present {
                 self.rels.entry(h.predicate()).or_default().insert(h.args.clone());
+                if let Some(stats) = &mut self.stats {
+                    stats.insert(h.predicate(), &h.args);
+                }
                 queue.push_back(h.clone());
             }
         }
@@ -1039,6 +1141,53 @@ mod tests {
         let neg = GroundAtom { strong_neg: true, ..pos.clone() };
         dg.apply(&[pos, neg], &[]).unwrap();
         assert!(dg.answer().is_none(), "p and -p conflict");
+    }
+
+    fn build_cost(src: &str) -> (Symbols, Arc<Grounder>, DeltaGrounder) {
+        let syms = Symbols::new();
+        let program = parse_program(&syms, src).unwrap();
+        let grounder = Arc::new(Grounder::new(&syms, &program).unwrap());
+        let dg = DeltaGrounder::with_cost_planning(Arc::clone(&grounder), true).unwrap();
+        (syms, grounder, dg)
+    }
+
+    #[test]
+    fn cost_planning_stays_identical_under_churn() {
+        let (syms, grounder, mut dg) = build_cost(TRAFFIC);
+        let mut live: Vec<GroundAtom> = Vec::new();
+        for round in 0..12i64 {
+            // Skew hard: many speed readings, one car count.
+            let mut f: Vec<GroundAtom> =
+                (0..20).map(|i| atom(&syms, "average_speed", &[round * 20 + i, 5])).collect();
+            f.push(atom(&syms, "car_number", &[round * 20, 50]));
+            dg.apply(&f, &live).unwrap();
+            live = f;
+            assert_matches_scratch(&syms, &grounder, &dg, &live);
+        }
+        let (replans, _reordered, generation) = dg.planner_counters().unwrap();
+        assert!(replans >= 1, "a 20x-skewed stream must drift at least once");
+        assert!(
+            replans <= generation,
+            "at most one rebuild per generation bump: {replans} replans, gen {generation}"
+        );
+    }
+
+    #[test]
+    fn replans_are_bounded_by_stats_drift() {
+        let (syms, _g, mut dg) = build_cost(TRAFFIC);
+        let f: Vec<GroundAtom> =
+            (0..100i64).map(|i| atom(&syms, "average_speed", &[i, 5])).collect();
+        dg.apply(&f, &[]).unwrap();
+        dg.apply(&[], &[]).unwrap(); // pick up the growth's generation bump
+        let (replans, ..) = dg.planner_counters().unwrap();
+        for _ in 0..10 {
+            dg.apply(&[], &[]).unwrap();
+        }
+        let (replans_after, ..) = dg.planner_counters().unwrap();
+        assert_eq!(replans, replans_after, "stable windows must not replan");
+        assert!(dg.cost_planning());
+        let (_, _, dg_off) = build(TRAFFIC);
+        assert!(dg_off.planner_counters().is_none(), "counters are omitted when off");
     }
 
     #[test]

@@ -16,9 +16,13 @@
 pub mod compile;
 pub mod delta;
 pub mod instantiate;
+pub mod planner;
 pub mod relation;
 pub mod simplify;
+pub mod stats;
 
 pub use delta::{DeltaError, DeltaGrounder};
 pub use instantiate::{ground_program, is_internal_predicate, Grounder};
+pub use planner::{CostSource, SyntacticCost};
 pub use simplify::{finalize_refs, ProtoRule};
+pub use stats::RelationStats;

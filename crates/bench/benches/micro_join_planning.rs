@@ -1,0 +1,79 @@
+//! Join-planning microbenchmark, two layers:
+//!
+//! * **plan construction** — [`asp_grounder::planner::plan`] on the
+//!   wide-body rules of [`sr_bench::JOIN_HEAVY`] under the syntactic cost
+//!   (the original `make_plan` heuristic expressed as a [`CostSource`])
+//!   versus live [`RelationStats`]: the pure planning overhead the cost
+//!   planner adds per (re)plan, amortized over every window a plan serves;
+//! * **grounding** — [`asp_grounder::Grounder::ground`] over a skewed
+//!   window, planner-off versus planner-on: the join-evaluation work the
+//!   reordered plans actually avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{SkewedJoinGenerator, JOIN_HEAVY};
+use sr_stream::WorkloadGenerator;
+use std::hint::black_box;
+
+fn micro_join_planning(c: &mut Criterion) {
+    let syms = asp_core::Symbols::new();
+    let program = asp_parser::parse_program(&syms, JOIN_HEAVY).expect("parse");
+    let inpre = program.edb_predicates();
+    let format_cfg = sr_rdf::FormatConfig::from_input_signature(&syms, &inpre);
+    let mut format = sr_rdf::FormatProcessor::new(&syms, &format_cfg);
+
+    const WINDOW: usize = 1_600;
+    let mut generator = SkewedJoinGenerator::new(7);
+    let facts = format.window_to_facts(&generator.window(WINDOW));
+
+    let mut stats = asp_grounder::RelationStats::new();
+    for f in &facts {
+        stats.insert(f.predicate(), &f.args);
+    }
+    let compiled: Vec<_> = program
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| asp_grounder::compile::compile_rule(&syms, r, i).expect("compile"))
+        .collect();
+
+    let mut group = c.benchmark_group("join_planning");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("plan_syntactic", compiled.len()), |b| {
+        b.iter(|| {
+            for c in &compiled {
+                black_box(
+                    asp_grounder::planner::plan(
+                        &c.body,
+                        c.var_count,
+                        None,
+                        &asp_grounder::SyntacticCost,
+                    )
+                    .expect("plan"),
+                );
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::new("plan_cost_based", compiled.len()), |b| {
+        b.iter(|| {
+            for c in &compiled {
+                black_box(
+                    asp_grounder::planner::plan(&c.body, c.var_count, None, &stats).expect("plan"),
+                );
+            }
+        });
+    });
+
+    for cost_planning in [false, true] {
+        let mut grounder = asp_grounder::Grounder::new(&syms, &program).expect("grounder");
+        grounder.set_cost_planning(cost_planning);
+        let label = if cost_planning { "ground_planner_on" } else { "ground_planner_off" };
+        group.bench_function(BenchmarkId::new(label, WINDOW), |b| {
+            b.iter(|| black_box(grounder.ground(&facts).expect("ground")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_join_planning);
+criterion_main!(benches);

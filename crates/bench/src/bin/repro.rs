@@ -12,9 +12,10 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    csv, delta_grounding_json, incremental_json, multi_tenant_json, program_p_prime, run,
-    run_delta_grounding, run_incremental, run_multi_tenant, run_throughput, table, throughput_json,
-    DeltaGroundingConfig, ExperimentConfig, ExperimentResult, IncrementalConfig, Measure,
+    csv, delta_grounding_json, incremental_json, join_planning_json, multi_tenant_json,
+    program_p_prime, run, run_delta_grounding, run_incremental, run_join_planning,
+    run_multi_tenant, run_throughput, table, throughput_json, DeltaGroundingConfig,
+    ExperimentConfig, ExperimentResult, IncrementalConfig, JoinPlanningConfig, Measure,
     MultiTenantConfig, Series, ThroughputConfig, PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
@@ -24,14 +25,14 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|multi-tenant] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant] [--quick]
        repro check <BENCH_*.json>...
        repro --smoke
        repro --help
 
   all          every figure, the Section IV claims, the ablations and the
-               throughput + incremental + delta-ground + multi-tenant
-               sweeps (default)
+               throughput + incremental + delta-ground + join-planning +
+               multi-tenant sweeps (default)
   figN         one figure's grid and CSV (written to results/)
   claims       the Section IV headline claims on the measured grids
   ablations    partitioning ablations beyond the paper
@@ -43,14 +44,18 @@ usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|d
                sliding-window sweep: delta-driven grounding inside dirty
                partitions vs the partition-cache-only incremental reasoner
                (writes results/BENCH_delta_grounding.json)
+  join-planning
+               wide-body join sweep: cost-based join planning in the hot
+               grounding loop vs the syntactic bound-args heuristic
+               (writes results/BENCH_join_planning.json)
   multi-tenant tenant count x duplicate-ratio sweep: one shared
                MultiTenantEngine vs N independent pipelines
                (writes results/BENCH_multi_tenant.json)
   check        regression-gate one or more BENCH_*.json records: exit 1 when
                any output-identity flag is false or the record's headline
                speedup (speedup_at_eighth / best_speedup_windows_per_sec /
-               shared_work_speedup_at_dup1) fell below 1.0 — the CI
-               bench-gate step
+               shared_work_speedup_at_dup1 / planner_speedup) fell below
+               1.0 — the CI bench-gate step
   --quick      small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke      seconds-fast end-to-end pipeline check, no files written
 ";
@@ -131,9 +136,44 @@ fn main() {
     if matches!(what, "all" | "delta-grounding") {
         delta_grounding(quick);
     }
+    if matches!(what, "all" | "join-planning") {
+        join_planning(quick);
+    }
     if matches!(what, "all" | "multi-tenant") {
         multi_tenant(quick);
     }
+}
+
+/// The join-planning sweep (beyond the paper): cost-based join ordering in
+/// the hot grounding loop vs the syntactic bound-args heuristic on wide-body
+/// rules over a skewed workload, recorded as `results/BENCH_join_planning.json`.
+fn join_planning(quick: bool) {
+    println!("\n== Join planning: cost-based join ordering vs syntactic heuristic ==");
+    let cfg = if quick { JoinPlanningConfig::quick() } else { JoinPlanningConfig::paper() };
+    let result = run_join_planning(&cfg).expect("join-planning sweep");
+    println!("  {} windows per cell", result.windows);
+    for run in &result.runs {
+        println!(
+            "  window {:>5}: syntactic {:.1} ms, planner {:.1} ms -> {:.2}x, identical: {}",
+            run.window_size, run.syntactic_ms, run.planner_ms, run.speedup, run.output_identical
+        );
+    }
+    let churn = &result.churn;
+    println!(
+        "  churn (size {}, slide {}): syntactic {:.1} ms, planner {:.1} ms -> {:.2}x, \
+         {} replans / {} plans reordered, identical: {}",
+        churn.window_size,
+        churn.slide,
+        churn.syntactic_ms,
+        churn.planner_ms,
+        churn.speedup,
+        churn.cache.planner_replans,
+        churn.cache.planner_plans_reordered,
+        churn.output_identical
+    );
+    let path = "results/BENCH_join_planning.json";
+    std::fs::write(Path::new(path), join_planning_json(&result)).expect("write join-planning json");
+    println!("[json written to {path}]");
 }
 
 /// The multi-tenant serving sweep (beyond the paper): one shared

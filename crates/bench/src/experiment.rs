@@ -211,6 +211,7 @@ impl ExperimentBench {
                     Some(&analysis.inpre),
                     &SolverConfig::default(),
                     workers,
+                    reasoner_cfg.cost_planning,
                 )?))
             }
             ParallelMode::Sequential => None,

@@ -12,7 +12,8 @@
 //! * **headline speedup** — the record's headline metric
 //!   (`speedup_at_eighth` for the incremental and delta-grounding sweeps,
 //!   `best_speedup_windows_per_sec` for the throughput record,
-//!   `shared_work_speedup_at_dup1` for the multi-tenant sweep) must be
+//!   `shared_work_speedup_at_dup1` for the multi-tenant sweep,
+//!   `planner_speedup` for the join-planning sweep) must be
 //!   ≥ 1.0. Per-ratio entries may legitimately dip below 1.0 (tumbling
 //!   windows have nothing to reuse; a zero-duplication cell pays the
 //!   scheduler overhead for nothing), so only the headline gates.
@@ -81,8 +82,12 @@ pub fn check_record(json: &str) -> Result<GateSummary, Vec<String>> {
 
     // Headline speedup: the first headline key the record carries.
     let mut speedup: Option<(&'static str, f64)> = None;
-    for key in ["speedup_at_eighth", "best_speedup_windows_per_sec", "shared_work_speedup_at_dup1"]
-    {
+    for key in [
+        "speedup_at_eighth",
+        "best_speedup_windows_per_sec",
+        "shared_work_speedup_at_dup1",
+        "planner_speedup",
+    ] {
         if let Some(v) = values_of(json, key).first() {
             match v.parse::<f64>() {
                 Ok(x) => speedup = Some((key, x)),
@@ -222,6 +227,24 @@ mod tests {
         .unwrap();
         match check_record(&crate::throughput_json(&tp)) {
             Ok(summary) => assert_eq!(summary.speedup_key, "best_speedup_windows_per_sec"),
+            Err(violations) => assert!(
+                violations.iter().all(|v| v.contains("regressed below 1.0")),
+                "shape violation: {violations:?}"
+            ),
+        }
+
+        // Join planning: the skewed wide-body workload gives the cost
+        // planner a decisive edge even at toy scale, and the headline is
+        // the only gate-relevant speedup key the record carries.
+        let jp = crate::join_planning::run_join_planning(&crate::JoinPlanningConfig {
+            sizes: vec![160],
+            windows: 3,
+            cache_capacity: 8,
+            ..crate::JoinPlanningConfig::quick()
+        })
+        .unwrap();
+        match check_record(&crate::join_planning_json(&jp)) {
+            Ok(summary) => assert_eq!(summary.speedup_key, "planner_speedup"),
             Err(violations) => assert!(
                 violations.iter().all(|v| v.contains("regressed below 1.0")),
                 "shape violation: {violations:?}"

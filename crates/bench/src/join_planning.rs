@@ -1,0 +1,468 @@
+//! Join-planning experiment: wide-body rules (4–6 positive literals) over a
+//! deliberately skewed workload — one dominant `traffic` relation joined
+//! against mid-size per-host attribute relations and a handful of tiny
+//! filter relations — grounded with the syntactic bound-args heuristic
+//! versus cost-based join planning
+//! ([`sr_core::ReasonerConfig::cost_planning`]). Emits
+//! `results/BENCH_join_planning.json` via [`join_planning_json`].
+//!
+//! Relation matching is index-based, so join cost is the number of
+//! *bindings enumerated*, not tuples scanned. The syntactic heuristic
+//! starts every all-unbound body at the first literal in source order —
+//! here the dominant `traffic` relation — and then extends each of its
+//! `O(0.6·N)` bindings through the high-fanout `hub`/`relay` hops (≈8
+//! matches per bound key each) *before* the selective `blacklist`/`ticket`
+//! filters get a chance to prune, a multiplicative blowup. The cost
+//! planner starts at the tiny filter relation instead, so only a few
+//! dozen bindings ever reach the fanout chain. Both orders derive the
+//! identical ground program (grounding emits one deduplicated instance
+//! per full binding, whatever order produced it), so every cell is
+//! byte-checked planner-on versus planner-off and the speedup is pure
+//! join-evaluation work avoided.
+//!
+//! A churn section re-runs the headline size through sliding windows with
+//! interior retractions ([`ChurnStream`]) under the delta-grounding
+//! incremental reasoner, planner-on versus planner-off, exercising the
+//! `asp_grounder::DeltaGrounder` seeded-plan replan path (the
+//! `planner_replans` counter in the recorded cache snapshot).
+
+use crate::throughput::render_output;
+use asp_core::{AspError, Symbols};
+use asp_solver::SolverConfig;
+use sr_core::{
+    duration_ms, AnalysisConfig, DependencyAnalysis, IncrementalReasoner, IncrementalSnapshot,
+    ParallelMode, ParallelReasoner, PlanPartitioner, Reasoner, ReasonerConfig, SingleReasoner,
+    UnknownPredicate,
+};
+use sr_rdf::{Node, Triple};
+use sr_stream::{ChurnStream, Window, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The wide-body rule set under test: one dominant relation (`traffic`)
+/// listed *first* in every body, the high-fanout hops (`hub`, `relay`)
+/// next, and the tiny selective filters (`blacklist`, `critical`,
+/// `oncall`, `ticket`) last — the syntactic heuristic's worst case, since
+/// it walks bodies in exactly that order. Single-head and acyclic, so the
+/// delta-grounding fragment accepts it.
+pub const JOIN_HEAVY: &str = r#"
+    alert(X, W) :- traffic(X, Y), hub(Y, Z), relay(Z, W), blacklist(X, B).
+    escalate(X) :- alert(X, W), oncall(W, O), ticket(X, T), blacklist(X, B).
+    audit(X) :- traffic(X, Y), hub(Y, Z), critical(Z, C), ticket(X, T).
+"#;
+
+/// Hosts eligible for the tiny filter relations: joins against the
+/// dominant relation survive only for these ids, keeping the derived set
+/// (and so solve time) small while the join *work* scales with the skew.
+const FILTER_HOSTS: u64 = 12;
+
+/// Keys of the fanout hops: `traffic` objects land on 8 hubs, each hub
+/// fans to up to 8 zones (`hub`), each zone to up to 8 regions (`relay`)
+/// — so a binding that reaches the chain unfiltered multiplies ~64×.
+const FANOUT: u64 = 8;
+
+/// Deterministic generator of the skewed join workload (split-mix driven;
+/// the same seed always replays the same stream). Each window is ~60%
+/// `traffic(host, hubK)` tuples over a host universe half the window size
+/// (high distinct counts in the subject position, `FANOUT` (8) hub keys in
+/// the object position), ~15% `hub(hubK, zoneK)` and ~15%
+/// `relay(zoneK, regionK)` fanout tuples, and the remaining ~10% spread
+/// over the four selective predicates (`blacklist`/`ticket` restricted to
+/// `FILTER_HOSTS` (12) subjects, `oncall` on regions, `critical` on a zone
+/// subset).
+#[derive(Debug)]
+pub struct SkewedJoinGenerator {
+    state: u64,
+}
+
+impl SkewedJoinGenerator {
+    /// A generator over the given seed.
+    pub fn new(seed: u64) -> Self {
+        SkewedJoinGenerator { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// split-mix-64 step.
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn triple(subject: &str, predicate: &str, object: &str) -> Triple {
+        Triple::new(Node::iri(subject), Node::iri(predicate), Node::iri(object))
+    }
+}
+
+impl WorkloadGenerator for SkewedJoinGenerator {
+    fn window(&mut self, size: usize) -> Vec<Triple> {
+        let hosts = ((size / 2) as u64).max(FILTER_HOSTS * 2);
+        let host = |i: u64| format!("h{i}");
+        let mut out = Vec::with_capacity(size);
+        let n_traffic = size * 6 / 10;
+        let n_fanout = size * 15 / 100;
+        for _ in 0..n_traffic {
+            let a = self.next() % hosts;
+            let b = self.next() % FANOUT;
+            out.push(Self::triple(&host(a), "traffic", &format!("hub{b}")));
+        }
+        for _ in 0..n_fanout {
+            let (a, b) = (self.next() % FANOUT, self.next() % FANOUT);
+            out.push(Self::triple(&format!("hub{a}"), "hub", &format!("zone{b}")));
+        }
+        for _ in 0..n_fanout {
+            let (a, b) = (self.next() % FANOUT, self.next() % FANOUT);
+            out.push(Self::triple(&format!("zone{a}"), "relay", &format!("region{b}")));
+        }
+        let mut k = 0u64;
+        while out.len() < size {
+            match k % 4 {
+                0 => {
+                    let i = self.next() % FILTER_HOSTS;
+                    out.push(Self::triple(&host(i), "blacklist", &format!("tag{}", i % 3)));
+                }
+                1 => {
+                    let i = self.next() % FILTER_HOSTS;
+                    out.push(Self::triple(&host(i), "ticket", &format!("t{}", i % 4)));
+                }
+                2 => {
+                    let i = self.next() % FANOUT;
+                    out.push(Self::triple(
+                        &format!("region{i}"),
+                        "oncall",
+                        &format!("op{}", i % 3),
+                    ));
+                }
+                _ => {
+                    let i = self.next() % 3;
+                    out.push(Self::triple(
+                        &format!("zone{i}"),
+                        "critical",
+                        &format!("sev{}", i % 2),
+                    ));
+                }
+            }
+            k += 1;
+        }
+        out
+    }
+}
+
+/// Join-planning experiment definition.
+#[derive(Clone, Debug)]
+pub struct JoinPlanningConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Window sizes (items) of the scratch-grounding sweep; the largest is
+    /// the headline cell.
+    pub sizes: Vec<usize>,
+    /// Windows per cell.
+    pub windows: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Partition-cache capacity of the churn section's incremental sides.
+    pub cache_capacity: usize,
+    /// Interior-retraction fraction of the churn section (see
+    /// [`ChurnStream`]).
+    pub retract_fraction: f64,
+}
+
+impl JoinPlanningConfig {
+    /// The default sweep: 12 windows per cell at 400/800/1600 items on the
+    /// wide-body rule set.
+    pub fn paper() -> Self {
+        JoinPlanningConfig {
+            program: JOIN_HEAVY.to_string(),
+            sizes: vec![400, 800, 1_600],
+            windows: 12,
+            seed: 2017,
+            cache_capacity: 32,
+            retract_fraction: 0.5,
+        }
+    }
+
+    /// A smoke-test sweep for CI / `--quick`.
+    pub fn quick() -> Self {
+        JoinPlanningConfig { sizes: vec![200, 400], windows: 6, ..Self::paper() }
+    }
+}
+
+/// One scratch-grounding cell: the same windows grounded with the
+/// syntactic heuristic and with the cost planner.
+#[derive(Clone, Debug)]
+pub struct JoinPlanningRun {
+    /// Items per window in this cell.
+    pub window_size: usize,
+    /// Wall time of the syntactic-heuristic pass (ms).
+    pub syntactic_ms: f64,
+    /// Wall time of the cost-planning pass (ms).
+    pub planner_ms: f64,
+    /// `syntactic_ms / planner_ms`.
+    pub speedup: f64,
+    /// Whether both passes rendered byte-identical answers every window.
+    pub output_identical: bool,
+}
+
+/// The churn section's measurement: delta-grounding incremental reasoner
+/// over sliding windows with interior retractions, planner-off vs on.
+#[derive(Clone, Debug)]
+pub struct JoinPlanningChurn {
+    /// Items per window.
+    pub window_size: usize,
+    /// Slide (items).
+    pub slide: usize,
+    /// Planner-off wall time (ms).
+    pub syntactic_ms: f64,
+    /// Planner-on wall time (ms).
+    pub planner_ms: f64,
+    /// `syntactic_ms / planner_ms`.
+    pub speedup: f64,
+    /// Whether both incremental passes matched the full-recompute
+    /// reference, window by window.
+    pub output_identical: bool,
+    /// Cache + planner counters after the planner-on pass
+    /// (`planner_replans` > 0 shows the seeded-plan replan path engaged).
+    pub cache: IncrementalSnapshot,
+}
+
+/// Result of the join-planning experiment.
+#[derive(Clone, Debug)]
+pub struct JoinPlanningResult {
+    /// Windows per cell.
+    pub windows: usize,
+    /// One cell per swept window size.
+    pub runs: Vec<JoinPlanningRun>,
+    /// The churn section at the largest swept size.
+    pub churn: JoinPlanningChurn,
+}
+
+impl JoinPlanningResult {
+    /// The headline cell: the largest swept window size.
+    pub fn headline(&self) -> Option<&JoinPlanningRun> {
+        self.runs.iter().max_by_key(|r| r.window_size)
+    }
+
+    /// True when every cell (and the churn section) was byte-identical
+    /// planner-on versus planner-off.
+    pub fn output_identical_all(&self) -> bool {
+        self.runs.iter().all(|r| r.output_identical) && self.churn.output_identical
+    }
+}
+
+/// Runs `reasoner` over `windows`, returning wall time and rendered answers.
+fn timed_pass(
+    syms: &Symbols,
+    reasoner: &mut dyn Reasoner,
+    windows: &[Window],
+) -> Result<(f64, Vec<String>), AspError> {
+    let mut rendered = Vec::with_capacity(windows.len());
+    let t0 = Instant::now();
+    for window in windows {
+        let out = reasoner.process(window)?;
+        rendered.push(render_output(syms, &out));
+    }
+    Ok((duration_ms(t0.elapsed()), rendered))
+}
+
+/// Runs the experiment: per window size a planner-off and a planner-on
+/// scratch pass over identical windows (byte-checked), then the churn
+/// section under the delta-grounding incremental reasoner at the largest
+/// size.
+pub fn run_join_planning(config: &JoinPlanningConfig) -> Result<JoinPlanningResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+
+    let mut runs = Vec::new();
+    for &size in &config.sizes {
+        let mut generator = SkewedJoinGenerator::new(config.seed);
+        let windows: Vec<Window> =
+            (0..config.windows).map(|id| Window::new(id as u64, generator.window(size))).collect();
+
+        let mut passes = Vec::new();
+        for cost_planning in [false, true] {
+            let mut reasoner = SingleReasoner::new(&syms, &program, None, SolverConfig::default())?;
+            reasoner.set_cost_planning(cost_planning);
+            passes.push(timed_pass(&syms, &mut reasoner, &windows)?);
+        }
+        let (planner_ms, planner_rendered) = passes.pop().expect("two passes");
+        let (syntactic_ms, syntactic_rendered) = passes.pop().expect("two passes");
+        runs.push(JoinPlanningRun {
+            window_size: size,
+            syntactic_ms,
+            planner_ms,
+            speedup: if planner_ms > 0.0 { syntactic_ms / planner_ms } else { 0.0 },
+            output_identical: syntactic_rendered == planner_rendered,
+        });
+    }
+
+    // Churn section: sliding windows with interior retractions through the
+    // delta-grounding incremental reasoner, planner-off vs on, both
+    // byte-checked against a full (non-incremental) reference pass.
+    let size = config.sizes.iter().copied().max().expect("at least one size");
+    let slide = (size / 4).max(1);
+    let inner = Box::new(SkewedJoinGenerator::new(config.seed));
+    let mut churn_stream =
+        ChurnStream::new(inner, size, slide, config.retract_fraction, config.seed);
+    let windows = churn_stream.windows(config.windows);
+
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let base_cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
+    let mut full = ParallelReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        base_cfg.clone(),
+    )?;
+    let (_, reference) = timed_pass(&syms, &mut full, &windows)?;
+
+    let mut churn_ms = [0.0f64; 2];
+    let mut churn_identical = true;
+    let mut snapshot: Option<IncrementalSnapshot> = None;
+    for (side, cost_planning) in [false, true].into_iter().enumerate() {
+        let delta_cfg = ReasonerConfig {
+            incremental: true,
+            cache_capacity: config.cache_capacity,
+            delta_ground: true,
+            cost_planning,
+            ..base_cfg.clone()
+        };
+        let mut delta = IncrementalReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            delta_cfg,
+        )?;
+        assert!(delta.delta_ground_active(), "JOIN_HEAVY passes every delta gate");
+        let (ms, rendered) = timed_pass(&syms, &mut delta, &windows)?;
+        churn_ms[side] = ms;
+        churn_identical &= rendered == reference;
+        if cost_planning {
+            snapshot = Some(delta.cache().counters().snapshot());
+        }
+    }
+    let churn = JoinPlanningChurn {
+        window_size: size,
+        slide,
+        syntactic_ms: churn_ms[0],
+        planner_ms: churn_ms[1],
+        speedup: if churn_ms[1] > 0.0 { churn_ms[0] / churn_ms[1] } else { 0.0 },
+        output_identical: churn_identical,
+        cache: snapshot.expect("planner-on churn pass ran"),
+    };
+
+    Ok(JoinPlanningResult { windows: config.windows, runs, churn })
+}
+
+/// Renders the result as the `BENCH_join_planning.json` document.
+pub fn join_planning_json(result: &JoinPlanningResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"skewed_wide_body_joins\",");
+    let _ = writeln!(out, "  \"baseline\": \"syntactic_bound_args_heuristic\",");
+    let _ = writeln!(out, "  \"mode\": \"sequential\",");
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, run) in result.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"window_size\": {}, \"syntactic_ms\": {:.4}, \"planner_ms\": {:.4}, \
+             \"speedup\": {:.4}, \"output_identical\": {}}}{}",
+            run.window_size,
+            run.syntactic_ms,
+            run.planner_ms,
+            run.speedup,
+            run.output_identical,
+            if i + 1 < result.runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    // Omitted (not fabricated as 0.0) when nothing was swept: the CI gate
+    // then reports a missing headline key instead of a fake regression.
+    if let Some(headline) = result.headline() {
+        let _ = writeln!(out, "  \"planner_speedup\": {:.4},", headline.speedup);
+    }
+    let churn = &result.churn;
+    let _ = writeln!(
+        out,
+        "  \"churn\": {{\"window_size\": {}, \"slide\": {}, \"syntactic_ms\": {:.4}, \
+         \"planner_ms\": {:.4}, \"speedup\": {:.4}, \"output_identical\": {}, \"cache\": {}}},",
+        churn.window_size,
+        churn.slide,
+        churn.syntactic_ms,
+        churn.planner_ms,
+        churn.speedup,
+        churn.output_identical,
+        churn.cache.to_json()
+    );
+    let _ = writeln!(out, "  \"output_identical_all\": {}", result.output_identical_all());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> JoinPlanningConfig {
+        JoinPlanningConfig {
+            sizes: vec![160],
+            windows: 3,
+            cache_capacity: 8,
+            ..JoinPlanningConfig::quick()
+        }
+    }
+
+    #[test]
+    fn outputs_are_identical_and_planner_counters_engage() {
+        let result = run_join_planning(&toy_config()).unwrap();
+        assert_eq!(result.runs.len(), 1);
+        assert!(result.output_identical_all(), "cost planning changed answers");
+        let cache = &result.churn.cache;
+        assert!(cache.cost_planning, "planner-on churn pass must report its counters");
+        assert!(
+            cache.planner_replans > 0,
+            "churned windows must trigger at least one stats-driven replan: {cache:?}"
+        );
+        assert!(
+            cache.delta_applies + cache.delta_regrounds > 0,
+            "churn section must exercise the maintained grounder: {cache:?}"
+        );
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let result = run_join_planning(&toy_config()).unwrap();
+        let json = join_planning_json(&result);
+        assert!(json.contains("\"workload\": \"skewed_wide_body_joins\""));
+        assert!(json.contains("\"baseline\": \"syntactic_bound_args_heuristic\""));
+        assert!(json.contains("\"planner_speedup\":"));
+        assert!(json.contains("\"churn\": {"));
+        assert!(json.contains("\"planner_replans\":"));
+        assert!(json.contains("\"output_identical_all\": true"));
+        // The record must not carry an earlier headline key: `repro check`
+        // takes the FIRST key of its list that is present.
+        for foreign in
+            ["speedup_at_eighth", "best_speedup_windows_per_sec", "shared_work_speedup_at_dup1"]
+        {
+            assert!(!json.contains(foreign), "{foreign} leaked into the record");
+        }
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_skewed() {
+        let mut a = SkewedJoinGenerator::new(7);
+        let mut b = SkewedJoinGenerator::new(7);
+        let (wa, wb) = (a.window(200), b.window(200));
+        assert_eq!(wa, wb, "same seed must replay the same window");
+        let count = |w: &[Triple], p: &str| w.iter().filter(|t| t.predicate_name() == p).count();
+        let traffic = count(&wa, "traffic");
+        let blacklist = count(&wa, "blacklist");
+        assert!(traffic >= 20 * blacklist.max(1), "skew collapsed: {traffic} vs {blacklist}");
+    }
+}

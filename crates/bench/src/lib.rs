@@ -9,6 +9,7 @@ pub mod delta_grounding;
 pub mod experiment;
 pub mod gate;
 pub mod incremental;
+pub mod join_planning;
 pub mod multi_tenant;
 pub mod programs;
 pub mod report;
@@ -22,6 +23,10 @@ pub use experiment::{run, Cell, ExperimentBench, ExperimentConfig, ExperimentRes
 pub use gate::{check_record, GateSummary};
 pub use incremental::{
     incremental_json, run_incremental, IncrementalConfig, IncrementalResult, IncrementalRun,
+};
+pub use join_planning::{
+    join_planning_json, run_join_planning, JoinPlanningChurn, JoinPlanningConfig,
+    JoinPlanningResult, JoinPlanningRun, SkewedJoinGenerator, JOIN_HEAVY,
 };
 pub use multi_tenant::{
     multi_tenant_json, run_multi_tenant, MultiTenantConfig, MultiTenantResult, MultiTenantRun,

@@ -108,6 +108,14 @@ pub struct ReasonerConfig {
     /// content-routed, or the program is outside the supported fragment
     /// (see [`asp_grounder::DeltaGrounder`]).
     pub delta_ground: bool,
+    /// Cost-based join planning in the grounder ([`asp_grounder::planner`]):
+    /// order rule-body joins by estimated cost from live relation
+    /// statistics instead of the syntactic bound-args heuristic, replanning
+    /// lazily when cardinalities drift. Applies to scratch grounding in
+    /// every reasoner and, when `delta_ground` is also on, to the delta
+    /// grounder's seeded plans. Output is identical either way — only join
+    /// evaluation order changes.
+    pub cost_planning: bool,
 }
 
 impl Default for ReasonerConfig {
@@ -122,6 +130,7 @@ impl Default for ReasonerConfig {
             incremental: false,
             cache_capacity: 256,
             delta_ground: false,
+            cost_planning: false,
         }
     }
 }

@@ -352,7 +352,14 @@ impl StreamEngine {
     ) -> Result<Self, AspError> {
         let workers = partitioner.partitions().max(1) * config.in_flight.max(1);
         let solver = SolverConfig { max_models: reasoner_cfg.max_models, ..Default::default() };
-        let pool = Arc::new(reasoner_pool(syms, program, inpre, &solver, workers)?);
+        let pool = Arc::new(reasoner_pool(
+            syms,
+            program,
+            inpre,
+            &solver,
+            workers,
+            reasoner_cfg.cost_planning,
+        )?);
         if reasoner_cfg.incremental {
             let cache = Arc::new(PartitionCache::new(reasoner_cfg.cache_capacity));
             let program_id = program_fingerprint(syms, program);

@@ -234,6 +234,10 @@ struct DeltaPartition {
     content_fp: u128,
     /// False until the first successful (re)build.
     valid: bool,
+    /// Planner counters `(replans, plans_reordered)` already flushed to the
+    /// shared [`CacheCounters`]; the grounder reports cumulative totals, so
+    /// only the difference is added on each flush.
+    planner_reported: (u64, u64),
 }
 
 /// Per-lane delta-grounding state: one maintained grounding per partition
@@ -260,7 +264,11 @@ impl DeltaLane {
         if !config.delta_ground || !config.incremental || !partitioner.content_routed() {
             return Ok(None);
         }
-        let grounder = Arc::new(Grounder::new(syms, program)?);
+        let mut grounder = Grounder::new(syms, program)?;
+        // The shared grounder only lends its compiled program to the delta
+        // grounders, but keep its planning mode consistent with theirs.
+        grounder.set_cost_planning(config.cost_planning);
+        let grounder = Arc::new(grounder);
         if !DeltaGrounder::supports(&grounder) {
             return Ok(None);
         }
@@ -277,10 +285,14 @@ impl DeltaLane {
         let mut parts = Vec::with_capacity(n);
         for _ in 0..n {
             parts.push(DeltaPartition {
-                grounder: DeltaGrounder::new(Arc::clone(&grounder))?,
+                grounder: DeltaGrounder::with_cost_planning(
+                    Arc::clone(&grounder),
+                    config.cost_planning,
+                )?,
                 window_id: 0,
                 content_fp: 0,
                 valid: false,
+                planner_reported: (0, 0),
             });
         }
         Ok(Some(DeltaLane { format: FormatProcessor::new(syms, &format_cfg), parts }))
@@ -311,6 +323,11 @@ pub struct IncrementalReasoner {
     /// [`DeltaLane::build`]). Runs in the caller thread: maintained
     /// grounder state is inherently per-lane.
     delta: Option<DeltaLane>,
+    /// Planner counters already flushed from the sequential scratch
+    /// reasoner (cumulative, like [`DeltaPartition::planner_reported`]).
+    /// Pooled workers keep their plan caches on their own threads and are
+    /// not aggregated.
+    scratch_reported: (u64, u64),
 }
 
 impl IncrementalReasoner {
@@ -344,10 +361,14 @@ impl IncrementalReasoner {
         let (pool, sequential) = match config.mode {
             ParallelMode::Threads => {
                 let workers = if config.workers == 0 { n } else { config.workers };
-                (Some(Arc::new(reasoner_pool(syms, program, inpre, &solver, workers)?)), Vec::new())
+                let pool =
+                    reasoner_pool(syms, program, inpre, &solver, workers, config.cost_planning)?;
+                (Some(Arc::new(pool)), Vec::new())
             }
             ParallelMode::Sequential => {
-                (None, vec![SingleReasoner::new(syms, program, inpre, solver)?])
+                let mut r = SingleReasoner::new(syms, program, inpre, solver)?;
+                r.set_cost_planning(config.cost_planning);
+                (None, vec![r])
             }
         };
         let delta = DeltaLane::build(syms, program, inpre, &partitioner, &config)?;
@@ -360,6 +381,7 @@ impl IncrementalReasoner {
             cache,
             program_id,
             delta,
+            scratch_reported: (0, 0),
         })
     }
 
@@ -390,6 +412,7 @@ impl IncrementalReasoner {
             cache,
             program_id,
             delta,
+            scratch_reported: (0, 0),
         })
     }
 
@@ -514,6 +537,17 @@ impl IncrementalReasoner {
         let solve = t_s.elapsed();
         let stats =
             SolveStats { atoms: answers.first().map_or(0, AnswerSet::len), ..Default::default() };
+        if let Some((replans, reordered, generation)) = st.grounder.planner_counters() {
+            // The grounder reports cumulative totals; flush only the delta
+            // since the last report (other partitions share the counters).
+            let c = self.cache.counters();
+            c.planner_enabled.store(true, Ordering::Relaxed);
+            c.planner_replans.fetch_add(replans - st.planner_reported.0, Ordering::Relaxed);
+            c.planner_plans_reordered
+                .fetch_add(reordered - st.planner_reported.1, Ordering::Relaxed);
+            c.planner_generation.fetch_max(generation, Ordering::Relaxed);
+            st.planner_reported = (replans, reordered);
+        }
         st.window_id = window.id;
         st.content_fp = fp;
         st.valid = true;
@@ -632,6 +666,21 @@ impl IncrementalReasoner {
                     fresh.push((i, answers));
                 }
             }
+        }
+        // Flush planner counters from the sequential scratch reasoner (the
+        // delta lane flushes its own inside `delta_process`; pooled workers
+        // keep their plan caches on their threads and are not aggregated).
+        if let Some((replans, reordered, generation)) =
+            self.sequential.first().and_then(SingleReasoner::planner_counters)
+        {
+            use std::sync::atomic::Ordering;
+            let c = self.cache.counters();
+            c.planner_enabled.store(true, Ordering::Relaxed);
+            c.planner_replans.fetch_add(replans - self.scratch_reported.0, Ordering::Relaxed);
+            c.planner_plans_reordered
+                .fetch_add(reordered - self.scratch_reported.1, Ordering::Relaxed);
+            c.planner_generation.fetch_max(generation, Ordering::Relaxed);
+            self.scratch_reported = (replans, reordered);
         }
 
         for (i, answers) in fresh {

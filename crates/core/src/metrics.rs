@@ -5,7 +5,7 @@
 //! ([`crate::incremental`]).
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A duration in fractional milliseconds (the unit of every figure).
@@ -104,6 +104,16 @@ pub struct CacheCounters {
     /// partition content (no delta attached, broken chain, or an
     /// incremental apply that bailed out).
     pub delta_regrounds: AtomicU64,
+    /// True when cost-based join planning ran on any lane (the planner
+    /// counters below are only meaningful — and only reported — then).
+    pub planner_enabled: AtomicBool,
+    /// Plan rebuilds by the cost-based planner, summed across lanes.
+    pub planner_replans: AtomicU64,
+    /// Rebuilt plans whose join order differs from the syntactic
+    /// heuristic's, summed across lanes.
+    pub planner_plans_reordered: AtomicU64,
+    /// Latest observed relation-statistics generation (max across lanes).
+    pub planner_generation: AtomicU64,
 }
 
 impl CacheCounters {
@@ -119,6 +129,10 @@ impl CacheCounters {
             dirty_partition_ratio: if total > 0 { misses as f64 / total as f64 } else { 0.0 },
             delta_applies: self.delta_applies.load(Ordering::Relaxed),
             delta_regrounds: self.delta_regrounds.load(Ordering::Relaxed),
+            cost_planning: self.planner_enabled.load(Ordering::Relaxed),
+            planner_replans: self.planner_replans.load(Ordering::Relaxed),
+            planner_plans_reordered: self.planner_plans_reordered.load(Ordering::Relaxed),
+            planner_generation: self.planner_generation.load(Ordering::Relaxed),
         }
     }
 }
@@ -140,16 +154,35 @@ pub struct IncrementalSnapshot {
     pub delta_applies: u64,
     /// Dirty partitions the delta grounder rebuilt from scratch.
     pub delta_regrounds: u64,
+    /// True when cost-based join planning was active; the `planner_*`
+    /// fields are rendered into JSON only in that case (never fabricated
+    /// for runs where the planner didn't exist).
+    pub cost_planning: bool,
+    /// Plan rebuilds by the cost-based planner.
+    pub planner_replans: u64,
+    /// Rebuilt plans whose join order differs from the syntactic choice.
+    pub planner_plans_reordered: u64,
+    /// Relation-statistics generation (max across lanes).
+    pub planner_generation: u64,
 }
 
 impl IncrementalSnapshot {
     /// Renders the snapshot as a JSON object (hand-rolled, as for
     /// [`LatencyStats::to_json`]).
     pub fn to_json(&self) -> String {
+        let planner = if self.cost_planning {
+            format!(
+                ", \"planner_replans\": {}, \"planner_plans_reordered\": {}, \
+                 \"planner_generation\": {}",
+                self.planner_replans, self.planner_plans_reordered, self.planner_generation
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
              \"dirty_partition_ratio\": {:.4}, \"delta_applies\": {}, \
-             \"delta_regrounds\": {}}}",
+             \"delta_regrounds\": {}{planner}}}",
             self.hits,
             self.misses,
             self.evictions,
@@ -319,5 +352,25 @@ mod tests {
         assert_eq!(s.dirty_partition_ratio, 0.25);
         let json = s.to_json();
         assert!(json.contains("\"dirty_partition_ratio\": 0.2500"), "{json}");
+    }
+
+    #[test]
+    fn planner_counters_render_only_when_cost_planning_ran() {
+        let c = CacheCounters::default();
+        let json = c.snapshot().to_json();
+        assert!(
+            !json.contains("planner_"),
+            "planner fields must be omitted, never fabricated: {json}"
+        );
+        c.planner_enabled.store(true, Ordering::Relaxed);
+        c.planner_replans.fetch_add(2, Ordering::Relaxed);
+        c.planner_plans_reordered.fetch_add(5, Ordering::Relaxed);
+        c.planner_generation.store(7, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert!(s.cost_planning);
+        let json = s.to_json();
+        assert!(json.contains("\"planner_replans\": 2"), "{json}");
+        assert!(json.contains("\"planner_plans_reordered\": 5"), "{json}");
+        assert!(json.contains("\"planner_generation\": 7"), "{json}");
     }
 }

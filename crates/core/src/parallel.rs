@@ -56,12 +56,13 @@ impl PoolRegistry {
     }
 
     /// The pool key: symbol store identity x program fingerprint x input
-    /// signature x solver cap.
+    /// signature x solver cap x planning mode.
     fn key(
         syms: &Symbols,
         program: &Program,
         inpre: Option<&[Predicate]>,
         solver: &SolverConfig,
+        cost_planning: bool,
     ) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -75,6 +76,9 @@ impl PoolRegistry {
             }
         }
         solver.max_models.hash(&mut h);
+        // Workers bake the planning mode into their grounders at build
+        // time, so pools with and without cost planning must not mix.
+        cost_planning.hash(&mut h);
         h.finish()
     }
 
@@ -87,15 +91,16 @@ impl PoolRegistry {
         inpre: Option<&[Predicate]>,
         solver: &SolverConfig,
         workers: usize,
+        cost_planning: bool,
     ) -> Result<Arc<ReasonerPool>, AspError> {
-        let key = Self::key(syms, program, inpre, solver);
+        let key = Self::key(syms, program, inpre, solver, cost_planning);
         let mut pools = self.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(pool) = pools.get(&key) {
             if pool.workers() >= workers.max(1) {
                 return Ok(Arc::clone(pool));
             }
         }
-        let pool = Arc::new(reasoner_pool(syms, program, inpre, solver, workers)?);
+        let pool = Arc::new(reasoner_pool(syms, program, inpre, solver, workers, cost_planning)?);
         self.built.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         pools.insert(key, Arc::clone(&pool));
         Ok(pool)
@@ -129,12 +134,14 @@ pub fn reasoner_pool(
     inpre: Option<&[Predicate]>,
     solver: &SolverConfig,
     workers: usize,
+    cost_planning: bool,
 ) -> Result<ReasonerPool, AspError> {
     let mut fns: Vec<WorkerFn<Vec<Triple>, PartOutcome>> = Vec::with_capacity(workers.max(1));
     for _ in 0..workers.max(1) {
         // Build the reasoner up front so construction errors surface here,
         // not inside the worker thread.
         let mut reasoner = SingleReasoner::new(syms, program, inpre, solver.clone())?;
+        reasoner.set_cost_planning(cost_planning);
         fns.push(Box::new(move |_tag, items: Vec<Triple>| reasoner.process_items(&items)));
     }
     WorkerPool::new("pr-worker", fns)
@@ -167,13 +174,22 @@ impl ParallelReasoner {
         match config.mode {
             ParallelMode::Threads => {
                 let workers = if config.workers == 0 { n } else { config.workers };
-                let pool = Arc::new(reasoner_pool(syms, program, inpre, &solver, workers)?);
+                let pool = Arc::new(reasoner_pool(
+                    syms,
+                    program,
+                    inpre,
+                    &solver,
+                    workers,
+                    config.cost_planning,
+                )?);
                 Ok(Self::assemble(syms, partitioner, config, Some(pool), Vec::new()))
             }
             ParallelMode::Sequential => {
                 let mut sequential = Vec::with_capacity(n);
                 for _ in 0..n {
-                    sequential.push(SingleReasoner::new(syms, program, inpre, solver.clone())?);
+                    let mut r = SingleReasoner::new(syms, program, inpre, solver.clone())?;
+                    r.set_cost_planning(config.cost_planning);
+                    sequential.push(r);
                 }
                 Ok(Self::assemble(syms, partitioner, config, None, sequential))
             }
@@ -465,8 +481,9 @@ mod tests {
 
         let syms = Symbols::new();
         let program = parse_program(&syms, PROGRAM_P).unwrap();
-        let pool =
-            Arc::new(reasoner_pool(&syms, &program, None, &SolverConfig::default(), 2).unwrap());
+        let pool = Arc::new(
+            reasoner_pool(&syms, &program, None, &SolverConfig::default(), 2, false).unwrap(),
+        );
         let partitioner =
             Arc::new(PlanPartitioner::new(paper_plan(), UnknownPredicate::Partition0));
         let mut a = ParallelReasoner::with_pool(
@@ -495,21 +512,21 @@ mod tests {
         let solver = SolverConfig::default();
         let registry = PoolRegistry::new();
 
-        let p1 = registry.get_or_build(&syms, &program, None, &solver, 2).unwrap();
-        let p2 = registry.get_or_build(&syms, &program, None, &solver, 2).unwrap();
+        let p1 = registry.get_or_build(&syms, &program, None, &solver, 2, false).unwrap();
+        let p2 = registry.get_or_build(&syms, &program, None, &solver, 2, false).unwrap();
         assert!(Arc::ptr_eq(&p1, &p2), "same program + signature reuses the warm pool");
         assert_eq!(registry.pools_built(), 1);
         assert_eq!(registry.len(), 1);
 
         // A bigger request replaces the pool; smaller ones reuse it.
-        let p3 = registry.get_or_build(&syms, &program, None, &solver, 4).unwrap();
+        let p3 = registry.get_or_build(&syms, &program, None, &solver, 4, false).unwrap();
         assert!(!Arc::ptr_eq(&p1, &p3));
         assert_eq!(p3.workers(), 4);
-        let p4 = registry.get_or_build(&syms, &program, None, &solver, 1).unwrap();
+        let p4 = registry.get_or_build(&syms, &program, None, &solver, 1, false).unwrap();
         assert!(Arc::ptr_eq(&p3, &p4), "a larger warm pool serves smaller requests");
 
         // A different program gets its own pool; a different signature too.
-        let q1 = registry.get_or_build(&syms, &other, None, &solver, 2).unwrap();
+        let q1 = registry.get_or_build(&syms, &other, None, &solver, 2, false).unwrap();
         assert!(!Arc::ptr_eq(&p3, &q1));
         assert_eq!(registry.len(), 2);
 
@@ -517,12 +534,17 @@ mod tests {
         // its own pool: workers resolve Sym ids against their build store.
         let other_syms = Symbols::new();
         let same_text = parse_program(&other_syms, PROGRAM_P).unwrap();
-        let f1 = registry.get_or_build(&other_syms, &same_text, None, &solver, 2).unwrap();
+        let f1 = registry.get_or_build(&other_syms, &same_text, None, &solver, 2, false).unwrap();
         assert!(!Arc::ptr_eq(&p3, &f1), "store identity scopes the key");
         assert_eq!(registry.len(), 3);
         let inpre = program.edb_predicates();
-        let s1 = registry.get_or_build(&syms, &program, Some(&inpre), &solver, 2).unwrap();
+        let s1 = registry.get_or_build(&syms, &program, Some(&inpre), &solver, 2, false).unwrap();
         assert!(!Arc::ptr_eq(&p3, &s1), "explicit input signature scopes the key");
+
+        // Cost planning changes what the workers' grounders do, so it
+        // scopes the key too.
+        let c1 = registry.get_or_build(&syms, &program, None, &solver, 2, true).unwrap();
+        assert!(!Arc::ptr_eq(&p3, &c1), "planning mode scopes the key");
 
         // The reused pool still reasons correctly through two PRs.
         let partitioner =

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(&analysis.inpre),
         &SolverConfig::default(),
         partitioner.partitions() * in_flight,
+        false,
     )?);
     let mut engine =
         StreamEngine::new(EngineConfig { in_flight, queue_depth: in_flight }, |_lane| {

@@ -9,7 +9,7 @@
 //!                [--mode single|dep|random:K] [--in-flight L] [--rate R]
 //!                [--seed S] [--json out.json] [--trials T] [--events]
 //!                [--incremental] [--cache-size N] [--slide S] [--delta-ground]
-//!                [--tenants N] [--dup-ratio R]
+//!                [--cost-planning] [--tenants N] [--dup-ratio R]
 //! ```
 //!
 //! `run` streams tuple windows — read from an N-Triples file or generated
@@ -27,6 +27,10 @@
 //! `--incremental`) additionally maintains each dirty partition's grounding
 //! across windows, applying the partition-scoped window delta instead of
 //! re-grounding from scratch (dependency-partitioned modes only).
+//! `--cost-planning` orders rule-body joins by estimated cost from live
+//! relation statistics instead of the syntactic heuristic (any mode; with
+//! `--delta-ground` it also replans the maintained grounder's seeded
+//! plans when cardinalities drift). Answers are identical either way.
 //! `--tenants N` serves the program to `N` tenants through the
 //! multi-tenant scheduler (`sr-core::MultiTenantEngine`): `--dup-ratio R`
 //! (default 1.0) controls how many tenants run the program verbatim and
@@ -72,7 +76,7 @@ const USAGE: &str = "usage:
   streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
                  [--in-flight L] [--rate R] [--seed S] [--json out.json] [--trials T] [--events]
                  [--incremental] [--cache-size N] [--slide S] [--delta-ground]
-                 [--tenants N] [--dup-ratio R]";
+                 [--cost-planning] [--tenants N] [--dup-ratio R]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -290,10 +294,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
              acyclic dependencies); falling back to cache-only incremental reuse"
         );
     }
+    // --cost-planning composes with every mode: it changes join evaluation
+    // order inside grounding, never the answers, so no flag-matrix
+    // restriction applies (unlike --incremental/--delta-ground above).
+    let cost_planning = has_flag(args, "--cost-planning");
     let reasoner_cfg = ReasonerConfig {
         incremental,
         cache_capacity: cache_size,
         delta_ground,
+        cost_planning,
         ..Default::default()
     };
 
@@ -463,13 +472,12 @@ fn build_reasoner(
     reasoner_cfg: &ReasonerConfig,
 ) -> Result<BuiltReasoner, String> {
     match mode.partitioner(analysis) {
-        None => Ok((
-            Box::new(
-                SingleReasoner::new(syms, program, None, SolverConfig::default())
-                    .map_err(|e| e.to_string())?,
-            ),
-            None,
-        )),
+        None => {
+            let mut reasoner = SingleReasoner::new(syms, program, None, SolverConfig::default())
+                .map_err(|e| e.to_string())?;
+            reasoner.set_cost_planning(reasoner_cfg.cost_planning);
+            Ok((Box::new(reasoner), None))
+        }
         Some(partitioner) if reasoner_cfg.incremental => {
             let reasoner = IncrementalReasoner::new(
                 syms,
@@ -615,6 +623,14 @@ fn print_cache_line(s: &IncrementalSnapshot) {
             s.delta_applies, s.delta_regrounds
         );
     }
+    // Only printed when the cost-based planner actually ran (counters are
+    // omitted, never fabricated, for syntactic-heuristic runs).
+    if s.cost_planning {
+        println!(
+            "join planning: {} replans, {} plans reordered, stats generation {}",
+            s.planner_replans, s.planner_plans_reordered, s.planner_generation
+        );
+    }
 }
 
 /// The pipelined path: `in_flight` engine lanes over a shared worker pool,
@@ -640,8 +656,9 @@ fn run_engine(
         let config = EngineConfig { in_flight, queue_depth: in_flight };
         match mode.partitioner(analysis) {
             None => StreamEngine::new(config, |_lane| {
-                Ok(Box::new(SingleReasoner::new(syms, program, None, SolverConfig::default())?)
-                    as Box<dyn Reasoner>)
+                let mut r = SingleReasoner::new(syms, program, None, SolverConfig::default())?;
+                r.set_cost_planning(reasoner_cfg.cost_planning);
+                Ok(Box::new(r) as Box<dyn Reasoner>)
             }),
             // Partitioned modes: all lanes share one worker pool sized so
             // each in-flight window can still fan out over its partitions

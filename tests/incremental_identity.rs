@@ -108,6 +108,70 @@ fn assert_identical_with(
     Ok(())
 }
 
+/// Cost-based join planning must never change a byte: the planner-on
+/// reasoners (full recompute *and* incremental, with or without delta
+/// grounding) against the planner-off full recompute reference, window by
+/// window.
+fn assert_planner_identity(
+    source: &str,
+    partitioner_of: impl Fn(&DependencyAnalysis) -> Arc<dyn Partitioner>,
+    windows: &[Window],
+    capacity: usize,
+    delta_ground: bool,
+) -> Result<(), TestCaseError> {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, source).unwrap();
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+    let partitioner = partitioner_of(&analysis);
+    let base_cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
+    let mut reference = ParallelReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        base_cfg.clone(),
+    )
+    .unwrap();
+    let mut planned_full = ParallelReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig { cost_planning: true, ..base_cfg.clone() },
+    )
+    .unwrap();
+    let mut planned_inc = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner,
+        ReasonerConfig {
+            incremental: true,
+            cache_capacity: capacity,
+            delta_ground,
+            cost_planning: true,
+            ..base_cfg
+        },
+    )
+    .unwrap();
+    for window in windows {
+        let expected = render(&syms, &reference.process(window).unwrap());
+        let full = render(&syms, &planned_full.process(window).unwrap());
+        prop_assert_eq!(&expected, &full, "planner-on full recompute diverged at {}", window.id);
+        let inc = render(&syms, &planned_inc.process(window).unwrap());
+        prop_assert_eq!(
+            &expected,
+            &inc,
+            "planner-on incremental diverged at {} (capacity {}, delta {})",
+            window.id,
+            capacity,
+            delta_ground
+        );
+    }
+    Ok(())
+}
+
 /// Deterministic (unique-answer-set) programs inside the delta-grounding
 /// fragment: what `ReasonerConfig::delta_ground` actually accelerates.
 const DELTA_PROGRAMS: [&str; 2] = [PROGRAM_P, LARGE_TRAFFIC];
@@ -122,6 +186,7 @@ fn assert_delta_grounder_identity(
     seed: u64,
     steps: usize,
     batch: usize,
+    cost_planning: bool,
 ) -> Result<(), TestCaseError> {
     use stream_reasoner::asp_grounder::{DeltaGrounder, Grounder};
     use stream_reasoner::asp_solver::solve_ground;
@@ -130,9 +195,12 @@ fn assert_delta_grounder_identity(
     let syms = Symbols::new();
     let program = parse_program(&syms, source).unwrap();
     let inpre = program.edb_predicates();
-    let grounder = std::sync::Arc::new(Grounder::new(&syms, &program).unwrap());
+    let mut planned = Grounder::new(&syms, &program).unwrap();
+    planned.set_cost_planning(cost_planning);
+    let grounder = std::sync::Arc::new(planned);
     prop_assert!(DeltaGrounder::supports(&grounder), "traffic programs are in the fragment");
-    let mut dg = DeltaGrounder::new(std::sync::Arc::clone(&grounder)).unwrap();
+    let mut dg =
+        DeltaGrounder::with_cost_planning(std::sync::Arc::clone(&grounder), cost_planning).unwrap();
 
     let mut format =
         FormatProcessor::new(&syms, &FormatConfig::from_input_signature(&syms, &inpre));
@@ -202,15 +270,73 @@ proptest! {
     /// Tentpole invariant: random add/retract sequences through the
     /// [`DeltaGrounder`] keep the maintained grounding semantically equal
     /// to from-scratch grounding, with answer sets byte-identical both
-    /// through the solver and through the direct stratified extraction.
+    /// through the solver and through the direct stratified extraction —
+    /// with cost-based planning of the seeded plans on or off.
     #[test]
     fn delta_grounder_matches_scratch_under_random_churn(
         program_idx in 0usize..2,
         seed in 0u64..1_000,
         steps in 2usize..6,
         batch in 5usize..40,
+        cost_planning: bool,
     ) {
-        assert_delta_grounder_identity(DELTA_PROGRAMS[program_idx], seed, steps, batch)?;
+        assert_delta_grounder_identity(
+            DELTA_PROGRAMS[program_idx], seed, steps, batch, cost_planning,
+        )?;
+    }
+
+    /// Cost-based join planning never changes output: planner-on full
+    /// recompute *and* planner-on incremental reasoning (delta grounding on
+    /// or off, so both the scratch plan cache and the maintained grounder's
+    /// seeded replan path are exercised) against the planner-off reference,
+    /// on churned sliding streams.
+    #[test]
+    fn cost_planning_is_byte_identical_end_to_end(
+        program_idx in 0usize..2,
+        size in 40usize..=100,
+        divisor_idx in 0usize..3,
+        fraction_idx in 0usize..3,
+        delta_ground: bool,
+        capacity in prop_oneof![Just(0usize), Just(64)],
+        seed in 0u64..1_000,
+    ) {
+        let slide = (size / [2, 4, 8][divisor_idx]).max(1);
+        let fraction = [0.0, 0.5, 1.0][fraction_idx];
+        let inner = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+        let mut churn = ChurnStream::new(inner, size, slide, fraction, seed ^ 0x91a);
+        let windows = churn.windows(4);
+        let source = DELTA_PROGRAMS[program_idx].to_string();
+        assert_planner_identity(
+            &source,
+            |analysis| Arc::new(PlanPartitioner::new(
+                analysis.plan.clone(),
+                UnknownPredicate::Partition0,
+            )),
+            &windows,
+            capacity,
+            delta_ground,
+        )?;
+    }
+
+    /// The same planner-on/off cross-check under the random partitioner
+    /// (content reshuffled every window, delta grounding gated off).
+    #[test]
+    fn cost_planning_is_byte_identical_under_random_partitioner(
+        program_idx in 0usize..2,
+        k in 2usize..=4,
+        size in 40usize..=80,
+        seed in 0u64..1_000,
+    ) {
+        let slide = (size / 4).max(1);
+        let windows = sliding_windows(GeneratorKind::CorrelatedSparse, seed, size, slide, 3);
+        let source = DELTA_PROGRAMS[program_idx].to_string();
+        assert_planner_identity(
+            &source,
+            |_| Arc::new(RandomPartitioner::new(k, seed ^ 0xbeef)),
+            &windows,
+            64,
+            true,
+        )?;
     }
 
     /// End-to-end: the delta-grounding incremental reasoner is byte-
