@@ -399,6 +399,7 @@ impl DeltaGrounder {
         }
         self.planned_gen = generation;
         self.replans += 1;
+        let _span = sr_obs::span(sr_obs::Stage::Plan);
         let grounder = Arc::clone(&self.grounder);
         let mut seeded: FastMap<Predicate, Vec<SeededPlan>> = FastMap::default();
         let mut reordered = 0u64;

@@ -261,6 +261,7 @@ impl Grounder {
         if let Some(cache) = guard.as_deref_mut() {
             cache.stats.rebase(facts);
             if cache.planned_gen != Some(cache.stats.generation()) {
+                let _span = sr_obs::span(sr_obs::Stage::Plan);
                 self.replan(cache);
             }
         }

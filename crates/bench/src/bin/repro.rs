@@ -13,10 +13,11 @@
 
 use sr_bench::{
     csv, delta_grounding_json, incremental_json, join_planning_json, multi_tenant_json,
-    program_p_prime, run, run_delta_grounding, run_incremental, run_join_planning,
-    run_multi_tenant, run_throughput, table, throughput_json, DeltaGroundingConfig,
-    ExperimentConfig, ExperimentResult, IncrementalConfig, JoinPlanningConfig, Measure,
-    MultiTenantConfig, Series, ThroughputConfig, PROGRAM_P,
+    observability_json, program_p_prime, run, run_delta_grounding, run_incremental,
+    run_join_planning, run_multi_tenant, run_observability, run_throughput, table, throughput_json,
+    DeltaGroundingConfig, ExperimentConfig, ExperimentResult, IncrementalConfig,
+    JoinPlanningConfig, Measure, MultiTenantConfig, ObservabilityConfig, Series, ThroughputConfig,
+    PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
@@ -25,7 +26,7 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant|observability] [--quick]
        repro check <BENCH_*.json>...
        repro --smoke
        repro --help
@@ -51,11 +52,17 @@ usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|d
   multi-tenant tenant count x duplicate-ratio sweep: one shared
                MultiTenantEngine vs N independent pipelines
                (writes results/BENCH_multi_tenant.json)
+  observability
+               engine throughput with sr-obs tracing + a scraped metrics
+               registry fully on vs fully off: byte-identity both sides and
+               the instrumentation overhead fraction
+               (writes results/BENCH_observability.json)
   check        regression-gate one or more BENCH_*.json records: exit 1 when
-               any output-identity flag is false or the record's headline
+               any output-identity flag is false, the record's headline
                speedup (speedup_at_eighth / best_speedup_windows_per_sec /
                shared_work_speedup_at_dup1 / planner_speedup) fell below
-               1.0 — the CI bench-gate step
+               1.0, or the observability record's obs_overhead_fraction
+               exceeded 0.05 — the CI bench-gate step
   --quick      small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke      seconds-fast end-to-end pipeline check, no files written
 ";
@@ -142,6 +149,43 @@ fn main() {
     if matches!(what, "all" | "multi-tenant") {
         multi_tenant(quick);
     }
+    if matches!(what, "all" | "observability") {
+        observability(quick);
+    }
+}
+
+/// The observability overhead run: the engine throughput workload with
+/// sr-obs fully on (tracer live, registry scraped) vs fully off, recorded
+/// as `results/BENCH_observability.json`.
+fn observability(quick: bool) {
+    println!("\n== Observability: tracing + scraped metrics registry on vs off ==");
+    let cfg = if quick {
+        ObservabilityConfig::quick(PROGRAM_P)
+    } else {
+        ObservabilityConfig::paper(PROGRAM_P)
+    };
+    let result = run_observability(&cfg).expect("observability run");
+    println!(
+        "  {} windows x {} items, {} in flight, best of {} trial(s) per side",
+        result.windows, result.window_size, result.in_flight, result.trials
+    );
+    println!(
+        "  off: {:.2} windows/s (p50 {:.2} ms) — identical: {}",
+        result.off.windows_per_sec, result.off.latency.p50_ms, result.off_output_identical
+    );
+    println!(
+        "  on:  {:.2} windows/s (p50 {:.2} ms) — identical: {}, {} spans / {} stages, {} scrape bytes",
+        result.on.windows_per_sec,
+        result.on.latency.p50_ms,
+        result.on_output_identical,
+        result.spans_recorded,
+        result.stages_covered,
+        result.scrape_bytes
+    );
+    println!("  overhead fraction: {:.4}", result.overhead_fraction());
+    let path = "results/BENCH_observability.json";
+    std::fs::write(Path::new(path), observability_json(&result)).expect("write observability json");
+    println!("[json written to {path}]");
 }
 
 /// The join-planning sweep (beyond the paper): cost-based join ordering in

@@ -11,6 +11,7 @@ pub mod gate;
 pub mod incremental;
 pub mod join_planning;
 pub mod multi_tenant;
+pub mod observability;
 pub mod programs;
 pub mod report;
 pub mod throughput;
@@ -30,6 +31,9 @@ pub use join_planning::{
 };
 pub use multi_tenant::{
     multi_tenant_json, run_multi_tenant, MultiTenantConfig, MultiTenantResult, MultiTenantRun,
+};
+pub use observability::{
+    observability_json, run_observability, ObservabilityConfig, ObservabilityResult,
 };
 pub use programs::{program_p_prime, PROGRAM_P, RULE_R7};
 pub use report::{csv, table, Measure};

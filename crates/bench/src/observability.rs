@@ -1,0 +1,329 @@
+//! Observability overhead experiment: the pipelined [`StreamEngine`]
+//! throughput workload run twice — once with sr-obs tracing disabled and no
+//! registry bound (the hot-path default), once with the global tracer
+//! enabled and every engine metric registered and scraped — to measure what
+//! the instrumentation costs and to prove it never changes engine output.
+//! Emits `BENCH_observability.json` via [`observability_json`]; its headline
+//! `obs_overhead_fraction` is gated **from above** (≤ 0.05) by
+//! `repro check`, unlike every other record's speedup gated from below.
+
+use crate::throughput::{outputs_match, sequential_baseline};
+use asp_core::{AspError, Symbols};
+use sr_core::{
+    AnalysisConfig, DependencyAnalysis, EngineConfig, EngineStats, ParallelReasoner,
+    PlanPartitioner, ReasonerConfig, StreamEngine, UnknownPredicate,
+};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Observability overhead experiment definition.
+#[derive(Clone, Debug)]
+pub struct ObservabilityConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Workload generator mode.
+    pub generator: GeneratorKind,
+    /// Items per window.
+    pub window_size: usize,
+    /// Number of windows streamed end to end per trial.
+    pub windows: usize,
+    /// Windows in flight (engine lanes) — fixed, not swept: the experiment
+    /// varies instrumentation, not parallelism.
+    pub in_flight: usize,
+    /// Trials per side; each side reports its best (highest windows/s)
+    /// trial so scheduler noise doesn't masquerade as tracing overhead.
+    pub trials: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ObservabilityConfig {
+    /// The default measurement: 16 windows of 2,000 items, 2 in flight,
+    /// best of 3 trials per side.
+    pub fn paper(program: &str) -> Self {
+        ObservabilityConfig {
+            program: program.to_string(),
+            generator: GeneratorKind::CorrelatedSparse,
+            window_size: 2_000,
+            windows: 16,
+            in_flight: 2,
+            trials: 3,
+            seed: 2017,
+        }
+    }
+
+    /// A smoke-test run for CI / `--quick`.
+    pub fn quick(program: &str) -> Self {
+        ObservabilityConfig { window_size: 400, windows: 8, ..Self::paper(program) }
+    }
+}
+
+/// Result of the observability overhead experiment.
+#[derive(Clone, Debug)]
+pub struct ObservabilityResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Windows streamed per trial.
+    pub windows: usize,
+    /// Windows in flight.
+    pub in_flight: usize,
+    /// Trials per side.
+    pub trials: usize,
+    /// Best trial with tracing disabled and no registry bound.
+    pub off: EngineStats,
+    /// Best trial with the tracer enabled and the engine registered into a
+    /// scraped [`sr_obs::MetricsRegistry`].
+    pub on: EngineStats,
+    /// Spans drained from the global tracer across the instrumented trials.
+    pub spans_recorded: u64,
+    /// Distinct lifecycle stages observed among those spans.
+    pub stages_covered: usize,
+    /// Bytes of the final Prometheus exposition scrape.
+    pub scrape_bytes: usize,
+    /// Every obs-off trial rendered byte-identically to the sequential
+    /// baseline.
+    pub off_output_identical: bool,
+    /// Every obs-on trial rendered byte-identically to the sequential
+    /// baseline.
+    pub on_output_identical: bool,
+}
+
+impl ObservabilityResult {
+    /// All trials on both sides rendered byte-identically to the baseline —
+    /// instrumentation never changed engine output.
+    pub fn output_identical_all(&self) -> bool {
+        self.off_output_identical && self.on_output_identical
+    }
+
+    /// Relative throughput cost of full instrumentation:
+    /// `max(0, off_wps / on_wps - 1)` over each side's best trial. `0.0`
+    /// when the instrumented side was at least as fast (noise floor).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.on.windows_per_sec <= 0.0 {
+            return 0.0;
+        }
+        (self.off.windows_per_sec / self.on.windows_per_sec - 1.0).max(0.0)
+    }
+}
+
+/// One engine pass over the pre-generated windows, returning the run's
+/// statistics and whether its ordered output matched the baseline.
+#[allow(clippy::too_many_arguments)]
+fn engine_trial(
+    syms: &Symbols,
+    program: &asp_core::Program,
+    analysis: &DependencyAnalysis,
+    partitioner: &Arc<dyn sr_core::Partitioner>,
+    config: &ObservabilityConfig,
+    windows: &[Window],
+    baseline_rendered: &[String],
+    registry: Option<&sr_obs::MetricsRegistry>,
+) -> Result<(EngineStats, bool), AspError> {
+    let mut engine = StreamEngine::with_partitioned_lanes(
+        syms,
+        program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig::default(),
+        EngineConfig { in_flight: config.in_flight, queue_depth: config.in_flight },
+    )?;
+    if let Some(registry) = registry {
+        engine.register_metrics(registry);
+    }
+    for window in windows {
+        engine.submit(window.clone())?;
+    }
+    let report = engine.finish();
+    let identical = outputs_match(syms, &report.outputs, baseline_rendered);
+    Ok((report.stats, identical))
+}
+
+/// Runs the experiment: a sequential reference pass for the identity oracle,
+/// then `trials` engine passes with observability fully off and `trials`
+/// with the tracer live and the registry scraped. The global tracer is
+/// restored to disabled (and drained) before returning.
+pub fn run_observability(config: &ObservabilityConfig) -> Result<ObservabilityResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+
+    // The whole stream is pre-generated so every trial sees identical
+    // windows, making byte-identity across instrumentation meaningful.
+    let mut generator = paper_generator(config.generator, config.seed);
+    let windows: Vec<Window> = (0..config.windows)
+        .map(|i| Window::new(i as u64, generator.window(config.window_size)))
+        .collect();
+
+    // Identity oracle: the strictly sequential PR_Dep pass.
+    let mut baseline_reasoner = ParallelReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig::default(),
+    )?;
+    let (_, baseline_rendered) = sequential_baseline(&syms, &mut baseline_reasoner, &windows)?;
+
+    let trials = config.trials.max(1);
+    let best = |a: EngineStats, b: EngineStats| {
+        if b.windows_per_sec > a.windows_per_sec {
+            b
+        } else {
+            a
+        }
+    };
+
+    // Off side: make the default state explicit so a prior crash mid-run
+    // can't leak an enabled tracer into the "uninstrumented" trials.
+    sr_obs::tracer().set_enabled(false);
+    sr_obs::tracer().drain();
+    let mut off: Option<EngineStats> = None;
+    let mut off_output_identical = true;
+    for _ in 0..trials {
+        let (stats, identical) = engine_trial(
+            &syms,
+            &program,
+            &analysis,
+            &partitioner,
+            config,
+            &windows,
+            &baseline_rendered,
+            None,
+        )?;
+        off_output_identical &= identical;
+        off = Some(match off {
+            Some(prev) => best(prev, stats),
+            None => stats,
+        });
+    }
+
+    // On side: global tracer live, every engine metric registered, and the
+    // registry scraped after each trial exactly as the HTTP endpoint would.
+    sr_obs::tracer().set_enabled(true);
+    let mut on: Option<EngineStats> = None;
+    let mut on_output_identical = true;
+    let mut spans_recorded = 0u64;
+    let mut stages = BTreeSet::new();
+    let mut scrape_bytes = 0usize;
+    for _ in 0..trials {
+        let registry = sr_obs::MetricsRegistry::new();
+        let (stats, identical) = engine_trial(
+            &syms,
+            &program,
+            &analysis,
+            &partitioner,
+            config,
+            &windows,
+            &baseline_rendered,
+            Some(&registry),
+        )?;
+        scrape_bytes = registry.render_prometheus().len();
+        for span in sr_obs::tracer().drain() {
+            spans_recorded += 1;
+            stages.insert(span.stage.name());
+        }
+        on_output_identical &= identical;
+        on = Some(match on {
+            Some(prev) => best(prev, stats),
+            None => stats,
+        });
+    }
+    sr_obs::tracer().set_enabled(false);
+    sr_obs::tracer().drain();
+
+    Ok(ObservabilityResult {
+        window_size: config.window_size,
+        windows: config.windows,
+        in_flight: config.in_flight,
+        trials,
+        off: off.expect("at least one off trial"),
+        on: on.expect("at least one on trial"),
+        spans_recorded,
+        stages_covered: stages.len(),
+        scrape_bytes,
+        off_output_identical,
+        on_output_identical,
+    })
+}
+
+/// Renders the result as the `BENCH_observability.json` document.
+pub fn observability_json(result: &ObservabilityResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"in_flight\": {},", result.in_flight);
+    let _ = writeln!(out, "  \"trials\": {},", result.trials);
+    let _ = writeln!(out, "  \"off\": {},", result.off.to_json());
+    let _ = writeln!(out, "  \"on\": {},", result.on.to_json());
+    let _ = writeln!(out, "  \"spans_recorded\": {},", result.spans_recorded);
+    let _ = writeln!(out, "  \"stages_covered\": {},", result.stages_covered);
+    let _ = writeln!(out, "  \"scrape_bytes\": {},", result.scrape_bytes);
+    let _ = writeln!(out, "  \"off_output_identical\": {},", result.off_output_identical);
+    let _ = writeln!(out, "  \"on_output_identical\": {},", result.on_output_identical);
+    let _ = writeln!(out, "  \"output_identical_all\": {},", result.output_identical_all());
+    let _ = writeln!(out, "  \"obs_overhead_fraction\": {:.4}", result.overhead_fraction());
+    out.push_str("}\n");
+    out
+}
+
+/// The experiment toggles the process-global tracer; every test that runs
+/// it (here and in `gate`) must hold this lock so concurrent tests can't
+/// disable each other's instrumented passes.
+#[cfg(test)]
+pub(crate) static TRACER_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::PROGRAM_P;
+
+    fn tiny() -> ObservabilityConfig {
+        ObservabilityConfig {
+            window_size: 150,
+            windows: 3,
+            trials: 1,
+            ..ObservabilityConfig::quick(PROGRAM_P)
+        }
+    }
+
+    #[test]
+    fn instrumentation_never_changes_engine_output() {
+        let _guard = TRACER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = run_observability(&tiny()).unwrap();
+        assert!(result.off_output_identical, "obs-off trial diverged from baseline");
+        assert!(result.on_output_identical, "obs-on trial diverged from baseline");
+        assert!(result.output_identical_all());
+        assert!(result.spans_recorded > 0, "instrumented trials recorded no spans");
+        assert!(result.stages_covered >= 3, "expected window/stage coverage in the trace");
+        assert!(result.scrape_bytes > 0, "registry scrape was empty");
+        assert!(!sr_obs::tracer().is_enabled(), "tracer restored to disabled");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let _guard = TRACER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = run_observability(&tiny()).unwrap();
+        let json = observability_json(&result);
+        assert!(json.contains("\"off\":"));
+        assert!(json.contains("\"on\":"));
+        assert!(json.contains("\"output_identical_all\": true"));
+        assert!(json.contains("\"obs_overhead_fraction\":"));
+        assert!(json.contains("\"spans_recorded\":"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn overhead_fraction_clamps_at_zero() {
+        let _guard = TRACER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut result = run_observability(&tiny()).unwrap();
+        result.off.windows_per_sec = 10.0;
+        result.on.windows_per_sec = 20.0;
+        assert_eq!(result.overhead_fraction(), 0.0, "faster-when-on clamps to zero");
+        result.on.windows_per_sec = 8.0;
+        assert!((result.overhead_fraction() - 0.25).abs() < 1e-12);
+    }
+}

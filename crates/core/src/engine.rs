@@ -205,7 +205,6 @@ impl OccupancyAcc {
 
 #[derive(Default)]
 struct StatsAcc {
-    latencies_ms: Vec<f64>,
     windows: u64,
     errors: u64,
     items: u64,
@@ -219,6 +218,10 @@ pub struct StreamEngine {
     lanes: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
     stats: Arc<Mutex<StatsAcc>>,
+    /// Per-window latency distribution (milliseconds), recorded by the
+    /// collector. Constant memory regardless of run length, mergeable, and
+    /// shareable with a [`sr_obs::MetricsRegistry`] for live scraping.
+    latency_hist: Arc<sr_obs::Histogram>,
     submitted: u64,
     started: Option<Instant>,
     /// Cumulative time `submit` spent blocked on backpressure.
@@ -268,11 +271,22 @@ impl StreamEngine {
                     let Ok((seq, window)) = next else { return };
                     occ.queued.fetch_sub(1, Ordering::Relaxed);
                     let t0 = Instant::now();
-                    let result =
+                    let result = {
+                        // Attribute everything the backend does — including
+                        // pool-worker jobs it fans out — to this window/lane.
+                        let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+                            sr_obs::ctx_scope(sr_obs::TraceCtx {
+                                window_id: window.id,
+                                lane: Some(i as u32),
+                                ..sr_obs::current_ctx()
+                            })
+                        });
+                        let _span = sr_obs::span(sr_obs::Stage::Window);
                         std::panic::catch_unwind(AssertUnwindSafe(|| reasoner.process(&window)))
                             .unwrap_or_else(|_| {
                                 Err(AspError::Internal("engine lane reasoner panicked".into()))
-                            });
+                            })
+                    };
                     let latency = t0.elapsed();
                     occ.busy_ns[i].fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
                     occ.lane_windows[i].fetch_add(1, Ordering::Relaxed);
@@ -295,23 +309,32 @@ impl StreamEngine {
         // The collector reorders lane results by submission sequence and
         // emits them in order, accumulating throughput stats as it goes.
         let stats_acc = Arc::clone(&stats);
+        let latency_hist = Arc::new(sr_obs::Histogram::new());
+        let hist = Arc::clone(&latency_hist);
         let collector = std::thread::Builder::new()
             .name("engine-collector".into())
             .spawn(move || {
                 let mut pending: BTreeMap<u64, EngineOutput> = BTreeMap::new();
                 let mut next_seq = 0u64;
                 while let Ok(LaneResult { seq, output }) = result_rx.recv() {
+                    hist.record(duration_ms(output.latency));
                     {
                         let mut acc = stats_acc.lock().unwrap_or_else(PoisonError::into_inner);
                         acc.windows += 1;
                         acc.items += output.items as u64;
                         acc.errors += u64::from(output.result.is_err());
-                        acc.latencies_ms.push(duration_ms(output.latency));
                         acc.last_done = Some(Instant::now());
                     }
                     pending.insert(seq, output);
                     while let Some(ready) = pending.remove(&next_seq) {
                         next_seq += 1;
+                        let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+                            sr_obs::ctx_scope(sr_obs::TraceCtx {
+                                window_id: ready.window_id,
+                                ..sr_obs::current_ctx()
+                            })
+                        });
+                        let _span = sr_obs::span(sr_obs::Stage::Emit);
                         // The consumer may have stopped listening; keep
                         // draining so lanes never block on a full channel.
                         let _ = output_tx.send(ready);
@@ -326,6 +349,7 @@ impl StreamEngine {
             lanes,
             collector: Some(collector),
             stats,
+            latency_hist,
             submitted: 0,
             started: None,
             blocked: Duration::ZERO,
@@ -391,6 +415,58 @@ impl StreamEngine {
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Binds this engine's live state to `registry` so a Prometheus scrape
+    /// sees it mid-run: window/error/item totals, the per-window latency
+    /// histogram, queue occupancy and per-lane busy time. Collector
+    /// closures capture `Arc`s, so the bindings stay valid (frozen at their
+    /// final values) after [`StreamEngine::finish`]. When the lanes run
+    /// incrementally the shared partition cache is registered too.
+    pub fn register_metrics(&self, registry: &sr_obs::MetricsRegistry) {
+        let stats = Arc::clone(&self.stats);
+        registry.register_counter_fn("sr_engine_windows_total", &[], move || {
+            stats.lock().unwrap_or_else(PoisonError::into_inner).windows
+        });
+        let stats = Arc::clone(&self.stats);
+        registry.register_counter_fn("sr_engine_errors_total", &[], move || {
+            stats.lock().unwrap_or_else(PoisonError::into_inner).errors
+        });
+        let stats = Arc::clone(&self.stats);
+        registry.register_counter_fn("sr_engine_items_total", &[], move || {
+            stats.lock().unwrap_or_else(PoisonError::into_inner).items
+        });
+        registry.register_histogram(
+            "sr_engine_window_latency_ms",
+            &[],
+            Arc::clone(&self.latency_hist),
+        );
+        let occ = Arc::clone(&self.occupancy);
+        registry.register_gauge_fn("sr_engine_queue_depth", &[], move || {
+            occ.queued.load(std::sync::atomic::Ordering::Relaxed) as f64
+        });
+        let occ = Arc::clone(&self.occupancy);
+        registry.register_gauge_fn("sr_engine_queue_high_water", &[], move || {
+            occ.queue_high_water.load(std::sync::atomic::Ordering::Relaxed) as f64
+        });
+        for lane in 0..self.occupancy.busy_ns.len() {
+            let occ = Arc::clone(&self.occupancy);
+            let label = lane.to_string();
+            registry.register_counter_fn(
+                "sr_engine_lane_busy_ms_total",
+                &[("lane", &label)],
+                move || occ.busy_ns[lane].load(std::sync::atomic::Ordering::Relaxed) / 1_000_000,
+            );
+            let occ = Arc::clone(&self.occupancy);
+            registry.register_counter_fn(
+                "sr_engine_lane_windows_total",
+                &[("lane", &label)],
+                move || occ.lane_windows[lane].load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+        if let Some(cache) = &self.cache {
+            cache.register_metrics(registry);
+        }
     }
 
     /// Windows submitted so far.
@@ -548,7 +624,7 @@ impl StreamEngine {
                 .occupancy
                 .queue_high_water
                 .load(std::sync::atomic::Ordering::Relaxed),
-            latency: LatencyStats::from_samples(&acc.latencies_ms),
+            latency: LatencyStats::from_histogram(&self.latency_hist),
             tenants: Vec::new(),
             dedup: None,
         };
@@ -783,6 +859,120 @@ mod tests {
         let report = engine.finish();
         assert_eq!(report.stats.windows, 1);
         assert_eq!(report.outputs[0].items, 1);
+    }
+
+    #[test]
+    fn registered_metrics_reflect_the_run_even_after_finish() {
+        let registry = sr_obs::MetricsRegistry::new();
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 2 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(1, None)).unwrap();
+        engine.register_metrics(&registry);
+        for w in windows(5) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.stats.latency.count, 5);
+        // The collectors captured Arcs, so the scrape still works after the
+        // engine is gone — frozen at the run's final values.
+        let text = registry.render_prometheus();
+        assert!(text.contains("sr_engine_windows_total 5"), "{text}");
+        assert!(text.contains("sr_engine_errors_total 0"), "{text}");
+        assert!(text.contains("sr_engine_window_latency_ms_count 5"), "{text}");
+        assert!(text.contains("sr_engine_lane_windows_total{lane=\"0\"}"), "{text}");
+        assert!(text.contains("sr_engine_lane_windows_total{lane=\"1\"}"), "{text}");
+        assert!(text.contains("# TYPE sr_engine_window_latency_ms histogram"), "{text}");
+    }
+
+    #[test]
+    fn histogram_backed_latency_summary_matches_the_run() {
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 1 };
+        let mut engine = StreamEngine::new(cfg, fake_factory(2, None)).unwrap();
+        for w in windows(4) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        let lat = &report.stats.latency;
+        assert_eq!(lat.count, 4);
+        assert!(lat.min_ms > 0.0, "sleeping reasoner took time");
+        assert!(lat.min_ms <= lat.p50_ms && lat.p50_ms <= lat.max_ms, "{lat:?}");
+        assert!(lat.p50_ms <= lat.p95_ms && lat.p95_ms <= lat.p99_ms, "{lat:?}");
+        assert!(lat.p99_ms <= lat.max_ms, "extreme ranks are exact: {lat:?}");
+    }
+
+    #[test]
+    fn pool_worker_spans_nest_inside_the_lane_window_span() {
+        use crate::analysis::DependencyAnalysis;
+        use crate::config::AnalysisConfig;
+        use crate::partition::PlanPartitioner;
+        use asp_parser::parse_program;
+        use sr_rdf::Node;
+
+        // Unique window ids so spans from other tests sharing the global
+        // tracer can be filtered out.
+        const BASE: u64 = 9_770_000;
+        let syms = Symbols::new();
+        let program = parse_program(
+            &syms,
+            "jam(X) :- slow(X), busy(X), not light(X).\nfire(X) :- smoke(X), heat(X).",
+        )
+        .unwrap();
+        let analysis =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+        let partitioner: Arc<dyn Partitioner> = Arc::new(PlanPartitioner::new(
+            analysis.plan.clone(),
+            crate::config::UnknownPredicate::Partition0,
+        ));
+        let t = |s: &str, p: &str| sr_rdf::Triple::new(Node::iri(s), Node::iri(p), Node::Int(1));
+        let mut engine = StreamEngine::with_partitioned_lanes(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner,
+            ReasonerConfig::default(),
+            EngineConfig { in_flight: 2, queue_depth: 2 },
+        )
+        .unwrap();
+        sr_obs::tracer().set_enabled(true);
+        for id in BASE..BASE + 3 {
+            engine
+                .submit(Window::new(id, vec![t("a", "slow"), t("a", "busy"), t("b", "smoke")]))
+                .unwrap();
+        }
+        let report = engine.finish();
+        sr_obs::tracer().set_enabled(false);
+        assert_eq!(report.stats.errors, 0);
+        let spans: Vec<sr_obs::SpanRecord> = sr_obs::tracer()
+            .drain()
+            .into_iter()
+            .filter(|s| (BASE..BASE + 3).contains(&s.ctx.window_id))
+            .collect();
+        for id in BASE..BASE + 3 {
+            let window = spans
+                .iter()
+                .find(|s| s.stage == sr_obs::Stage::Window && s.ctx.window_id == id)
+                .expect("each window has a lane-level Window span");
+            assert!(window.ctx.lane.is_some(), "lane tag installed by the lane thread");
+            let workers: Vec<_> = spans
+                .iter()
+                .filter(|s| s.ctx.window_id == id && s.ctx.partition.is_some())
+                .collect();
+            assert!(!workers.is_empty(), "pool-worker spans attribute across the job boundary");
+            for s in &workers {
+                assert!(
+                    s.start_us + 2 >= window.start_us
+                        && s.start_us + s.dur_us <= window.start_us + window.dur_us + 2,
+                    "worker span {:?} must nest inside the window span {window:?}",
+                    s
+                );
+            }
+            // The fan-out stages all got recorded under the worker context.
+            for stage in [sr_obs::Stage::Windowing, sr_obs::Stage::Ground, sr_obs::Stage::Solve] {
+                assert!(
+                    workers.iter().any(|s| s.stage == stage),
+                    "stage {stage:?} traced inside pool workers"
+                );
+            }
+        }
     }
 
     #[test]

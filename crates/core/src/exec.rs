@@ -252,4 +252,47 @@ mod tests {
     fn zero_workers_is_an_error() {
         assert!(WorkerPool::<u64, u64>::new("none", vec![]).is_err());
     }
+
+    #[test]
+    fn pool_workers_update_shared_registry_metrics_concurrently() {
+        // Worker closures share one registry handle exactly the way the
+        // engine's lanes do: every update from every pool thread must land
+        // in one scrape, with the histogram count matching the job count.
+        use std::sync::atomic::Ordering;
+
+        let registry = Arc::new(sr_obs::MetricsRegistry::new());
+        let jobs_done = registry.counter("sr_test_jobs_total", &[]);
+        let payload_hist = registry.histogram("sr_test_payload", &[]);
+        let fns: Vec<WorkerFn<u64, u64>> = (0..4)
+            .map(|_| {
+                let jobs_done = Arc::clone(&jobs_done);
+                let payload_hist = Arc::clone(&payload_hist);
+                Box::new(move |_tag: JobTag, x: u64| {
+                    jobs_done.fetch_add(1, Ordering::Relaxed);
+                    payload_hist.record(x as f64);
+                    x
+                }) as _
+            })
+            .collect();
+        let pool = Arc::new(WorkerPool::new("metered", fns).unwrap());
+
+        let submitters: Vec<_> = (0..8u64)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    pool.submit(w, (0..16).map(|i| w * 16 + i).collect()).wait()
+                })
+            })
+            .collect();
+        for h in submitters {
+            assert!(h.join().unwrap().iter().all(Result::is_ok));
+        }
+
+        assert_eq!(jobs_done.load(Ordering::Relaxed), 8 * 16, "every job counted exactly once");
+        assert_eq!(payload_hist.count(), 8 * 16);
+        assert_eq!(payload_hist.min(), 0.0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("sr_test_jobs_total 128"), "{text}");
+        assert!(text.contains("sr_test_payload_count 128"), "{text}");
+    }
 }

@@ -158,6 +158,39 @@ impl PartitionCache {
         &self.counters
     }
 
+    /// Binds the live cache counters to `registry` as scrape-time collector
+    /// closures: the counters keep their `AtomicU64` field layout and the
+    /// hot path keeps its `fetch_add`s — nothing is double-counted and no
+    /// JSON snapshot shape changes. Planner metrics appear too (zero until
+    /// cost planning reports through the shared counters).
+    pub fn register_metrics(self: &Arc<Self>, registry: &sr_obs::MetricsRegistry) {
+        use std::sync::atomic::Ordering;
+        type CounterRead = fn(&CacheCounters) -> u64;
+        let counters: [(&str, CounterRead); 7] = [
+            ("sr_cache_hits_total", |c: &CacheCounters| c.hits.load(Ordering::Relaxed)),
+            ("sr_cache_misses_total", |c: &CacheCounters| c.misses.load(Ordering::Relaxed)),
+            ("sr_cache_evictions_total", |c: &CacheCounters| c.evictions.load(Ordering::Relaxed)),
+            ("sr_cache_delta_applies_total", |c: &CacheCounters| {
+                c.delta_applies.load(Ordering::Relaxed)
+            }),
+            ("sr_cache_delta_regrounds_total", |c: &CacheCounters| {
+                c.delta_regrounds.load(Ordering::Relaxed)
+            }),
+            ("sr_planner_replans_total", |c: &CacheCounters| {
+                c.planner_replans.load(Ordering::Relaxed)
+            }),
+            ("sr_planner_plans_reordered_total", |c: &CacheCounters| {
+                c.planner_plans_reordered.load(Ordering::Relaxed)
+            }),
+        ];
+        for (name, read) in counters {
+            let cache = Arc::clone(self);
+            registry.register_counter_fn(name, &[], move || read(cache.counters()));
+        }
+        let cache = Arc::clone(self);
+        registry.register_gauge_fn("sr_cache_entries", &[], move || cache.len() as f64);
+    }
+
     /// Looks up a partition result, counting a hit or miss.
     pub fn get(&self, program: u64, fingerprint: u128) -> Option<Arc<Vec<AnswerSet>>> {
         use std::sync::atomic::Ordering;
@@ -574,17 +607,28 @@ impl IncrementalReasoner {
         window: &Window,
         shared: Option<&DeltaProjections>,
     ) -> Result<ReasonerOutput, AspError> {
+        let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+            sr_obs::ctx_scope(sr_obs::TraceCtx { window_id: window.id, ..sr_obs::current_ctx() })
+        });
         let start = Instant::now();
         let t_part = Instant::now();
-        let mut parts = self.partitioner.partition(window);
-        let fingerprints: Vec<u128> = parts.iter().map(|p| fingerprint_items(p)).collect();
-        let partition_sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let (mut parts, fingerprints, partition_sizes) = {
+            let _span = sr_obs::span(sr_obs::Stage::Partition);
+            let parts = self.partitioner.partition(window);
+            let fingerprints: Vec<u128> = parts.iter().map(|p| fingerprint_items(p)).collect();
+            let partition_sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+            (parts, fingerprints, partition_sizes)
+        };
 
         // Clean partitions come straight from the cache; the rest are dirty.
-        let mut per_partition: Vec<Option<Arc<Vec<AnswerSet>>>> =
-            fingerprints.iter().map(|&fp| self.cache.get(self.program_id, fp)).collect();
-        let mut dirty: Vec<usize> =
-            (0..parts.len()).filter(|&i| per_partition[i].is_none()).collect();
+        let (mut per_partition, mut dirty) = {
+            let _span = sr_obs::span(sr_obs::Stage::CacheLookup);
+            let per_partition: Vec<Option<Arc<Vec<AnswerSet>>>> =
+                fingerprints.iter().map(|&fp| self.cache.get(self.program_id, fp)).collect();
+            let dirty: Vec<usize> =
+                (0..parts.len()).filter(|&i| per_partition[i].is_none()).collect();
+            (per_partition, dirty)
+        };
         // Fingerprinting + cache lookups are the incremental handler's
         // overhead: account them to the partitioning stage.
         let partition_time = t_part.elapsed();
@@ -612,10 +656,12 @@ impl IncrementalReasoner {
             let projected = if dirty.is_empty() {
                 None
             } else {
+                let _span = sr_obs::span(sr_obs::Stage::DeltaProject);
                 self.projected_delta(window, parts.len(), shared)
             };
             let mut remaining = Vec::with_capacity(dirty.len());
             for &i in &dirty {
+                let _span = sr_obs::span(sr_obs::Stage::DeltaGround);
                 match self.delta_process(
                     i,
                     window,
@@ -695,12 +741,15 @@ impl IncrementalReasoner {
             .collect();
 
         let t_combine = Instant::now();
-        let (answers, unsat_partitions) = crate::combine::combine(
-            &self.syms,
-            &borrowed,
-            self.config.combine,
-            self.config.max_combined,
-        );
+        let (answers, unsat_partitions) = {
+            let _span = sr_obs::span(sr_obs::Stage::Combine);
+            crate::combine::combine(
+                &self.syms,
+                &borrowed,
+                self.config.combine,
+                self.config.max_combined,
+            )
+        };
         let combine_time = t_combine.elapsed();
 
         Ok(ReasonerOutput {
@@ -820,6 +869,22 @@ mod tests {
         assert_eq!(snap.evictions, 1);
         assert_eq!(snap.hits, 3);
         assert_eq!(snap.misses, 3);
+    }
+
+    #[test]
+    fn cache_metrics_scrape_matches_the_counters() {
+        let registry = sr_obs::MetricsRegistry::new();
+        let cache = Arc::new(PartitionCache::new(2));
+        cache.register_metrics(&registry);
+        let ans = Arc::new(vec![AnswerSet::default()]);
+        cache.insert(1, 10, ans);
+        assert!(cache.get(1, 10).is_some());
+        assert!(cache.get(1, 99).is_none());
+        let text = registry.render_prometheus();
+        assert!(text.contains("sr_cache_hits_total 1"), "{text}");
+        assert!(text.contains("sr_cache_misses_total 1"), "{text}");
+        assert!(text.contains("sr_cache_entries 1"), "{text}");
+        assert!(text.contains("sr_planner_replans_total 0"), "{text}");
     }
 
     #[test]

@@ -67,6 +67,28 @@ impl LatencyStats {
         }
     }
 
+    /// Summarizes a [`sr_obs::Histogram`] — the constant-memory path the
+    /// engine and the multi-tenant scheduler use instead of retaining
+    /// every sample. `count`/`mean`/`min`/`max` are exact; the
+    /// percentiles are nearest-rank within
+    /// [`sr_obs::Histogram::REL_ERROR`] (exact for single-sample
+    /// summaries). Zeroed stats on an empty histogram, matching
+    /// [`LatencyStats::from_samples`] on an empty slice.
+    pub fn from_histogram(hist: &sr_obs::Histogram) -> Self {
+        if hist.is_empty() {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: hist.count() as usize,
+            mean_ms: hist.mean(),
+            p50_ms: hist.quantile(0.50),
+            p95_ms: hist.quantile(0.95),
+            p99_ms: hist.quantile(0.99),
+            min_ms: hist.min(),
+            max_ms: hist.max(),
+        }
+    }
+
     /// Renders the summary as a JSON object (the workspace has no JSON
     /// serializer dependency; this hand-rolled form is what
     /// `BENCH_throughput.json` embeds).
@@ -310,6 +332,38 @@ mod tests {
         let json = LatencyStats::from_samples(&[2.0]).to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"p99_ms\": 2.0000"));
+    }
+
+    #[test]
+    fn from_histogram_matches_from_samples_within_the_error_bound() {
+        let xs = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        let hist = sr_obs::Histogram::new();
+        for &x in &xs {
+            hist.record(x);
+        }
+        let exact = LatencyStats::from_samples(&xs);
+        let approx = LatencyStats::from_histogram(&hist);
+        assert_eq!(approx.count, exact.count);
+        assert_eq!(approx.mean_ms, exact.mean_ms);
+        assert_eq!(approx.min_ms, exact.min_ms);
+        assert_eq!(approx.max_ms, exact.max_ms);
+        for (a, e) in [
+            (approx.p50_ms, exact.p50_ms),
+            (approx.p95_ms, exact.p95_ms),
+            (approx.p99_ms, exact.p99_ms),
+        ] {
+            assert!((a - e).abs() <= e * sr_obs::Histogram::REL_ERROR + 1e-9, "{a} vs {e}");
+        }
+        // Single-sample summaries stay exact — the JSON pin relies on it.
+        let one = sr_obs::Histogram::new();
+        one.record(2.0);
+        let json = LatencyStats::from_histogram(&one).to_json();
+        assert!(json.contains("\"p99_ms\": 2.0000"), "{json}");
+        // Empty histograms zero out like empty slices.
+        assert_eq!(
+            LatencyStats::from_histogram(&sr_obs::Histogram::new()),
+            LatencyStats::from_samples(&[])
+        );
     }
 
     #[test]

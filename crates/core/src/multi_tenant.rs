@@ -46,24 +46,33 @@ pub struct TenantOutput {
     pub output: Arc<ReasonerOutput>,
 }
 
-/// Per-tenant latency samples in first-seen order. Retired tenants keep
-/// their recorded history so a final report never loses data.
+/// Per-tenant latency distribution in first-seen order. Retired tenants
+/// keep their recorded history so a final report never loses data. The
+/// histogram keeps memory constant no matter how long the tenant is served.
 struct TenantSamples {
     tenant: String,
     program: u64,
-    latencies_ms: Vec<f64>,
+    latency: sr_obs::Histogram,
+}
+
+/// Scheduler totals kept in shared atomics so a live Prometheus scrape
+/// (see [`MultiTenantEngine::register_metrics`]) can read them mid-run
+/// without locking the engine.
+#[derive(Default)]
+struct SchedulerCounters {
+    windows: std::sync::atomic::AtomicU64,
+    items: std::sync::atomic::AtomicU64,
+    tenant_windows: std::sync::atomic::AtomicU64,
+    program_runs: std::sync::atomic::AtomicU64,
 }
 
 /// The scheduler. See the module docs for the execution model.
 pub struct MultiTenantEngine {
     registry: ProgramRegistry,
-    projections: DeltaProjections,
+    projections: Arc<DeltaProjections>,
     samples: Vec<TenantSamples>,
-    window_latencies_ms: Vec<f64>,
-    windows: u64,
-    items: u64,
-    tenant_windows: u64,
-    program_runs: u64,
+    window_latency: Arc<sr_obs::Histogram>,
+    counters: Arc<SchedulerCounters>,
     started: Option<Instant>,
     last_done: Option<Instant>,
 }
@@ -74,13 +83,10 @@ impl MultiTenantEngine {
     pub fn new(config: crate::config::ReasonerConfig) -> Self {
         MultiTenantEngine {
             registry: ProgramRegistry::new(config),
-            projections: DeltaProjections::new(),
+            projections: Arc::new(DeltaProjections::new()),
             samples: Vec::new(),
-            window_latencies_ms: Vec::new(),
-            windows: 0,
-            items: 0,
-            tenant_windows: 0,
-            program_runs: 0,
+            window_latency: Arc::new(sr_obs::Histogram::new()),
+            counters: Arc::new(SchedulerCounters::default()),
             started: None,
             last_done: None,
         }
@@ -120,6 +126,7 @@ impl MultiTenantEngine {
     /// order, tenants in admission order within their entry). An empty
     /// registry yields an empty vector — the window still counts.
     pub fn process(&mut self, window: &Window) -> Result<Vec<TenantOutput>, AspError> {
+        use std::sync::atomic::Ordering;
         let t_window = Instant::now();
         self.started.get_or_insert(t_window);
         let mut outputs = Vec::with_capacity(self.registry.tenant_count());
@@ -129,12 +136,23 @@ impl MultiTenantEngine {
         let samples = &mut self.samples;
         for entry in self.registry.entries_mut() {
             let t0 = Instant::now();
-            let output = entry.reasoner.process_shared(window, Some(projections))?;
+            let output = {
+                // Spans recorded under this entry carry its serving-entry
+                // fingerprint, so a trace distinguishes tenants' programs.
+                let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+                    sr_obs::ctx_scope(sr_obs::TraceCtx {
+                        window_id: window.id,
+                        entry_fp: Some(entry.fingerprint),
+                        ..sr_obs::current_ctx()
+                    })
+                });
+                entry.reasoner.process_shared(window, Some(projections))?
+            };
             let latency = t0.elapsed();
-            self.program_runs += 1;
+            self.counters.program_runs.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::new(output);
             for tenant in &entry.tenants {
-                self.tenant_windows += 1;
+                self.counters.tenant_windows.fetch_add(1, Ordering::Relaxed);
                 record(samples, tenant, entry.fingerprint, duration_ms(latency));
                 outputs.push(TenantOutput {
                     tenant: tenant.clone(),
@@ -145,31 +163,59 @@ impl MultiTenantEngine {
                 });
             }
         }
-        self.windows += 1;
-        self.items += window.len() as u64;
-        self.window_latencies_ms.push(duration_ms(t_window.elapsed()));
+        self.counters.windows.fetch_add(1, Ordering::Relaxed);
+        self.counters.items.fetch_add(window.len() as u64, Ordering::Relaxed);
+        self.window_latency.record(duration_ms(t_window.elapsed()));
         self.last_done = Some(Instant::now());
         Ok(outputs)
     }
 
     /// The current work-deduplication counters.
     pub fn dedup_snapshot(&self) -> DedupSnapshot {
-        let saved = self.tenant_windows - self.program_runs;
+        use std::sync::atomic::Ordering;
+        let tenant_windows = self.counters.tenant_windows.load(Ordering::Relaxed);
+        let saved = tenant_windows - self.counters.program_runs.load(Ordering::Relaxed);
         DedupSnapshot {
             tenants: self.registry.tenant_count() as u64,
             programs: self.registry.program_count() as u64,
-            windows: self.windows,
-            tenant_windows: self.tenant_windows,
-            program_runs: self.program_runs,
+            windows: self.counters.windows.load(Ordering::Relaxed),
+            tenant_windows,
+            program_runs: self.counters.program_runs.load(Ordering::Relaxed),
             shared_runs_saved: saved,
-            dedup_ratio: if self.tenant_windows > 0 {
-                saved as f64 / self.tenant_windows as f64
+            dedup_ratio: if tenant_windows > 0 {
+                saved as f64 / tenant_windows as f64
             } else {
                 0.0
             },
             projections_computed: self.projections.computed(),
             projections_reused: self.projections.reused(),
         }
+    }
+
+    /// Binds the scheduler's live state to `registry`: window/item/run
+    /// totals, the per-window latency histogram, the shared projection memo
+    /// and the shared partition cache. Collector closures capture `Arc`s,
+    /// so scrapes keep working (frozen) after the engine is dropped.
+    pub fn register_metrics(&self, registry: &sr_obs::MetricsRegistry) {
+        use std::sync::atomic::Ordering;
+        type CounterRead = fn(&SchedulerCounters) -> u64;
+        let counters: [(&str, CounterRead); 4] = [
+            ("sr_tenant_windows_total", |c| c.windows.load(Ordering::Relaxed)),
+            ("sr_tenant_items_total", |c| c.items.load(Ordering::Relaxed)),
+            ("sr_tenant_tenant_windows_total", |c| c.tenant_windows.load(Ordering::Relaxed)),
+            ("sr_tenant_program_runs_total", |c| c.program_runs.load(Ordering::Relaxed)),
+        ];
+        for (name, read) in counters {
+            let shared = Arc::clone(&self.counters);
+            registry.register_counter_fn(name, &[], move || read(&shared));
+        }
+        registry.register_histogram(
+            "sr_tenant_window_latency_ms",
+            &[],
+            Arc::clone(&self.window_latency),
+        );
+        self.projections.register_metrics(registry);
+        self.cache().register_metrics(registry);
     }
 
     /// A throughput/latency report over everything processed so far:
@@ -182,25 +228,28 @@ impl MultiTenantEngine {
             _ => Duration::ZERO,
         };
         let elapsed_s = elapsed.as_secs_f64();
+        use std::sync::atomic::Ordering;
+        let windows = self.counters.windows.load(Ordering::Relaxed);
+        let items = self.counters.items.load(Ordering::Relaxed);
         EngineStats {
-            windows: self.windows,
+            windows,
             errors: 0,
-            items: self.items,
+            items,
             elapsed_ms: duration_ms(elapsed),
-            windows_per_sec: if elapsed_s > 0.0 { self.windows as f64 / elapsed_s } else { 0.0 },
-            items_per_sec: if elapsed_s > 0.0 { self.items as f64 / elapsed_s } else { 0.0 },
+            windows_per_sec: if elapsed_s > 0.0 { windows as f64 / elapsed_s } else { 0.0 },
+            items_per_sec: if elapsed_s > 0.0 { items as f64 / elapsed_s } else { 0.0 },
             submit_blocked_ms: None,
             incremental: Some(self.cache().counters().snapshot()),
             lanes: Vec::new(),
             queue_high_water: 0,
-            latency: LatencyStats::from_samples(&self.window_latencies_ms),
+            latency: LatencyStats::from_histogram(&self.window_latency),
             tenants: self
                 .samples
                 .iter()
                 .map(|s| TenantLatency {
                     tenant: s.tenant.clone(),
                     program: s.program,
-                    latency: LatencyStats::from_samples(&s.latencies_ms),
+                    latency: LatencyStats::from_histogram(&s.latency),
                 })
                 .collect(),
             dedup: Some(self.dedup_snapshot()),
@@ -214,13 +263,13 @@ fn record(samples: &mut Vec<TenantSamples>, tenant: &str, program: u64, latency_
             // A tenant id reused after retirement continues its sample
             // series under whatever program it now runs.
             s.program = program;
-            s.latencies_ms.push(latency_ms);
+            s.latency.record(latency_ms);
         }
-        None => samples.push(TenantSamples {
-            tenant: tenant.to_string(),
-            program,
-            latencies_ms: vec![latency_ms],
-        }),
+        None => {
+            let latency = sr_obs::Histogram::new();
+            latency.record(latency_ms);
+            samples.push(TenantSamples { tenant: tenant.to_string(), program, latency });
+        }
     }
 }
 
@@ -346,6 +395,25 @@ mod tests {
         assert_eq!(stats.tenants[0].tenant, "t0");
         assert_eq!(stats.tenants[0].latency.count, 2, "t0 saw windows 0 and 1");
         assert_eq!(stats.tenants[1].latency.count, 1, "t1 only saw window 0");
+    }
+
+    #[test]
+    fn registered_metrics_reflect_scheduler_and_shared_state() {
+        let registry = sr_obs::MetricsRegistry::new();
+        let mut eng = engine();
+        eng.register_metrics(&registry);
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.admit("t1", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        for id in 0..2 {
+            eng.process(&window(id)).unwrap();
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("sr_tenant_windows_total 2"), "{text}");
+        assert!(text.contains("sr_tenant_program_runs_total 2"), "{text}");
+        assert!(text.contains("sr_tenant_tenant_windows_total 4"), "{text}");
+        assert!(text.contains("sr_tenant_window_latency_ms_count 2"), "{text}");
+        assert!(text.contains("sr_cache_hits_total"), "the shared cache registers too: {text}");
+        assert!(text.contains("sr_projections_computed_total"), "{text}");
     }
 
     #[test]

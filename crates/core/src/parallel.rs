@@ -142,7 +142,20 @@ pub fn reasoner_pool(
         // not inside the worker thread.
         let mut reasoner = SingleReasoner::new(syms, program, inpre, solver.clone())?;
         reasoner.set_cost_planning(cost_planning);
-        fns.push(Box::new(move |_tag, items: Vec<Triple>| reasoner.process_items(&items)));
+        fns.push(Box::new(move |tag, items: Vec<Triple>| {
+            // Attribute spans recorded inside this job to its window +
+            // partition even though the work crossed the pool boundary.
+            // The scope is only installed when tracing is live, keeping
+            // the off path free of thread-local traffic.
+            let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+                sr_obs::ctx_scope(sr_obs::TraceCtx {
+                    window_id: tag.window_id,
+                    partition: Some(tag.partition_idx as u32),
+                    ..sr_obs::current_ctx()
+                })
+            });
+            reasoner.process_items(&items)
+        }));
     }
     WorkerPool::new("pr-worker", fns)
 }
@@ -229,9 +242,17 @@ impl ParallelReasoner {
 
     /// Processes one window: partition → parallel reason → combine.
     pub fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+        // Caller-thread spans (partition/combine) attribute to this window;
+        // lane/tenant tags installed by outer scopes are preserved.
+        let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+            sr_obs::ctx_scope(sr_obs::TraceCtx { window_id: window.id, ..sr_obs::current_ctx() })
+        });
         let start = Instant::now();
         let t_part = Instant::now();
-        let parts = self.partitioner.partition(window);
+        let parts = {
+            let _span = sr_obs::span(sr_obs::Stage::Partition);
+            self.partitioner.partition(window)
+        };
         let partition_time = t_part.elapsed();
         let partition_sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
 
@@ -266,8 +287,10 @@ impl ParallelReasoner {
         }
 
         let t_combine = Instant::now();
-        let (answers, unsat_partitions) =
-            combine(&self.syms, &per_partition, self.config.combine, self.config.max_combined);
+        let (answers, unsat_partitions) = {
+            let _span = sr_obs::span(sr_obs::Stage::Combine);
+            combine(&self.syms, &per_partition, self.config.combine, self.config.max_combined)
+        };
         let combine_time = t_combine.elapsed();
 
         Ok(ReasonerOutput {

@@ -127,6 +127,10 @@ impl SingleReasoner {
 
     /// Processes a window end to end.
     pub fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+        // Spans recorded by the phases below attribute to this window.
+        let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+            sr_obs::ctx_scope(sr_obs::TraceCtx { window_id: window.id, ..sr_obs::current_ctx() })
+        });
         let start = Instant::now();
         let (answers, timing, stats) = self.process_items(&window.items)?;
         let mut timing = timing;
@@ -147,15 +151,24 @@ impl SingleReasoner {
         items: &[Triple],
     ) -> Result<(Vec<AnswerSet>, Timing, SolveStats), AspError> {
         let t0 = Instant::now();
-        let facts = self.format.window_to_facts(items);
+        let facts = {
+            let _span = sr_obs::span(sr_obs::Stage::Windowing);
+            self.format.window_to_facts(items)
+        };
         let transform = t0.elapsed();
 
         let t1 = Instant::now();
-        let ground = self.grounder.ground(&facts)?;
+        let ground = {
+            let _span = sr_obs::span(sr_obs::Stage::Ground);
+            self.grounder.ground(&facts)?
+        };
         let ground_time = t1.elapsed();
 
         let t2 = Instant::now();
-        let result = solve_ground(&self.syms, &ground, &self.solver)?;
+        let result = {
+            let _span = sr_obs::span(sr_obs::Stage::Solve);
+            solve_ground(&self.syms, &ground, &self.solver)?
+        };
         let solve_time = t2.elapsed();
 
         let timing = Timing {

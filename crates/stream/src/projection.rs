@@ -93,6 +93,16 @@ impl DeltaProjections {
         projected
     }
 
+    /// Binds the memo's computed/reused counters to `registry` as
+    /// scrape-time collectors (the memo keeps recording through its own
+    /// atomics; nothing is double-counted).
+    pub fn register_metrics(self: &Arc<Self>, registry: &sr_obs::MetricsRegistry) {
+        let memo = Arc::clone(self);
+        registry.register_counter_fn("sr_projections_computed_total", &[], move || memo.computed());
+        let memo = Arc::clone(self);
+        registry.register_counter_fn("sr_projections_reused_total", &[], move || memo.reused());
+    }
+
     /// Projections computed from scratch (one per distinct routing function
     /// per window).
     pub fn computed(&self) -> u64 {
@@ -156,6 +166,20 @@ mod tests {
         memo.get_or_project(&window_with_delta(1), 7, 1, route);
         memo.get_or_project(&window_with_delta(2), 7, 1, route);
         assert_eq!(memo.computed(), 2, "window 2 recomputes, never serves window 1's entry");
+    }
+
+    #[test]
+    fn registered_counters_track_the_memo() {
+        let registry = sr_obs::MetricsRegistry::new();
+        let memo = Arc::new(DeltaProjections::new());
+        memo.register_metrics(&registry);
+        let w = window_with_delta(1);
+        let route = |item: &Triple| Some(vec![(item.s.as_int().unwrap() % 2) as u32]);
+        memo.get_or_project(&w, 7, 2, route);
+        memo.get_or_project(&w, 7, 2, route);
+        let text = registry.render_prometheus();
+        assert!(text.contains("sr_projections_computed_total 1"), "{text}");
+        assert!(text.contains("sr_projections_reused_total 1"), "{text}");
     }
 
     #[test]

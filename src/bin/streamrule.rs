@@ -10,6 +10,7 @@
 //!                [--seed S] [--json out.json] [--trials T] [--events]
 //!                [--incremental] [--cache-size N] [--slide S] [--delta-ground]
 //!                [--cost-planning] [--tenants N] [--dup-ratio R]
+//!                [--metrics-addr HOST:PORT] [--trace-out trace.json]
 //! ```
 //!
 //! `run` streams tuple windows — read from an N-Triples file or generated
@@ -38,6 +39,14 @@
 //! `tenant_tag(<i>).` variant and their own serving entry. The run reports
 //! per-tenant latency percentiles, the dedup counters and the shared cache
 //! line.
+//! `--metrics-addr HOST:PORT` (e.g. `127.0.0.1:9184`) serves the run's
+//! sr-obs metrics registry — engine/cache/planner/tenant counters and
+//! latency histograms — as a Prometheus text endpoint for the duration of
+//! the run, self-scraping it once at the end; `--trace-out trace.json`
+//! enables per-window stage tracing and writes the spans as Chrome
+//! trace-event JSON (load it in `chrome://tracing` or Perfetto). Both are
+//! observers: answers and throughput records are identical with or without
+//! them.
 
 use sr_bench::{
     outputs_match, sequential_baseline, throughput_json, ThroughputResult, ThroughputRun,
@@ -76,7 +85,8 @@ const USAGE: &str = "usage:
   streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
                  [--in-flight L] [--rate R] [--seed S] [--json out.json] [--trials T] [--events]
                  [--incremental] [--cache-size N] [--slide S] [--delta-ground]
-                 [--cost-planning] [--tenants N] [--dup-ratio R]";
+                 [--cost-planning] [--tenants N] [--dup-ratio R]
+                 [--metrics-addr HOST:PORT] [--trace-out trace.json]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -198,6 +208,76 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {windows} window(s) x {size} triples to {out}");
     Ok(())
+}
+
+/// Observability wiring for `run`: an optional live Prometheus endpoint
+/// (`--metrics-addr`) and an optional Chrome trace-event capture
+/// (`--trace-out`). Pure observers — with neither flag this is a no-op and
+/// the reasoning hot path stays uninstrumented.
+struct ObsSession {
+    /// Registry plus its serving endpoint, when `--metrics-addr` was given.
+    serving: Option<(
+        Arc<stream_reasoner::sr_obs::MetricsRegistry>,
+        stream_reasoner::sr_obs::MetricsServer,
+    )>,
+    /// Trace file path, when `--trace-out` was given.
+    trace_out: Option<String>,
+}
+
+impl ObsSession {
+    /// Parses the observability flags, binds the metrics endpoint and
+    /// enables the global tracer as requested.
+    fn start(args: &[String]) -> Result<Self, String> {
+        use stream_reasoner::sr_obs;
+        let serving = match flag_value(args, "--metrics-addr") {
+            Some(addr) => {
+                let registry = Arc::new(sr_obs::MetricsRegistry::new());
+                let server = sr_obs::MetricsServer::start(addr, Arc::clone(&registry))
+                    .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+                println!(
+                    "metrics: serving Prometheus text on http://{}/metrics",
+                    server.local_addr()
+                );
+                Some((registry, server))
+            }
+            None => None,
+        };
+        let trace_out = flag_value(args, "--trace-out").map(str::to_string);
+        if trace_out.is_some() {
+            sr_obs::tracer().drain();
+            sr_obs::tracer().set_enabled(true);
+        }
+        Ok(ObsSession { serving, trace_out })
+    }
+
+    /// The registry the run's engines should register their metrics into.
+    fn registry(&self) -> Option<&stream_reasoner::sr_obs::MetricsRegistry> {
+        self.serving.as_ref().map(|(registry, _)| registry.as_ref())
+    }
+
+    /// Self-scrapes the endpoint (proving the exporter served the run's
+    /// final counters), writes the trace file and restores the tracer.
+    fn finish(self) -> Result<(), String> {
+        use stream_reasoner::sr_obs;
+        if let Some((_, server)) = &self.serving {
+            let addr = server.local_addr();
+            let body =
+                sr_obs::scrape(addr).map_err(|e| format!("self-scrape of {addr} failed: {e}"))?;
+            let series = body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+            println!(
+                "metrics: self-scrape of http://{addr}/metrics returned {} bytes, {series} series",
+                body.len()
+            );
+        }
+        if let Some(path) = &self.trace_out {
+            sr_obs::tracer().set_enabled(false);
+            let spans = sr_obs::tracer().drain();
+            std::fs::write(path, sr_obs::chrome_trace_json(&spans))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("trace: {} span(s) written to {path}", spans.len());
+        }
+        Ok(())
+    }
 }
 
 /// The reasoning backend chosen by `--mode`.
@@ -333,7 +413,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         },
         None => None,
     };
-    if let Some(tenants) = tenants {
+    // Observability is orthogonal to the chosen path: the session outlives
+    // the run and is finalized (self-scrape, trace write) after it.
+    let obs = ObsSession::start(args)?;
+    let result = if let Some(tenants) = tenants {
         let dup_ratio: f64 = flag_value(args, "--dup-ratio")
             .unwrap_or("1")
             .parse()
@@ -357,18 +440,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        return run_tenants(&source, tenants, dup_ratio, mode, &reasoner_cfg, &windows);
+        run_tenants(&source, tenants, dup_ratio, mode, &reasoner_cfg, &windows, obs.registry())
     } else if flag_value(args, "--dup-ratio").is_some() {
         return Err("--dup-ratio only applies to the multi-tenant path; add --tenants N".into());
-    }
-
-    if in_flight == 0 {
+    } else if in_flight == 0 {
         if json_path.is_some() || rate > 0.0 {
             return Err(
                 "--json/--rate drive the pipelined engine; add --in-flight L (L >= 1)".into()
             );
         }
-        return run_sequential(
+        run_sequential(
             &syms,
             &program,
             &analysis,
@@ -376,26 +457,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             &reasoner_cfg,
             &windows,
             &projection,
-        );
-    }
-    if json_path.is_some() && rate > 0.0 {
-        return Err("--json records sustained throughput against an unthrottled baseline; \
-                    drop --rate (or set --rate 0)"
-            .into());
-    }
-    run_engine(
-        &syms,
-        &program,
-        &analysis,
-        mode,
-        &reasoner_cfg,
-        windows,
-        in_flight,
-        rate,
-        json_path,
-        trials,
-        &projection,
-    )
+            obs.registry(),
+        )
+    } else {
+        if json_path.is_some() && rate > 0.0 {
+            return Err("--json records sustained throughput against an unthrottled baseline; \
+                        drop --rate (or set --rate 0)"
+                .into());
+        }
+        run_engine(
+            &syms,
+            &program,
+            &analysis,
+            mode,
+            &reasoner_cfg,
+            windows,
+            in_flight,
+            rate,
+            json_path,
+            trials,
+            &projection,
+            obs.registry(),
+        )
+    };
+    result.and_then(|()| obs.finish())
 }
 
 /// Builds the window sequence: cut from an N-Triples file when `--data` is
@@ -507,6 +592,7 @@ fn build_reasoner(
 }
 
 /// The window-at-a-time path (the original `run` behavior).
+#[allow(clippy::too_many_arguments)]
 fn run_sequential(
     syms: &Symbols,
     program: &Program,
@@ -515,8 +601,12 @@ fn run_sequential(
     reasoner_cfg: &ReasonerConfig,
     windows: &[Window],
     projection: &Projection,
+    registry: Option<&stream_reasoner::sr_obs::MetricsRegistry>,
 ) -> Result<(), String> {
     let (mut reasoner, cache) = build_reasoner(syms, program, analysis, mode, reasoner_cfg)?;
+    if let (Some(registry), Some(cache)) = (registry, &cache) {
+        cache.register_metrics(registry);
+    }
     for window in windows {
         let out = reasoner.process(window).map_err(|e| e.to_string())?;
         println!(
@@ -547,6 +637,7 @@ fn run_sequential(
 /// run the source verbatim (sharing one serving entry — and one program run
 /// per window); the rest each get a unique `tenant_tag(<i>).` variant and
 /// their own entry.
+#[allow(clippy::too_many_arguments)]
 fn run_tenants(
     source: &str,
     tenants: usize,
@@ -554,6 +645,7 @@ fn run_tenants(
     mode: RunMode,
     reasoner_cfg: &ReasonerConfig,
     windows: &[Window],
+    registry: Option<&stream_reasoner::sr_obs::MetricsRegistry>,
 ) -> Result<(), String> {
     let partitioner = match mode {
         RunMode::Dep => TenantPartitioner::Dependency,
@@ -575,6 +667,9 @@ fn run_tenants(
         engine.registry().program_count(),
         if engine.registry().program_count() == 1 { "y" } else { "ies" }
     );
+    if let Some(metrics) = registry {
+        engine.register_metrics(metrics);
+    }
     for window in windows {
         let outputs = engine.process(window).map_err(|e| e.to_string())?;
         let answers: usize = outputs.iter().map(|o| o.output.answers.len()).sum();
@@ -649,6 +744,7 @@ fn run_engine(
     json_path: Option<&str>,
     trials: usize,
     projection: &Projection,
+    registry: Option<&stream_reasoner::sr_obs::MetricsRegistry>,
 ) -> Result<(), String> {
     use std::time::Duration;
 
@@ -679,6 +775,9 @@ fn run_engine(
     let Some(json_path) = json_path else {
         // No baseline pass needed: hand the windows to the engine outright.
         let mut engine = make_engine()?;
+        if let Some(registry) = registry {
+            engine.register_metrics(registry);
+        }
         for window in windows {
             engine.submit(window).map_err(|e| e.to_string())?;
             if !interval.is_zero() {
@@ -714,6 +813,11 @@ fn run_engine(
     let mut identical = true;
     for _ in 0..trials {
         let mut engine = make_engine()?;
+        // Re-registering replaces the previous trial's collectors, so the
+        // endpoint always reflects the live (latest) engine.
+        if let Some(registry) = registry {
+            engine.register_metrics(registry);
+        }
         for window in &windows {
             engine.submit(window.clone()).map_err(|e| e.to_string())?;
             if !interval.is_zero() {

@@ -11,6 +11,9 @@
 //! * stream windows, the predicate-filter query processor and the paper's
 //!   synthetic workload generators ([`sr_stream`]);
 //! * graph algorithms, Louvain modularity included ([`sr_graph`]);
+//! * engine-wide observability ([`sr_obs`]): a metrics registry with a
+//!   Prometheus text endpoint, log-bucketed latency histograms and
+//!   per-window stage tracing exportable as Chrome trace-event JSON;
 //! * the paper's contribution itself ([`sr_core`]): extended/input
 //!   dependency graphs, the decomposing process, the partitioning plan,
 //!   Algorithm 1, the parallel reasoner PR and the accuracy metric.
@@ -40,6 +43,7 @@ pub use asp_parser;
 pub use asp_solver;
 pub use sr_core;
 pub use sr_graph;
+pub use sr_obs;
 pub use sr_rdf;
 pub use sr_stream;
 
