@@ -8,7 +8,15 @@
 //! cargo run --release -p sr-bench --bin diag              # default sizes
 //! cargo run --release -p sr-bench --bin diag -- 500       # one size
 //! cargo run --release -p sr-bench --bin diag -- 500 --json
+//! cargo run --release -p sr-bench --bin diag -- 500 --fault-spec worker_panic:0.3:7
 //! ```
+//!
+//! `--fault-spec SITE:RATE:SEED[,...]` additionally drives the incremental
+//! reasoner over the same windows with the fault plan installed and reports
+//! its recovery counters (retries, fallbacks) on stderr — a quick look at
+//! how much recovery work a given fault rate induces. The counters are
+//! printed only when injection is on or a counter actually fired, never
+//! fabricated as zeros.
 
 use sr_bench::{ExperimentBench, ExperimentConfig, PROGRAM_P};
 use sr_obs::{group_by_window, Stage, WindowTrace};
@@ -53,6 +61,8 @@ fn traced_pass(mut process: impl FnMut()) -> Pass {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_mode = args.iter().any(|a| a == "--json");
+    let fault_spec: Option<String> =
+        args.iter().position(|a| a == "--fault-spec").and_then(|i| args.get(i + 1)).cloned();
     let sizes: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
     let sizes = if sizes.is_empty() { vec![5_000, 10_000, 20_000, 40_000] } else { sizes };
     let cfg = ExperimentConfig::paper(PROGRAM_P, GeneratorKind::Correlated);
@@ -74,6 +84,7 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut windows = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
         let window = Window::new(i as u64, generator.window(size));
         // Warm up both reasoners on this window (the spans are discarded by
@@ -104,14 +115,68 @@ fn main() {
             );
         }
         rows.push((size, r, pr));
+        windows.push(window);
     }
 
     sr_obs::tracer().set_enabled(false);
     sr_obs::tracer().drain();
 
+    if let Some(spec) = fault_spec {
+        fault_pass(&spec, &windows);
+    }
+
     if json_mode {
         print!("{}", render_json(&rows));
     }
+}
+
+/// Drives the incremental reasoner over `windows` with the given fault plan
+/// installed and reports its recovery counters on stderr. Per-window errors
+/// (retries exhausted) are loud, not fatal: the remaining windows still run
+/// so the counters reflect the whole pass.
+fn fault_pass(spec: &str, windows: &[Window]) {
+    use sr_core::{
+        fault, DependencyAnalysis, IncrementalReasoner, PlanPartitioner, ReasonerConfig,
+        UnknownPredicate,
+    };
+    use std::sync::Arc;
+
+    let plan = match sr_core::FaultPlan::parse_spec(spec) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("bad --fault-spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let syms = asp_core::Symbols::new();
+    let program = asp_parser::parse_program(&syms, PROGRAM_P).expect("parse PROGRAM_P");
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &Default::default()).expect("analysis");
+    let mut reasoner = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0)),
+        ReasonerConfig { incremental: true, ..Default::default() },
+    )
+    .expect("incremental reasoner");
+    fault::install(plan);
+    let mut errors = 0usize;
+    for window in windows {
+        if let Err(e) = reasoner.process(window) {
+            errors += 1;
+            eprintln!("fault pass: window {} failed loudly: {e}", window.id);
+        }
+    }
+    fault::clear();
+    let f = reasoner.failure_counters().snapshot();
+    eprintln!(
+        "fault pass ({spec}): {} window(s), {} loud error(s), {} retries, {} fallbacks",
+        windows.len(),
+        errors,
+        f.retries,
+        f.fallbacks
+    );
 }
 
 /// Renders the measured rows as a JSON array (hand-rolled; the workspace

@@ -12,10 +12,10 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    csv, delta_grounding_json, incremental_json, join_planning_json, multi_tenant_json,
-    observability_json, program_p_prime, run, run_delta_grounding, run_incremental,
+    chaos_json, csv, delta_grounding_json, incremental_json, join_planning_json, multi_tenant_json,
+    observability_json, program_p_prime, run, run_chaos, run_delta_grounding, run_incremental,
     run_join_planning, run_multi_tenant, run_observability, run_throughput, table, throughput_json,
-    DeltaGroundingConfig, ExperimentConfig, ExperimentResult, IncrementalConfig,
+    ChaosConfig, DeltaGroundingConfig, ExperimentConfig, ExperimentResult, IncrementalConfig,
     JoinPlanningConfig, Measure, MultiTenantConfig, ObservabilityConfig, Series, ThroughputConfig,
     PROGRAM_P,
 };
@@ -26,7 +26,7 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant|observability] [--quick]
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant|observability|chaos] [--quick]
        repro check <BENCH_*.json>...
        repro --smoke
        repro --help
@@ -57,12 +57,18 @@ usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|d
                registry fully on vs fully off: byte-identity both sides and
                the instrumentation overhead fraction
                (writes results/BENCH_observability.json)
+  chaos        engine under deterministic fault injection (worker panics,
+               corrupted deltas, cache invalidations, slowdowns past the
+               window deadline): inert-hook identity, clean-window identity,
+               degraded_window_fraction and recovery_windows_p95
+               (writes results/BENCH_chaos.json)
   check        regression-gate one or more BENCH_*.json records: exit 1 when
                any output-identity flag is false, the record's headline
                speedup (speedup_at_eighth / best_speedup_windows_per_sec /
                shared_work_speedup_at_dup1 / planner_speedup) fell below
-               1.0, or the observability record's obs_overhead_fraction
-               exceeded 0.05 — the CI bench-gate step
+               1.0, the observability record's obs_overhead_fraction
+               exceeded 0.05, or the chaos record's degraded_window_fraction
+               exceeded its recorded ceiling — the CI bench-gate step
   --quick      small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke      seconds-fast end-to-end pipeline check, no files written
 ";
@@ -152,6 +158,53 @@ fn main() {
     if matches!(what, "all" | "observability") {
         observability(quick);
     }
+    if matches!(what, "all" | "chaos") {
+        chaos(quick);
+    }
+}
+
+/// The chaos run: the engine throughput workload under deterministic fault
+/// injection with the per-window deadline armed, recorded as
+/// `results/BENCH_chaos.json`.
+fn chaos(quick: bool) {
+    println!("\n== Chaos: engine under deterministic fault injection ==");
+    let cfg = if quick { ChaosConfig::quick(PROGRAM_P) } else { ChaosConfig::paper(PROGRAM_P) };
+    let result = run_chaos(&cfg).expect("chaos run");
+    println!(
+        "  {} windows x {} items, {} in flight, faults {:.0}% + slowdowns {:.0}% ({} ms stall), \
+         deadline {} ms",
+        result.windows,
+        result.window_size,
+        result.in_flight,
+        result.fault_rate * 100.0,
+        result.slowdown_rate * 100.0,
+        result.stall_ms,
+        result.deadline_ms
+    );
+    println!(
+        "  hooks disabled identical: {}, clean windows identical: {}, emission ordered: {}",
+        result.hooks_disabled_identical, result.clean_windows_identical, result.emission_ordered
+    );
+    println!(
+        "  degraded {} / errored {} of {} windows (fraction {:.4}, ceiling {:.2}), \
+         recovery p95 {:.1} window(s)",
+        result.degraded_windows,
+        result.errored_windows,
+        result.windows,
+        result.degraded_window_fraction,
+        result.degraded_fraction_ceiling,
+        result.recovery_windows_p95
+    );
+    if let Some(f) = &result.faulted.failure {
+        println!(
+            "  recovery counters: {} retries, {} fallbacks, {} degraded, {} late, \
+             {} lane rebuilds",
+            f.retries, f.fallbacks, f.degraded_windows, f.late_recoveries, f.lane_rebuilds
+        );
+    }
+    let path = "results/BENCH_chaos.json";
+    std::fs::write(Path::new(path), chaos_json(&result)).expect("write chaos json");
+    println!("[json written to {path}]");
 }
 
 /// The observability overhead run: the engine throughput workload with

@@ -1,0 +1,366 @@
+//! Chaos experiment: the pipelined [`StreamEngine`] under deterministic
+//! fault injection. One fault-free engine pass proves the compiled-in hooks
+//! are inert (byte-identity to the sequential oracle), then a faulted pass —
+//! worker panics, corrupted deltas, cache invalidations and partition
+//! slowdowns longer than the window deadline — measures how the recovery
+//! machinery degrades: every window must still be emitted in order, every
+//! *clean* (non-degraded, non-errored) window must render byte-identically
+//! to the fault-free oracle, and degraded windows must be flagged — never
+//! silently wrong. Emits `BENCH_chaos.json` via [`chaos_json`]; its headline
+//! `degraded_window_fraction` is gated **from above** by the record's own
+//! `degraded_fraction_ceiling` in `repro check`.
+
+use crate::throughput::{outputs_match, render_output, sequential_baseline};
+use asp_core::{AspError, Symbols};
+use sr_core::{
+    fault, AnalysisConfig, DependencyAnalysis, EngineConfig, EngineOutput, EngineStats, FaultPlan,
+    FaultSite, IncrementalReasoner, PlanPartitioner, ReasonerConfig, StreamEngine,
+    UnknownPredicate,
+};
+use sr_stream::{paper_generator, GeneratorKind, Window};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Chaos experiment definition.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Workload generator mode.
+    pub generator: GeneratorKind,
+    /// Items per window.
+    pub window_size: usize,
+    /// Number of windows streamed end to end per pass.
+    pub windows: usize,
+    /// Windows in flight (engine lanes).
+    pub in_flight: usize,
+    /// Injection rate of the recoverable fault sites (worker panic,
+    /// delta corruption, cache invalidation).
+    pub fault_rate: f64,
+    /// Injection rate of the partition-slowdown site (each hit stalls the
+    /// partition for `stall_ms`, blowing the deadline).
+    pub slowdown_rate: f64,
+    /// Artificial stall per slowdown hit, milliseconds. Must exceed
+    /// `deadline_ms` for the degraded-emission path to engage.
+    pub stall_ms: u64,
+    /// Per-window engine deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// Gate ceiling recorded in the JSON: `repro check` fails the record
+    /// when `degraded_window_fraction` exceeds this.
+    pub degraded_fraction_ceiling: f64,
+    /// Workload seed (the fault plan derives per-site seeds from it).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// The default measurement: 48 windows of 1,000 items, 2 in flight,
+    /// 5% recoverable faults, 5% slowdowns of 400 ms against a 120 ms
+    /// deadline.
+    pub fn paper(program: &str) -> Self {
+        ChaosConfig {
+            program: program.to_string(),
+            generator: GeneratorKind::CorrelatedSparse,
+            window_size: 1_000,
+            windows: 48,
+            in_flight: 2,
+            fault_rate: 0.05,
+            slowdown_rate: 0.05,
+            stall_ms: 400,
+            deadline_ms: 120,
+            degraded_fraction_ceiling: 0.5,
+            seed: 2017,
+        }
+    }
+
+    /// A smoke-test run for CI / `--quick`.
+    pub fn quick(program: &str) -> Self {
+        ChaosConfig {
+            window_size: 300,
+            windows: 16,
+            stall_ms: 250,
+            deadline_ms: 80,
+            ..Self::paper(program)
+        }
+    }
+}
+
+/// Result of the chaos experiment.
+#[derive(Clone, Debug)]
+pub struct ChaosResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Windows streamed per pass.
+    pub windows: usize,
+    /// Windows in flight.
+    pub in_flight: usize,
+    /// Injection rate of the recoverable fault sites.
+    pub fault_rate: f64,
+    /// Injection rate of the partition-slowdown site.
+    pub slowdown_rate: f64,
+    /// Artificial stall per slowdown hit, milliseconds.
+    pub stall_ms: u64,
+    /// Per-window engine deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// The fault-free engine pass (hooks compiled in, injection disabled,
+    /// no deadline) rendered byte-identically to the sequential oracle —
+    /// the zero-cost-when-off contract.
+    pub hooks_disabled_identical: bool,
+    /// Every clean (non-degraded, non-errored) window of the faulted pass
+    /// rendered byte-identically to the fault-free oracle — faults degrade
+    /// loudly, never corrupt silently.
+    pub clean_windows_identical: bool,
+    /// Faulted pass: every submitted window id was emitted exactly once, in
+    /// submission order.
+    pub emission_ordered: bool,
+    /// Windows the faulted pass emitted degraded.
+    pub degraded_windows: u64,
+    /// Windows the faulted pass emitted as loud errors (retries exhausted).
+    pub errored_windows: u64,
+    /// `degraded_windows` over the windows streamed.
+    pub degraded_window_fraction: f64,
+    /// p95 of the consecutive-degraded run lengths — how many windows a
+    /// recovery took, in windows (0 when nothing degraded).
+    pub recovery_windows_p95: f64,
+    /// The gate ceiling on `degraded_window_fraction`.
+    pub degraded_fraction_ceiling: f64,
+    /// Engine statistics of the faulted pass, failure counters included.
+    pub faulted: EngineStats,
+}
+
+/// One engine pass over `windows` with the given deadline, returning the
+/// ordered outputs and the run statistics.
+fn engine_pass(
+    syms: &Symbols,
+    program: &asp_core::Program,
+    analysis: &DependencyAnalysis,
+    partitioner: &Arc<dyn sr_core::Partitioner>,
+    config: &ChaosConfig,
+    windows: &[Window],
+    deadline_ms: Option<u64>,
+) -> Result<(Vec<EngineOutput>, EngineStats), AspError> {
+    let mut engine = StreamEngine::with_partitioned_lanes(
+        syms,
+        program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig { incremental: true, ..Default::default() },
+        EngineConfig {
+            in_flight: config.in_flight,
+            queue_depth: config.in_flight,
+            window_deadline_ms: deadline_ms,
+        },
+    )?;
+    for window in windows {
+        engine.submit(window.clone())?;
+    }
+    let report = engine.finish();
+    Ok((report.outputs, report.stats))
+}
+
+/// p95 of the degraded-run lengths (consecutive degraded windows), the
+/// "recovery time in windows" headline. 0 when nothing degraded.
+fn recovery_p95(run_lengths: &[u64]) -> f64 {
+    if run_lengths.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = run_lengths.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 * 0.95).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx] as f64
+}
+
+/// Runs the experiment: the sequential fault-free oracle, one engine pass
+/// with injection disabled (hooks inert), one with the fault plan installed
+/// and the deadline armed. Installs and clears the **process-global** fault
+/// plan — callers running concurrently must serialize on
+/// [`fault::test_guard`].
+pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+
+    // The whole stream is pre-generated so every pass sees identical
+    // windows, making byte-identity across fault regimes meaningful.
+    let mut generator = paper_generator(config.generator, config.seed);
+    let windows: Vec<Window> = (0..config.windows)
+        .map(|i| Window::new(i as u64, generator.window(config.window_size)))
+        .collect();
+
+    // Make the baseline state explicit: a prior crash mid-run must not leak
+    // an installed plan into the "fault-free" passes.
+    fault::clear();
+
+    // Fault-free oracle: the strictly sequential incremental pass — the
+    // same backend the engine lanes run.
+    let mut oracle = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig { incremental: true, ..Default::default() },
+    )?;
+    let (_, oracle_rendered) = sequential_baseline(&syms, &mut oracle, &windows)?;
+
+    // Pass 1 — hooks compiled in, injection disabled, no deadline: the
+    // engine must render byte-identically to the oracle.
+    let (clean_outputs, _) =
+        engine_pass(&syms, &program, &analysis, &partitioner, config, &windows, None)?;
+    let hooks_disabled_identical = outputs_match(&syms, &clean_outputs, &oracle_rendered);
+
+    // Pass 2 — the fault plan installed and the deadline armed. Per-site
+    // seeds are derived from the workload seed so the whole pass is
+    // reproducible from one number.
+    fault::install(
+        FaultPlan::new()
+            .with_rule(FaultSite::WorkerPanic, config.fault_rate, config.seed)
+            .with_rule(FaultSite::DeltaCorrupt, config.fault_rate, config.seed.wrapping_add(1))
+            .with_rule(FaultSite::CacheInvalidate, config.fault_rate, config.seed.wrapping_add(2))
+            .with_rule(
+                FaultSite::PartitionSlowdown,
+                config.slowdown_rate,
+                config.seed.wrapping_add(3),
+            )
+            .with_stall(Duration::from_millis(config.stall_ms)),
+    );
+    let faulted = engine_pass(
+        &syms,
+        &program,
+        &analysis,
+        &partitioner,
+        config,
+        &windows,
+        Some(config.deadline_ms),
+    );
+    fault::clear();
+    let (faulted_outputs, faulted_stats) = faulted?;
+
+    // Score the faulted pass: ordered emission, clean-window identity,
+    // degraded-run lengths.
+    let emission_ordered = faulted_outputs.len() == windows.len()
+        && faulted_outputs.iter().enumerate().all(|(i, out)| out.seq == i as u64);
+    let mut clean_windows_identical = true;
+    let mut degraded_windows = 0u64;
+    let mut errored_windows = 0u64;
+    let mut run_lengths: Vec<u64> = Vec::new();
+    let mut current_run = 0u64;
+    for (out, expected) in faulted_outputs.iter().zip(&oracle_rendered) {
+        if out.degraded {
+            degraded_windows += 1;
+            current_run += 1;
+            continue;
+        }
+        if current_run > 0 {
+            run_lengths.push(current_run);
+            current_run = 0;
+        }
+        match &out.result {
+            Ok(output) => {
+                clean_windows_identical &= render_output(&syms, output) == *expected;
+            }
+            // Exhausted retries surface as loud per-window errors — allowed,
+            // counted, and never identity-relevant.
+            Err(_) => errored_windows += 1,
+        }
+    }
+    if current_run > 0 {
+        run_lengths.push(current_run);
+    }
+
+    Ok(ChaosResult {
+        window_size: config.window_size,
+        windows: config.windows,
+        in_flight: config.in_flight,
+        fault_rate: config.fault_rate,
+        slowdown_rate: config.slowdown_rate,
+        stall_ms: config.stall_ms,
+        deadline_ms: config.deadline_ms,
+        hooks_disabled_identical,
+        clean_windows_identical,
+        emission_ordered,
+        degraded_windows,
+        errored_windows,
+        degraded_window_fraction: degraded_windows as f64 / config.windows.max(1) as f64,
+        recovery_windows_p95: recovery_p95(&run_lengths),
+        degraded_fraction_ceiling: config.degraded_fraction_ceiling,
+        faulted: faulted_stats,
+    })
+}
+
+/// Renders the result as the `BENCH_chaos.json` document.
+pub fn chaos_json(result: &ChaosResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"in_flight\": {},", result.in_flight);
+    let _ = writeln!(out, "  \"fault_rate\": {:.4},", result.fault_rate);
+    let _ = writeln!(out, "  \"slowdown_rate\": {:.4},", result.slowdown_rate);
+    let _ = writeln!(out, "  \"stall_ms\": {},", result.stall_ms);
+    let _ = writeln!(out, "  \"deadline_ms\": {},", result.deadline_ms);
+    let _ = writeln!(out, "  \"faulted\": {},", result.faulted.to_json());
+    let _ = writeln!(out, "  \"degraded_windows\": {},", result.degraded_windows);
+    let _ = writeln!(out, "  \"errored_windows\": {},", result.errored_windows);
+    let _ = writeln!(out, "  \"emission_ordered\": {},", result.emission_ordered);
+    let _ =
+        writeln!(out, "  \"degraded_window_fraction\": {:.4},", result.degraded_window_fraction);
+    let _ = writeln!(out, "  \"recovery_windows_p95\": {:.4},", result.recovery_windows_p95);
+    let _ =
+        writeln!(out, "  \"degraded_fraction_ceiling\": {:.4},", result.degraded_fraction_ceiling);
+    let _ = writeln!(out, "  \"hooks_disabled_identical\": {},", result.hooks_disabled_identical);
+    let _ = writeln!(out, "  \"clean_windows_identical\": {}", result.clean_windows_identical);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::PROGRAM_P;
+
+    fn tiny() -> ChaosConfig {
+        ChaosConfig {
+            window_size: 150,
+            windows: 6,
+            stall_ms: 200,
+            deadline_ms: 60,
+            ..ChaosConfig::quick(PROGRAM_P)
+        }
+    }
+
+    #[test]
+    fn chaos_run_degrades_loudly_never_silently() {
+        let _guard = fault::test_guard();
+        let result = run_chaos(&tiny()).unwrap();
+        assert!(result.hooks_disabled_identical, "inert hooks changed engine output");
+        assert!(result.clean_windows_identical, "a clean window diverged from the oracle");
+        assert!(result.emission_ordered, "faulted pass broke ordered emission");
+        assert!(result.degraded_window_fraction <= result.degraded_fraction_ceiling);
+        assert!(
+            result.faulted.failure.is_some(),
+            "faulted pass must carry the failure snapshot (deadline + injection were on)"
+        );
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let _guard = fault::test_guard();
+        let result = run_chaos(&tiny()).unwrap();
+        let json = chaos_json(&result);
+        assert!(json.contains("\"faulted\":"));
+        assert!(json.contains("\"degraded_window_fraction\":"));
+        assert!(json.contains("\"recovery_windows_p95\":"));
+        assert!(json.contains("\"degraded_fraction_ceiling\":"));
+        assert!(json.contains("\"hooks_disabled_identical\": true"));
+        assert!(json.contains("\"clean_windows_identical\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn recovery_p95_of_run_lengths() {
+        assert_eq!(recovery_p95(&[]), 0.0);
+        assert_eq!(recovery_p95(&[2]), 2.0);
+        assert_eq!(recovery_p95(&[1, 1, 1, 1, 1, 1, 1, 1, 1, 4]), 4.0);
+    }
+}

@@ -269,7 +269,7 @@ pub fn run_delta_grounding(
         Some(&analysis.inpre),
         partitioner.clone(),
         ReasonerConfig { mode: ParallelMode::Threads, ..delta_cfg },
-        EngineConfig { in_flight: 1, queue_depth: 1 },
+        EngineConfig { in_flight: 1, queue_depth: 1, ..Default::default() },
     )?;
     for w in &engine_windows {
         engine.submit(w.clone())?;
@@ -348,6 +348,9 @@ mod tests {
 
     #[test]
     fn sweep_outputs_are_identical_and_delta_path_engages() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_delta_grounding(&toy_config()).unwrap();
         assert_eq!(result.runs.len(), 2);
         assert!(result.output_identical_all(), "delta-ground output diverged");
@@ -364,6 +367,9 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_delta_grounding(&toy_config()).unwrap();
         let json = delta_grounding_json(&result);
         assert!(json.contains("\"baseline\": \"partition_cache_incremental\""));
@@ -379,6 +385,9 @@ mod tests {
 
     #[test]
     fn headline_key_is_omitted_when_eighth_not_swept() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         // A custom sweep without ratio 8 must not fabricate a 0.0 headline
         // (which would hard-fail the CI gate on a healthy record); the key
         // is omitted so the gate reports the missing key instead.

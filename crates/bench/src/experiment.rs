@@ -324,6 +324,9 @@ mod tests {
 
     #[test]
     fn quick_grid_runs_and_prdep_is_exact() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let mut cfg = ExperimentConfig::quick(PROGRAM_P, GeneratorKind::Correlated);
         cfg.window_sizes = vec![500];
         cfg.reps = 1;
@@ -338,6 +341,9 @@ mod tests {
 
     #[test]
     fn p_prime_reports_duplication() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let mut cfg = ExperimentConfig::quick(&program_p_prime(), GeneratorKind::Correlated);
         cfg.window_sizes = vec![600];
         cfg.reps = 1;

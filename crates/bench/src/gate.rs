@@ -19,7 +19,11 @@
 //!   scheduler overhead for nothing), so only the headline gates. The
 //!   observability record is the one exception: its headline
 //!   `obs_overhead_fraction` measures a *cost*, so it gates from above —
-//!   the fraction must stay ≤ [`MAX_OBS_OVERHEAD`].
+//!   the fraction must stay ≤ [`MAX_OBS_OVERHEAD`]. The chaos record also
+//!   gates from above: its `degraded_window_fraction` must stay ≤ the
+//!   record's own `degraded_fraction_ceiling`, and its identity flags are
+//!   `hooks_disabled_identical` / `clean_windows_identical` /
+//!   `emission_ordered`.
 //!
 //! The records are produced by this workspace's own hand-rolled writers
 //! (the workspace has no JSON serializer dependency), so the checker is a
@@ -61,9 +65,60 @@ fn values_of<'j>(json: &'j str, key: &str) -> Vec<&'j str> {
     out
 }
 
+/// Checks the chaos record: its identity flags are
+/// `hooks_disabled_identical` (inert hooks byte-identical to the oracle)
+/// and `clean_windows_identical` (no silent corruption under faults), plus
+/// `emission_ordered`; its headline `degraded_window_fraction` is a cost
+/// gated from above by the record's own `degraded_fraction_ceiling`.
+fn check_chaos_record(json: &str) -> Result<GateSummary, Vec<String>> {
+    let mut violations = Vec::new();
+    let mut identity_flags = 0;
+    for key in ["hooks_disabled_identical", "clean_windows_identical", "emission_ordered"] {
+        match values_of(json, key).first().copied() {
+            Some("true") => identity_flags += 1,
+            Some("false") => violations.push(format!("{key} is false: output diverged")),
+            Some(other) => violations.push(format!("{key} has a non-boolean value {other:?}")),
+            None => violations.push(format!("chaos record is missing {key}")),
+        }
+    }
+    let fraction = match values_of(json, "degraded_window_fraction").first().copied() {
+        Some(v) => v.parse::<f64>().map_err(|_| {
+            violations.push(format!("degraded_window_fraction has a non-numeric value {v:?}"))
+        }),
+        None => unreachable!("caller dispatched on the key's presence"),
+    };
+    let ceiling = match values_of(json, "degraded_fraction_ceiling").first().copied() {
+        Some(v) => v.parse::<f64>().map_err(|_| {
+            violations.push(format!("degraded_fraction_ceiling has a non-numeric value {v:?}"))
+        }),
+        None => {
+            violations.push("chaos record is missing degraded_fraction_ceiling".to_string());
+            Err(())
+        }
+    };
+    if let (Ok(fraction), Ok(ceiling)) = (fraction, ceiling) {
+        if fraction > ceiling {
+            violations.push(format!("degraded_window_fraction exceeded {ceiling}: {fraction:.4}"));
+        }
+    }
+    match (violations.is_empty(), fraction) {
+        (true, Ok(fraction)) => Ok(GateSummary {
+            speedup_key: "degraded_window_fraction",
+            speedup: fraction,
+            identity_flags,
+        }),
+        _ => Err(violations),
+    }
+}
+
 /// Checks one bench record. `Ok` carries the headline summary; `Err`
 /// carries every violation found (empty never).
 pub fn check_record(json: &str) -> Result<GateSummary, Vec<String>> {
+    // The chaos record has its own flag names and a from-above headline;
+    // dispatch on its headline key before the common scan.
+    if !values_of(json, "degraded_window_fraction").is_empty() {
+        return check_chaos_record(json);
+    }
     let mut violations = Vec::new();
 
     // Identity: the aggregate when present, every per-run flag otherwise.
@@ -239,6 +294,50 @@ mod tests {
         assert!(violations.iter().any(|v| v.contains("output diverged")), "{violations:?}");
     }
 
+    const GOOD_CHAOS: &str = r#"{
+      "faulted": {},
+      "degraded_windows": 4,
+      "emission_ordered": true,
+      "degraded_window_fraction": 0.0833,
+      "recovery_windows_p95": 1.0,
+      "degraded_fraction_ceiling": 0.5,
+      "hooks_disabled_identical": true,
+      "clean_windows_identical": true
+    }"#;
+
+    #[test]
+    fn chaos_headline_gates_from_above_its_own_ceiling() {
+        let chaos = check_record(GOOD_CHAOS).unwrap();
+        assert_eq!(chaos.speedup_key, "degraded_window_fraction");
+        assert!((chaos.speedup - 0.0833).abs() < 1e-9);
+        assert_eq!(chaos.identity_flags, 3);
+
+        // A zero fraction (no faults fired) must not trip the from-below
+        // speedup gate the other records use.
+        let zero = GOOD_CHAOS.replace("0.0833", "0.0000");
+        assert!(check_record(&zero).is_ok());
+
+        let bad = GOOD_CHAOS.replace("0.0833", "0.7812");
+        let violations = check_record(&bad).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("exceeded 0.5: 0.7812")), "{violations:?}");
+
+        let silent = GOOD_CHAOS
+            .replace("\"clean_windows_identical\": true", "\"clean_windows_identical\": false");
+        let violations = check_record(&silent).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("clean_windows_identical")), "{violations:?}");
+
+        let unordered =
+            GOOD_CHAOS.replace("\"emission_ordered\": true", "\"emission_ordered\": false");
+        assert!(check_record(&unordered).is_err());
+
+        let no_ceiling = GOOD_CHAOS.replace("\"degraded_fraction_ceiling\": 0.5,", "");
+        let violations = check_record(&no_ceiling).unwrap_err();
+        assert!(
+            violations.iter().any(|v| v.contains("missing degraded_fraction_ceiling")),
+            "{violations:?}"
+        );
+    }
+
     #[test]
     fn missing_keys_fail() {
         let violations = check_record("{}").unwrap_err();
@@ -251,6 +350,10 @@ mod tests {
     fn real_writers_satisfy_the_gate() {
         // The actual record writers (toy scale) must produce gate-clean
         // documents — the shape contract between producer and checker.
+        // Held for the whole test: the fault plan is process-global, and a
+        // concurrently running chaos test would otherwise inject faults
+        // into the fault-free toy runs below.
+        let _fault_guard = sr_core::fault::test_guard();
         let inc = crate::incremental::run_incremental(&crate::IncrementalConfig {
             window_size: 160,
             ratios: vec![8],
@@ -348,5 +451,20 @@ mod tests {
                 "shape violation: {violations:?}"
             ),
         }
+
+        // Chaos: identity and ordering must hold even at toy scale, and the
+        // writer records its own ceiling, so the record gates strictly.
+        // (The fault guard is already held — taken at the top of the test.)
+        let chaos = crate::chaos::run_chaos(&crate::ChaosConfig {
+            window_size: 120,
+            windows: 4,
+            stall_ms: 200,
+            deadline_ms: 60,
+            ..crate::ChaosConfig::quick(crate::PROGRAM_P)
+        })
+        .unwrap();
+        let summary = check_record(&crate::chaos_json(&chaos)).unwrap();
+        assert_eq!(summary.speedup_key, "degraded_window_fraction");
+        assert_eq!(summary.identity_flags, 3);
     }
 }

@@ -308,6 +308,9 @@ mod tests {
 
     #[test]
     fn sweep_outputs_are_identical_and_overlap_hits_cache() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_incremental(&toy_config()).unwrap();
         assert_eq!(result.runs.len(), 2);
         assert!(result.output_identical_all(), "incremental output diverged");
@@ -326,6 +329,9 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_incremental(&toy_config()).unwrap();
         let json = incremental_json(&result);
         assert!(json.contains("\"sweep\": ["));

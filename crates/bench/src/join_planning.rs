@@ -419,6 +419,9 @@ mod tests {
 
     #[test]
     fn outputs_are_identical_and_planner_counters_engage() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_join_planning(&toy_config()).unwrap();
         assert_eq!(result.runs.len(), 1);
         assert!(result.output_identical_all(), "cost planning changed answers");
@@ -436,6 +439,9 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_join_planning(&toy_config()).unwrap();
         let json = join_planning_json(&result);
         assert!(json.contains("\"workload\": \"skewed_wide_body_joins\""));

@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod delta_grounding;
 pub mod experiment;
 pub mod gate;
@@ -16,6 +17,7 @@ pub mod programs;
 pub mod report;
 pub mod throughput;
 
+pub use chaos::{chaos_json, run_chaos, ChaosConfig, ChaosResult};
 pub use delta_grounding::{
     delta_grounding_json, run_delta_grounding, DeltaGroundingConfig, DeltaGroundingResult,
     DeltaGroundingRun,

@@ -351,6 +351,9 @@ mod tests {
 
     #[test]
     fn every_cell_is_byte_identical_and_dup1_dedups_fully() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_multi_tenant(&toy_config()).unwrap();
         assert_eq!(result.runs.len(), 2);
         assert!(result.output_identical_all(), "a tenant diverged from its own pipeline");
@@ -376,6 +379,9 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let result = run_multi_tenant(&toy_config()).unwrap();
         let json = multi_tenant_json(&result);
         assert!(json.contains("\"baseline\": \"independent_incremental_pipelines\""));
@@ -391,6 +397,9 @@ mod tests {
 
     #[test]
     fn headline_key_is_omitted_when_dup1_not_swept() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         // Without a dup-1.0 cell there is no shared-work headline; the key
         // (and the headline cell's engine stats) must be omitted rather
         // than fabricated, so the CI gate reports a missing key instead of

@@ -127,7 +127,11 @@ fn engine_trial(
         Some(&analysis.inpre),
         partitioner.clone(),
         ReasonerConfig::default(),
-        EngineConfig { in_flight: config.in_flight, queue_depth: config.in_flight },
+        EngineConfig {
+            in_flight: config.in_flight,
+            queue_depth: config.in_flight,
+            ..Default::default()
+        },
     )?;
     if let Some(registry) = registry {
         engine.register_metrics(registry);
@@ -292,6 +296,9 @@ mod tests {
 
     #[test]
     fn instrumentation_never_changes_engine_output() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let _guard = TRACER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let result = run_observability(&tiny()).unwrap();
         assert!(result.off_output_identical, "obs-off trial diverged from baseline");
@@ -305,6 +312,9 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let _guard = TRACER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let result = run_observability(&tiny()).unwrap();
         let json = observability_json(&result);
@@ -318,6 +328,9 @@ mod tests {
 
     #[test]
     fn overhead_fraction_clamps_at_zero() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let _guard = TRACER_TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut result = run_observability(&tiny()).unwrap();
         result.off.windows_per_sec = 10.0;

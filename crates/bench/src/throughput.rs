@@ -144,6 +144,8 @@ pub fn sequential_baseline(
         latency: LatencyStats::from_samples(&latencies),
         tenants: Vec::new(),
         dedup: None,
+        // Same honesty rule: the baseline has no recovery machinery.
+        failure: None,
     };
     Ok((stats, rendered))
 }
@@ -186,7 +188,7 @@ pub fn run_throughput(config: &ThroughputConfig) -> Result<ThroughputResult, Asp
             Some(&analysis.inpre),
             partitioner.clone(),
             reasoner_cfg.clone(),
-            EngineConfig { in_flight, queue_depth: in_flight },
+            EngineConfig { in_flight, queue_depth: in_flight, ..Default::default() },
         )?;
         for window in &windows {
             engine.submit(window.clone())?;
@@ -234,6 +236,9 @@ mod tests {
 
     #[test]
     fn quick_sweep_is_ordered_and_identical_to_baseline() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let cfg = ThroughputConfig {
             window_size: 200,
             windows: 4,
@@ -252,6 +257,9 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
         let cfg = ThroughputConfig {
             window_size: 100,
             windows: 2,

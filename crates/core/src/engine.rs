@@ -11,12 +11,15 @@
 //! [`StreamEngine::finish`].
 
 use crate::config::ReasonerConfig;
+use crate::fault::{self, FaultSite};
 use crate::incremental::{program_fingerprint, IncrementalReasoner, PartitionCache};
 use crate::metrics::{
-    duration_ms, DedupSnapshot, IncrementalSnapshot, LatencyStats, TenantLatency,
+    duration_ms, DedupSnapshot, FailureCounters, FailureSnapshot, IncrementalSnapshot,
+    LatencyStats, TenantLatency,
 };
 use crate::parallel::{reasoner_pool, ParallelReasoner};
 use crate::partition::Partitioner;
+use crate::poison::lock_recover;
 use crate::reasoner::{Reasoner, ReasonerOutput};
 use asp_core::{AspError, Predicate, Program, Symbols};
 use asp_solver::SolverConfig;
@@ -24,8 +27,8 @@ use serde::{Deserialize, Serialize};
 use sr_stream::{StreamItem, Window, Windower};
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -39,11 +42,19 @@ pub struct EngineConfig {
     /// [`StreamEngine::submit`] blocks (backpressure). Total windows admitted
     /// at once is `in_flight + queue_depth`.
     pub queue_depth: usize,
+    /// Per-window deadline, measured from [`StreamEngine::submit`]. When the
+    /// head-of-line window is still unfinished this long after submission,
+    /// the collector emits a **degraded** placeholder for it (the last good
+    /// result, tagged [`EngineOutput::degraded`]) instead of stalling
+    /// ordered emission; the real result is discarded when it eventually
+    /// arrives (counted as a late recovery). `None` (the default) disables
+    /// the deadline machinery entirely.
+    pub window_deadline_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { in_flight: 2, queue_depth: 2 }
+        EngineConfig { in_flight: 2, queue_depth: 2, window_deadline_ms: None }
     }
 }
 
@@ -56,10 +67,16 @@ pub struct EngineOutput {
     pub window_id: u64,
     /// Items the window contained.
     pub items: usize,
-    /// Wall-clock reasoning latency inside the lane.
+    /// Wall-clock reasoning latency inside the lane (for a degraded window:
+    /// submission-to-degradation wall clock).
     pub latency: Duration,
-    /// The reasoner's output, or the error/panic it produced.
+    /// The reasoner's output, or the error/panic it produced. For a degraded
+    /// window this is the last good output the engine emitted (empty when no
+    /// window succeeded yet) — see [`EngineOutput::degraded`].
     pub result: Result<ReasonerOutput, AspError>,
+    /// True when the window blew its [`EngineConfig::window_deadline_ms`]
+    /// and `result` is a stale placeholder, not this window's real answer.
+    pub degraded: bool,
 }
 
 /// Busy-time accounting of one engine lane, reported in
@@ -126,6 +143,12 @@ pub struct EngineStats {
     /// Work-deduplication counters of the multi-tenant scheduler; `None`
     /// for single-program runs (omitted from the JSON).
     pub dedup: Option<DedupSnapshot>,
+    /// Recovery counters (retries, fallbacks, degraded windows, quarantines).
+    /// Present only when the run could have produced them — a deadline was
+    /// configured, fault injection was enabled, or some counter actually
+    /// fired; otherwise `None` and omitted from the JSON rather than
+    /// fabricated as a row of zeros.
+    pub failure: Option<FailureSnapshot>,
 }
 
 impl EngineStats {
@@ -161,6 +184,9 @@ impl EngineStats {
         if let Some(dedup) = &self.dedup {
             fields.push(format!("\"dedup\": {}", dedup.to_json()));
         }
+        if let Some(failure) = &self.failure {
+            fields.push(format!("\"failure\": {}", failure.to_json()));
+        }
         format!("{{{}}}", fields.join(", "))
     }
 }
@@ -177,6 +203,15 @@ pub struct EngineReport {
 struct LaneResult {
     seq: u64,
     output: EngineOutput,
+}
+
+/// What `submit` remembers about an in-flight window so the collector can
+/// degrade it after the deadline without ever having seen its result.
+/// Maintained only when [`EngineConfig::window_deadline_ms`] is set.
+struct PendingMeta {
+    window_id: u64,
+    items: usize,
+    submitted: Instant,
 }
 
 /// Lock-free occupancy accounting shared between `submit`, the lanes and
@@ -229,6 +264,186 @@ pub struct StreamEngine {
     /// The lanes' shared partition cache when they run incrementally.
     cache: Option<Arc<PartitionCache>>,
     occupancy: Arc<OccupancyAcc>,
+    /// Recovery counters shared with the lanes, the collector and (for
+    /// incremental lanes) the reasoners' retry path.
+    failures: Arc<FailureCounters>,
+    /// Per-window deadline; `None` disables degraded emission.
+    deadline: Option<Duration>,
+    /// Submission metadata keyed by seq, kept only in deadline mode.
+    meta: Arc<Mutex<BTreeMap<u64, PendingMeta>>>,
+}
+
+/// Sends `out` to the consumer in order, updating the deadline-mode
+/// bookkeeping (drop its submission metadata, remember the last good result
+/// for future degraded placeholders).
+fn emit_ordered(
+    out: EngineOutput,
+    next_seq: &mut u64,
+    deadline: Option<Duration>,
+    last_good: &mut Option<ReasonerOutput>,
+    meta: &Mutex<BTreeMap<u64, PendingMeta>>,
+    output_tx: &Sender<EngineOutput>,
+) {
+    *next_seq += 1;
+    if deadline.is_some() {
+        lock_recover(meta).remove(&out.seq);
+        if !out.degraded {
+            if let Ok(result) = &out.result {
+                *last_good = Some(result.clone());
+            }
+        }
+    }
+    let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
+        sr_obs::ctx_scope(sr_obs::TraceCtx { window_id: out.window_id, ..sr_obs::current_ctx() })
+    });
+    let _span = sr_obs::span(sr_obs::Stage::Emit);
+    // The consumer may have stopped listening; keep draining so lanes never
+    // block on a full channel.
+    let _ = output_tx.send(out);
+}
+
+/// Builds the degraded placeholder for an overdue head-of-line window and
+/// accounts it as a finished window.
+fn degrade_window(
+    next_seq: u64,
+    m: PendingMeta,
+    last_good: &Option<ReasonerOutput>,
+    stats_acc: &Mutex<StatsAcc>,
+    hist: &sr_obs::Histogram,
+    failures: &FailureCounters,
+) -> EngineOutput {
+    use std::sync::atomic::Ordering;
+    failures.degraded_windows.fetch_add(1, Ordering::Relaxed);
+    let latency = m.submitted.elapsed();
+    hist.record(duration_ms(latency));
+    {
+        let mut acc = lock_recover(stats_acc);
+        acc.windows += 1;
+        acc.items += m.items as u64;
+        acc.last_done = Some(Instant::now());
+    }
+    EngineOutput {
+        seq: next_seq,
+        window_id: m.window_id,
+        items: m.items,
+        latency,
+        result: Ok(last_good.clone().unwrap_or_default()),
+        degraded: true,
+    }
+}
+
+/// Body of the collector thread. Without a deadline this is the plain
+/// reorder-and-emit loop; with one it wakes up in time to degrade the
+/// head-of-line window the moment it becomes overdue.
+fn collector_loop(
+    result_rx: Receiver<LaneResult>,
+    output_tx: Sender<EngineOutput>,
+    stats_acc: Arc<Mutex<StatsAcc>>,
+    hist: Arc<sr_obs::Histogram>,
+    deadline: Option<Duration>,
+    meta: Arc<Mutex<BTreeMap<u64, PendingMeta>>>,
+    failures: Arc<FailureCounters>,
+) {
+    use std::sync::atomic::Ordering;
+    use std::sync::mpsc::RecvTimeoutError;
+
+    // Boxed: a LaneResult carries a full ReasonerOutput, dwarfing the other
+    // variants.
+    enum Event {
+        Result(Box<LaneResult>),
+        Overdue,
+        Closed,
+    }
+
+    let mut pending: BTreeMap<u64, EngineOutput> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    let mut last_good: Option<ReasonerOutput> = None;
+    loop {
+        let event = match deadline {
+            None => match result_rx.recv() {
+                Ok(r) => Event::Result(Box::new(r)),
+                Err(_) => Event::Closed,
+            },
+            Some(dl) => {
+                let head = lock_recover(&meta).get(&next_seq).map(|m| m.submitted + dl);
+                // With no head-of-line metadata yet (the window may be
+                // submitted any moment), poll briefly instead of blocking:
+                // a blocking recv could sleep through the deadline of a
+                // window submitted right after we checked.
+                let until =
+                    head.unwrap_or_else(|| Instant::now() + dl.min(Duration::from_millis(20)));
+                let now = Instant::now();
+                if head.is_some() && until <= now {
+                    Event::Overdue
+                } else {
+                    match result_rx.recv_timeout(until - now) {
+                        Ok(r) => Event::Result(Box::new(r)),
+                        Err(RecvTimeoutError::Timeout) if head.is_some() => Event::Overdue,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => Event::Closed,
+                    }
+                }
+            }
+        };
+        match event {
+            Event::Closed => break,
+            Event::Overdue => {
+                let Some(m) = lock_recover(&meta).remove(&next_seq) else { continue };
+                let out = degrade_window(next_seq, m, &last_good, &stats_acc, &hist, &failures);
+                emit_ordered(out, &mut next_seq, deadline, &mut last_good, &meta, &output_tx);
+                // A degraded head may unblock already-finished successors.
+                while let Some(ready) = pending.remove(&next_seq) {
+                    emit_ordered(ready, &mut next_seq, deadline, &mut last_good, &meta, &output_tx);
+                }
+            }
+            Event::Result(boxed) => {
+                let LaneResult { seq, output } = *boxed;
+                if seq < next_seq {
+                    // The window was already emitted degraded; the real
+                    // result arrived too late. Count it, drop it.
+                    failures.late_recoveries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                hist.record(duration_ms(output.latency));
+                {
+                    let mut acc = lock_recover(&stats_acc);
+                    acc.windows += 1;
+                    acc.items += output.items as u64;
+                    acc.errors += u64::from(output.result.is_err());
+                    acc.last_done = Some(Instant::now());
+                }
+                pending.insert(seq, output);
+                while let Some(ready) = pending.remove(&next_seq) {
+                    emit_ordered(ready, &mut next_seq, deadline, &mut last_good, &meta, &output_tx);
+                }
+            }
+        }
+    }
+    // Input closed and every lane is gone. In deadline mode, flush what's
+    // left so every submitted window is emitted even if its lane died:
+    // real results where we have them, degraded placeholders elsewhere.
+    if deadline.is_some() {
+        loop {
+            if let Some(ready) = pending.remove(&next_seq) {
+                emit_ordered(ready, &mut next_seq, deadline, &mut last_good, &meta, &output_tx);
+                continue;
+            }
+            // Take the lock in its own statement: a guard created in an
+            // `if let` scrutinee would (edition 2021) live through the whole
+            // `else` chain and self-deadlock on the re-lock below.
+            let head = lock_recover(&meta).remove(&next_seq);
+            match head {
+                Some(m) => {
+                    let out = degrade_window(next_seq, m, &last_good, &stats_acc, &hist, &failures);
+                    emit_ordered(out, &mut next_seq, deadline, &mut last_good, &meta, &output_tx);
+                }
+                // Done — or a gap with neither a result nor metadata, which
+                // cannot happen (metadata is written before the window is
+                // handed to a lane); either way stop rather than spin.
+                None => break,
+            }
+        }
+    }
 }
 
 impl StreamEngine {
@@ -237,7 +452,19 @@ impl StreamEngine {
     /// starts).
     pub fn new(
         config: EngineConfig,
+        factory: impl FnMut(usize) -> Result<Box<dyn Reasoner>, AspError>,
+    ) -> Result<Self, AspError> {
+        StreamEngine::new_inner(config, factory, Arc::new(FailureCounters::default()))
+    }
+
+    /// Like [`StreamEngine::new`] but sharing `failures` with the caller, so
+    /// lane reasoners that count their own retries/fallbacks (see
+    /// [`IncrementalReasoner::set_failure_counters`]) land in the same
+    /// snapshot as the engine-level degradations.
+    fn new_inner(
+        config: EngineConfig,
         mut factory: impl FnMut(usize) -> Result<Box<dyn Reasoner>, AspError>,
+        failures: Arc<FailureCounters>,
     ) -> Result<Self, AspError> {
         let lanes_n = config.in_flight.max(1);
         let mut reasoners = Vec::with_capacity(lanes_n);
@@ -257,6 +484,7 @@ impl StreamEngine {
             let input_rx = Arc::clone(&input_rx);
             let result_tx = result_tx.clone();
             let occ = Arc::clone(&occupancy);
+            let fail = Arc::clone(&failures);
             let handle = std::thread::Builder::new()
                 .name(format!("engine-lane-{i}"))
                 .spawn(move || loop {
@@ -265,13 +493,13 @@ impl StreamEngine {
                     // hand-off: exactly one idle lane waits for the next
                     // window, the rest queue on the mutex.
                     let next = {
-                        let rx = input_rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        let rx = lock_recover(&input_rx);
                         rx.recv()
                     };
                     let Ok((seq, window)) = next else { return };
                     occ.queued.fetch_sub(1, Ordering::Relaxed);
                     let t0 = Instant::now();
-                    let result = {
+                    let caught = {
                         // Attribute everything the backend does — including
                         // pool-worker jobs it fans out — to this window/lane.
                         let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
@@ -283,9 +511,27 @@ impl StreamEngine {
                         });
                         let _span = sr_obs::span(sr_obs::Stage::Window);
                         std::panic::catch_unwind(AssertUnwindSafe(|| reasoner.process(&window)))
-                            .unwrap_or_else(|_| {
-                                Err(AspError::Internal("engine lane reasoner panicked".into()))
-                            })
+                    };
+                    // Lane supervision: a panic may have poisoned the
+                    // backend's state. `Reasoner::recover` rebuilds it when
+                    // it can; otherwise this lane stops (sibling lanes keep
+                    // draining the shared input, so the engine survives).
+                    let (result, lane_dies) = match caught {
+                        Ok(result) => (result, false),
+                        Err(_) => {
+                            let rebuilt = reasoner.recover();
+                            if rebuilt {
+                                fail.lane_rebuilds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let detail = if rebuilt { "lane state rebuilt" } else { "lane stopped" };
+                            (
+                                Err(AspError::Internal(format!(
+                                    "engine lane {i} reasoner panicked on window {} (seq {seq}); {detail}",
+                                    window.id
+                                ))),
+                                !rebuilt,
+                            )
+                        }
                     };
                     let latency = t0.elapsed();
                     occ.busy_ns[i].fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
@@ -296,9 +542,13 @@ impl StreamEngine {
                         items: window.len(),
                         latency,
                         result,
+                        degraded: false,
                     };
                     if result_tx.send(LaneResult { seq, output }).is_err() {
                         return; // collector gone: shutting down
+                    }
+                    if lane_dies {
+                        return; // unrecoverable backend: stop driving it
                     }
                 })
                 .map_err(|e| AspError::Internal(format!("cannot spawn engine lane: {e}")))?;
@@ -307,39 +557,29 @@ impl StreamEngine {
         drop(result_tx);
 
         // The collector reorders lane results by submission sequence and
-        // emits them in order, accumulating throughput stats as it goes.
+        // emits them in order, accumulating throughput stats as it goes. In
+        // deadline mode it additionally watches the head-of-line window's
+        // age and emits a degraded placeholder when the deadline passes, so
+        // one stuck window can never stall ordered emission.
         let stats_acc = Arc::clone(&stats);
         let latency_hist = Arc::new(sr_obs::Histogram::new());
         let hist = Arc::clone(&latency_hist);
+        let deadline = config.window_deadline_ms.map(Duration::from_millis);
+        let meta: Arc<Mutex<BTreeMap<u64, PendingMeta>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let collector_meta = Arc::clone(&meta);
+        let collector_fail = Arc::clone(&failures);
         let collector = std::thread::Builder::new()
             .name("engine-collector".into())
             .spawn(move || {
-                let mut pending: BTreeMap<u64, EngineOutput> = BTreeMap::new();
-                let mut next_seq = 0u64;
-                while let Ok(LaneResult { seq, output }) = result_rx.recv() {
-                    hist.record(duration_ms(output.latency));
-                    {
-                        let mut acc = stats_acc.lock().unwrap_or_else(PoisonError::into_inner);
-                        acc.windows += 1;
-                        acc.items += output.items as u64;
-                        acc.errors += u64::from(output.result.is_err());
-                        acc.last_done = Some(Instant::now());
-                    }
-                    pending.insert(seq, output);
-                    while let Some(ready) = pending.remove(&next_seq) {
-                        next_seq += 1;
-                        let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
-                            sr_obs::ctx_scope(sr_obs::TraceCtx {
-                                window_id: ready.window_id,
-                                ..sr_obs::current_ctx()
-                            })
-                        });
-                        let _span = sr_obs::span(sr_obs::Stage::Emit);
-                        // The consumer may have stopped listening; keep
-                        // draining so lanes never block on a full channel.
-                        let _ = output_tx.send(ready);
-                    }
-                }
+                collector_loop(
+                    result_rx,
+                    output_tx,
+                    stats_acc,
+                    hist,
+                    deadline,
+                    collector_meta,
+                    collector_fail,
+                )
             })
             .map_err(|e| AspError::Internal(format!("cannot spawn engine collector: {e}")))?;
 
@@ -355,6 +595,9 @@ impl StreamEngine {
             blocked: Duration::ZERO,
             cache: None,
             occupancy,
+            failures,
+            deadline,
+            meta,
         })
     }
 
@@ -387,18 +630,27 @@ impl StreamEngine {
         if reasoner_cfg.incremental {
             let cache = Arc::new(PartitionCache::new(reasoner_cfg.cache_capacity));
             let program_id = program_fingerprint(syms, program);
-            let mut engine = StreamEngine::new(config, |_lane| {
-                Ok(Box::new(IncrementalReasoner::with_pool(
-                    syms,
-                    program,
-                    inpre,
-                    partitioner.clone(),
-                    reasoner_cfg.clone(),
-                    pool.clone(),
-                    cache.clone(),
-                    program_id,
-                )?) as Box<dyn Reasoner>)
-            })?;
+            let failures = Arc::new(FailureCounters::default());
+            let mut engine = StreamEngine::new_inner(
+                config,
+                |_lane| {
+                    let mut reasoner = IncrementalReasoner::with_pool(
+                        syms,
+                        program,
+                        inpre,
+                        partitioner.clone(),
+                        reasoner_cfg.clone(),
+                        pool.clone(),
+                        cache.clone(),
+                        program_id,
+                    )?;
+                    // Lane-level retries/fallbacks count into the same
+                    // snapshot as the engine's own degradations.
+                    reasoner.set_failure_counters(Arc::clone(&failures));
+                    Ok(Box::new(reasoner) as Box<dyn Reasoner>)
+                },
+                Arc::clone(&failures),
+            )?;
             engine.cache = Some(cache);
             return Ok(engine);
         }
@@ -426,16 +678,35 @@ impl StreamEngine {
     pub fn register_metrics(&self, registry: &sr_obs::MetricsRegistry) {
         let stats = Arc::clone(&self.stats);
         registry.register_counter_fn("sr_engine_windows_total", &[], move || {
-            stats.lock().unwrap_or_else(PoisonError::into_inner).windows
+            lock_recover(&stats).windows
         });
         let stats = Arc::clone(&self.stats);
         registry.register_counter_fn("sr_engine_errors_total", &[], move || {
-            stats.lock().unwrap_or_else(PoisonError::into_inner).errors
+            lock_recover(&stats).errors
         });
         let stats = Arc::clone(&self.stats);
-        registry.register_counter_fn("sr_engine_items_total", &[], move || {
-            stats.lock().unwrap_or_else(PoisonError::into_inner).items
-        });
+        registry
+            .register_counter_fn("sr_engine_items_total", &[], move || lock_recover(&stats).items);
+        for (name, pick) in [
+            (
+                "sr_engine_degraded_windows_total",
+                (|f| &f.degraded_windows) as fn(&FailureCounters) -> &std::sync::atomic::AtomicU64,
+            ),
+            ("sr_engine_retries_total", |f| &f.retries),
+            ("sr_engine_fallbacks_total", |f| &f.fallbacks),
+            ("sr_engine_late_recoveries_total", |f| &f.late_recoveries),
+            ("sr_engine_lane_rebuilds_total", |f| &f.lane_rebuilds),
+        ] {
+            let failures = Arc::clone(&self.failures);
+            registry.register_counter_fn(name, &[], move || {
+                pick(&failures).load(std::sync::atomic::Ordering::Relaxed)
+            });
+        }
+        registry.register_counter_fn(
+            "sr_poison_recoveries_total",
+            &[],
+            crate::poison::poison_recoveries,
+        );
         registry.register_histogram(
             "sr_engine_window_latency_ms",
             &[],
@@ -480,6 +751,11 @@ impl StreamEngine {
     pub fn submit(&mut self, window: Window) -> Result<(), AspError> {
         let input =
             self.input.as_ref().ok_or_else(|| AspError::Internal("engine already shut".into()))?;
+        // A stalled source is simulated *before* admission, so the window's
+        // deadline clock starts at its real submission time.
+        if fault::injection_enabled() && fault::fires(FaultSite::SourceStall, window.id, 0) {
+            std::thread::sleep(fault::stall_duration());
+        }
         self.started.get_or_insert_with(Instant::now);
         let seq = self.submitted;
         // Count the window as queued before handing it over: a lane may
@@ -489,10 +765,25 @@ impl StreamEngine {
             let q = self.occupancy.queued.fetch_add(1, Ordering::Relaxed) + 1;
             self.occupancy.queue_high_water.fetch_max(q, Ordering::Relaxed);
         }
+        if self.deadline.is_some() {
+            // Metadata must exist before a lane can possibly finish the
+            // window, so insert ahead of the send.
+            lock_recover(&self.meta).insert(
+                seq,
+                PendingMeta {
+                    window_id: window.id,
+                    items: window.len(),
+                    submitted: Instant::now(),
+                },
+            );
+        }
         let t0 = Instant::now();
         let sent = input.send((seq, window));
         if sent.is_err() {
             self.occupancy.queued.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            if self.deadline.is_some() {
+                lock_recover(&self.meta).remove(&seq);
+            }
             return Err(AspError::Internal("engine input closed".into()));
         }
         self.blocked += t0.elapsed();
@@ -547,6 +838,15 @@ impl StreamEngine {
                     windower.feed(item)
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    // With every lane stopped (e.g. unrecoverable panics),
+                    // idle ticks would spin forever without ever making
+                    // progress; terminate instead of wedging the pump.
+                    if !self.lanes.is_empty() && self.lanes.iter().all(JoinHandle::is_finished) {
+                        return Err(AspError::Internal(
+                            "all engine lanes have stopped; live pumping cannot make progress"
+                                .into(),
+                        ));
+                    }
                     let now_ms = last_ts + last_arrival.elapsed().as_millis() as u64;
                     windower.tick(now_ms)
                 }
@@ -587,7 +887,7 @@ impl StreamEngine {
         if let Some(collector) = self.collector.take() {
             let _ = collector.join();
         }
-        let acc = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let acc = lock_recover(&self.stats);
         let elapsed = match (self.started, acc.last_done) {
             (Some(t0), Some(t1)) => t1.saturating_duration_since(t0),
             _ => Duration::ZERO,
@@ -627,8 +927,18 @@ impl StreamEngine {
             latency: LatencyStats::from_histogram(&self.latency_hist),
             tenants: Vec::new(),
             dedup: None,
+            failure: (self.deadline.is_some()
+                || fault::injection_enabled()
+                || self.failures.any_nonzero())
+            .then(|| self.failures.snapshot()),
         };
         EngineReport { outputs, stats }
+    }
+
+    /// The engine's shared recovery counters (live; also snapshotted into
+    /// [`EngineStats::failure`] by [`StreamEngine::finish`]).
+    pub fn failure_counters(&self) -> &Arc<FailureCounters> {
+        &self.failures
     }
 }
 
@@ -656,6 +966,7 @@ mod tests {
         lane: usize,
         delay: Duration,
         panic_on_window: Option<u64>,
+        recoverable: bool,
     }
 
     impl Reasoner for FakeReasoner {
@@ -678,6 +989,10 @@ mod tests {
                 solve_stats: SolveStats::default(),
             })
         }
+
+        fn recover(&mut self) -> bool {
+            self.recoverable
+        }
     }
 
     fn fake_factory(
@@ -689,7 +1004,36 @@ mod tests {
                 lane,
                 delay: Duration::from_millis(delay_ms),
                 panic_on_window,
+                recoverable: false,
             }) as Box<dyn Reasoner>)
+        }
+    }
+
+    /// A backend that answers instantly except on the listed windows, which
+    /// sleep `slow` — long enough to blow a configured deadline.
+    struct SlowOnSome {
+        slow: Duration,
+        slow_windows: Vec<u64>,
+    }
+
+    impl Reasoner for SlowOnSome {
+        fn name(&self) -> &'static str {
+            "slow-on-some"
+        }
+
+        fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
+            if self.slow_windows.contains(&window.id) {
+                std::thread::sleep(self.slow);
+            }
+            Ok(ReasonerOutput {
+                answers: Vec::new(),
+                timing: Timing::default(),
+                // Tag the output with the window id so tests can tell whose
+                // result a degraded placeholder replayed.
+                partition_sizes: vec![window.id as usize],
+                unsat_partitions: 0,
+                solve_stats: SolveStats::default(),
+            })
         }
     }
 
@@ -699,7 +1043,7 @@ mod tests {
 
     #[test]
     fn outputs_are_reordered_by_submission_sequence() {
-        let cfg = EngineConfig { in_flight: 3, queue_depth: 3 };
+        let cfg = EngineConfig { in_flight: 3, queue_depth: 3, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(2, None)).unwrap();
         for w in windows(6) {
             engine.submit(w).unwrap();
@@ -717,7 +1061,7 @@ mod tests {
 
     #[test]
     fn lane_occupancy_and_queue_high_water_are_reported() {
-        let cfg = EngineConfig { in_flight: 2, queue_depth: 3 };
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 3, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(2, None)).unwrap();
         for w in windows(8) {
             engine.submit(w).unwrap();
@@ -748,7 +1092,7 @@ mod tests {
 
     #[test]
     fn lane_panic_surfaces_as_error_and_engine_continues() {
-        let cfg = EngineConfig { in_flight: 2, queue_depth: 1 };
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 1, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(0, Some(1))).unwrap();
         for w in windows(4) {
             engine.submit(w).unwrap();
@@ -762,7 +1106,7 @@ mod tests {
 
     #[test]
     fn poll_output_drains_in_order_and_report_keeps_the_rest() {
-        let cfg = EngineConfig { in_flight: 2, queue_depth: 2 };
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 2, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(1, None)).unwrap();
         for w in windows(4) {
             engine.submit(w).unwrap();
@@ -785,7 +1129,7 @@ mod tests {
 
     #[test]
     fn dropping_the_engine_mid_flight_shuts_down_cleanly() {
-        let cfg = EngineConfig { in_flight: 2, queue_depth: 1 };
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 1, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(1, None)).unwrap();
         for w in windows(3) {
             engine.submit(w).unwrap();
@@ -795,7 +1139,7 @@ mod tests {
 
     #[test]
     fn single_lane_engine_still_pipelines_ids() {
-        let cfg = EngineConfig { in_flight: 1, queue_depth: 0 };
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 0, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(0, None)).unwrap();
         for w in windows(3) {
             engine.submit(w).unwrap();
@@ -813,7 +1157,7 @@ mod tests {
     fn submit_blocking_time_is_recorded() {
         // One slow lane, zero queue depth: the third submit must block until
         // the first window finishes.
-        let cfg = EngineConfig { in_flight: 1, queue_depth: 0 };
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 0, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(10, None)).unwrap();
         for w in windows(4) {
             engine.submit(w).unwrap();
@@ -831,6 +1175,122 @@ mod tests {
         // fabricating 0.0 (the `--json` shape contract across modes).
         let stats = EngineStats { submit_blocked_ms: None, ..report.stats };
         assert!(!stats.to_json().contains("submit_blocked_ms"), "{}", stats.to_json());
+        // Same discipline for the failure section: no deadline, no faults,
+        // no counters — no key.
+        assert!(stats.failure.is_none(), "clean run reports no failure section");
+        assert!(!stats.to_json().contains("\"failure\""), "{}", stats.to_json());
+    }
+
+    #[test]
+    fn deadline_emits_degraded_placeholders_and_keeps_emission_ordered() {
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 2, window_deadline_ms: Some(50) };
+        let mut engine = StreamEngine::new(cfg, |_lane| {
+            Ok(Box::new(SlowOnSome { slow: Duration::from_millis(400), slow_windows: vec![1] })
+                as Box<dyn Reasoner>)
+        })
+        .unwrap();
+        for w in windows(3) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outputs.len(), 3, "every window emits, stalled or not");
+        assert_eq!(engine_seqs(&report), vec![0, 1, 2]);
+        assert!(!report.outputs[0].degraded, "the fast head is real");
+        assert!(report.outputs[1].degraded, "window 1 blew the 50ms deadline");
+        // The placeholder replays the last good result — window 0's, whose
+        // fake output carries its window id as the partition-size tag.
+        assert_eq!(report.outputs[1].result.as_ref().unwrap().partition_sizes, vec![0]);
+        assert!(
+            report.outputs[2].degraded,
+            "window 2 was stuck behind the stall past its own deadline"
+        );
+        assert_eq!(report.stats.windows, 3, "late real results are not double-counted");
+        assert_eq!(report.stats.errors, 0, "degradation is not an error");
+        let failure = report.stats.failure.expect("a configured deadline forces the section");
+        assert_eq!(failure.degraded_windows, 2);
+        assert_eq!(failure.late_recoveries, 2, "both stalled results eventually arrived");
+        let json = report.stats.to_json();
+        assert!(json.contains("\"failure\": {"), "{json}");
+        assert!(json.contains("\"degraded_windows\": 2"), "{json}");
+    }
+
+    #[test]
+    fn recoverable_lane_panic_rebuilds_and_the_lane_continues() {
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 3, ..Default::default() };
+        let mut engine = StreamEngine::new(cfg, |lane| {
+            Ok(Box::new(FakeReasoner {
+                lane,
+                delay: Duration::ZERO,
+                panic_on_window: Some(1),
+                recoverable: true,
+            }) as Box<dyn Reasoner>)
+        })
+        .unwrap();
+        for w in windows(4) {
+            engine.submit(w).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outputs.len(), 4, "the only lane survived its panic");
+        let err = report.outputs[1].result.as_ref().unwrap_err().to_string();
+        assert!(err.contains("lane 0"), "names the lane: {err}");
+        assert!(err.contains("window 1"), "names the window: {err}");
+        assert!(err.contains("rebuilt"), "says what the supervisor did: {err}");
+        assert!(report.outputs[3].result.is_ok(), "the rebuilt lane keeps serving");
+        assert_eq!(report.stats.errors, 1);
+        let failure = report.stats.failure.expect("a rebuild forces the failure section");
+        assert_eq!(failure.lane_rebuilds, 1);
+    }
+
+    #[test]
+    fn unrecoverable_single_lane_death_is_loud_not_wedged() {
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 3, ..Default::default() };
+        let mut engine = StreamEngine::new(cfg, fake_factory(0, Some(1))).unwrap();
+        for w in windows(4) {
+            // The lane dies on window 1; a later submit may race its death
+            // and be refused loudly — both outcomes are "not wedged".
+            if engine.submit(w).is_err() {
+                break;
+            }
+        }
+        let report = engine.finish();
+        // Windows 2 and 3 were never claimed (refused at submit or drained
+        // unclaimed on shutdown) — nothing is fabricated for them.
+        assert_eq!(report.outputs.len(), 2);
+        assert!(report.outputs[0].result.is_ok());
+        let err = report.outputs[1].result.as_ref().unwrap_err().to_string();
+        assert!(err.contains("lane stopped"), "the error says the lane is gone: {err}");
+        assert_eq!(report.stats.errors, 1);
+    }
+
+    #[test]
+    fn pump_live_terminates_when_all_lanes_die() {
+        use sr_stream::TimeWindower;
+        use std::sync::mpsc::channel;
+
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 1, ..Default::default() };
+        let mut engine = StreamEngine::new(cfg, fake_factory(0, Some(0))).unwrap();
+        let (tx, rx) = channel::<StreamItem>();
+        let t = |ts: u64| StreamItem {
+            triple: sr_rdf::Triple::new(
+                sr_rdf::Node::Int(1),
+                sr_rdf::Node::iri("p"),
+                sr_rdf::Node::Int(1),
+            ),
+            timestamp_ms: ts,
+        };
+        // The second item closes window 0, which kills the only lane.
+        tx.send(t(5)).unwrap();
+        tx.send(t(25)).unwrap();
+        let mut windower = TimeWindower::new(10);
+        // The sender stays alive: without the all-lanes-dead check this
+        // would spin on idle ticks forever.
+        let err = engine.pump_live(&rx, &mut windower, Duration::from_millis(5)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("lanes have stopped") || msg.contains("input closed"),
+            "pumping a dead engine fails loudly: {msg}"
+        );
+        drop(tx);
     }
 
     #[test]
@@ -838,7 +1298,7 @@ mod tests {
         use sr_stream::TimeWindower;
         use std::sync::mpsc::channel;
 
-        let cfg = EngineConfig { in_flight: 1, queue_depth: 1 };
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 1, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(0, None)).unwrap();
         let (tx, rx) = channel::<StreamItem>();
         let feeder = std::thread::spawn(move || {
@@ -864,7 +1324,7 @@ mod tests {
     #[test]
     fn registered_metrics_reflect_the_run_even_after_finish() {
         let registry = sr_obs::MetricsRegistry::new();
-        let cfg = EngineConfig { in_flight: 2, queue_depth: 2 };
+        let cfg = EngineConfig { in_flight: 2, queue_depth: 2, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(1, None)).unwrap();
         engine.register_metrics(&registry);
         for w in windows(5) {
@@ -885,7 +1345,7 @@ mod tests {
 
     #[test]
     fn histogram_backed_latency_summary_matches_the_run() {
-        let cfg = EngineConfig { in_flight: 1, queue_depth: 1 };
+        let cfg = EngineConfig { in_flight: 1, queue_depth: 1, ..Default::default() };
         let mut engine = StreamEngine::new(cfg, fake_factory(2, None)).unwrap();
         for w in windows(4) {
             engine.submit(w).unwrap();
@@ -929,7 +1389,7 @@ mod tests {
             Some(&analysis.inpre),
             partitioner,
             ReasonerConfig::default(),
-            EngineConfig { in_flight: 2, queue_depth: 2 },
+            EngineConfig { in_flight: 2, queue_depth: 2, ..Default::default() },
         )
         .unwrap();
         sr_obs::tracer().set_enabled(true);
@@ -1008,7 +1468,7 @@ mod tests {
                 Some(&analysis.inpre),
                 partitioner.clone(),
                 reasoner_cfg,
-                EngineConfig { in_flight: 2, queue_depth: 2 },
+                EngineConfig { in_flight: 2, queue_depth: 2, ..Default::default() },
             )
             .unwrap();
             for w in &windows {

@@ -9,10 +9,12 @@
 //! `Arc`, several windows can have partition jobs in flight at once — the
 //! property the [`StreamEngine`](crate::engine::StreamEngine) builds on.
 
+use crate::fault::{self, FaultSite};
+use crate::poison::{lock_recover, wait_recover};
 use asp_core::AspError;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Identifies one partition job of one window.
@@ -67,9 +69,9 @@ impl<R> BatchHandle<R> {
     /// Blocks until all jobs of the batch finished; outcomes are returned in
     /// the order the payloads were submitted (i.e. by partition index).
     pub fn wait(self) -> Vec<JobOutcome<R>> {
-        let mut state = lock(&self.shared.state);
+        let mut state = lock_recover(&self.shared.state);
         while state.remaining > 0 {
-            state = self.shared.done.wait(state).unwrap_or_else(PoisonError::into_inner);
+            state = wait_recover(&self.shared.done, state);
         }
         state.slots.iter_mut().map(|s| s.take().expect("completed batch has all slots")).collect()
     }
@@ -83,10 +85,6 @@ struct QueueState<J, R> {
 struct PoolShared<J, R> {
     queue: Mutex<QueueState<J, R>>,
     available: Condvar,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A fixed-size pool of worker threads draining one shared job queue.
@@ -114,7 +112,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
                 .name(format!("{name}-{i}"))
                 .spawn(move || loop {
                     let job = {
-                        let mut queue = lock(&shared.queue);
+                        let mut queue = lock_recover(&shared.queue);
                         loop {
                             if let Some(job) = queue.jobs.pop_front() {
                                 break job;
@@ -122,16 +120,28 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
                             if queue.shutdown {
                                 return;
                             }
-                            queue = shared
-                                .available
-                                .wait(queue)
-                                .unwrap_or_else(PoisonError::into_inner);
+                            queue = wait_recover(&shared.available, queue);
                         }
                     };
                     let Job { tag, payload, batch } = job;
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| work(tag, payload)))
-                        .map_err(|_| JobPanicked { tag });
-                    let mut state = lock(&batch.state);
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if fault::injection_enabled() {
+                            let partition = tag.partition_idx as u64;
+                            if fault::fires(FaultSite::PartitionSlowdown, tag.window_id, partition)
+                            {
+                                std::thread::sleep(fault::stall_duration());
+                            }
+                            if fault::fires(FaultSite::WorkerPanic, tag.window_id, partition) {
+                                panic!(
+                                    "injected worker fault (window {}, partition {})",
+                                    tag.window_id, tag.partition_idx
+                                );
+                            }
+                        }
+                        work(tag, payload)
+                    }))
+                    .map_err(|_| JobPanicked { tag });
+                    let mut state = lock_recover(&batch.state);
                     state.slots[tag.partition_idx] = Some(outcome);
                     state.remaining -= 1;
                     if state.remaining == 0 {
@@ -161,7 +171,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
             done: Condvar::new(),
         });
         if !payloads.is_empty() {
-            let mut queue = lock(&self.shared.queue);
+            let mut queue = lock_recover(&self.shared.queue);
             for (partition_idx, payload) in payloads.into_iter().enumerate() {
                 queue.jobs.push_back(Job {
                     tag: JobTag { window_id, partition_idx },
@@ -178,7 +188,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
 
 impl<J: Send + 'static, R: Send + 'static> Drop for WorkerPool<J, R> {
     fn drop(&mut self) {
-        lock(&self.shared.queue).shutdown = true;
+        lock_recover(&self.shared.queue).shutdown = true;
         self.shared.available.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -246,6 +256,19 @@ mod tests {
         // The pool keeps serving jobs after the panic.
         let again = pool.submit(2, vec![10, 20]).wait();
         assert_eq!(again, vec![Ok(11), Ok(21)]);
+    }
+
+    #[test]
+    fn injected_worker_panic_hits_every_job_then_clears() {
+        let _guard = fault::test_guard();
+        fault::clear();
+        let pool = squaring_pool(2);
+        fault::install(crate::fault::FaultPlan::new().with_rule(FaultSite::WorkerPanic, 1.0, 3));
+        let out = pool.submit(5, vec![1, 2]).wait();
+        assert!(out.iter().all(Result::is_err), "rate-1.0 plan panics every job");
+        fault::clear();
+        let clean = pool.submit(6, vec![4]).wait();
+        assert_eq!(clean, vec![Ok(16)], "hooks are inert once the plan is cleared");
     }
 
     #[test]

@@ -21,16 +21,19 @@
 //! shared across engine lanes — and across programs — without collisions.
 
 use crate::config::{ParallelMode, ReasonerConfig};
-use crate::metrics::CacheCounters;
+use crate::fault::{self, FaultSite};
+use crate::metrics::{CacheCounters, FailureCounters};
 use crate::parallel::{max_timing, reasoner_pool, sum_timing, ReasonerPool};
 use crate::partition::Partitioner;
+use crate::poison::lock_recover;
 use crate::reasoner::{merge_stats, Reasoner, ReasonerOutput, SingleReasoner, Timing};
 use asp_core::{AnswerSet, AspError, FastMap, Predicate, Program, Symbols};
 use asp_grounder::{DeltaGrounder, Grounder};
 use asp_solver::{SolveStats, SolverConfig};
 use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
 use sr_stream::{DeltaProjections, Window, WindowDelta};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -122,10 +125,6 @@ pub struct PartitionCache {
     counters: CacheCounters,
 }
 
-fn lock(state: &Mutex<CacheState>) -> MutexGuard<'_, CacheState> {
-    state.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 impl PartitionCache {
     /// A cache holding at most `capacity` partition results. Capacity `0`
     /// disables caching entirely: every lookup misses and inserts are
@@ -145,7 +144,7 @@ impl PartitionCache {
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        lock(&self.state).map.len()
+        lock_recover(&self.state).map.len()
     }
 
     /// True when no entries are cached.
@@ -198,7 +197,7 @@ impl PartitionCache {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut state = lock(&self.state);
+        let mut state = lock_recover(&self.state);
         state.tick += 1;
         let tick = state.tick;
         match state.map.get_mut(&(program, fingerprint)) {
@@ -221,7 +220,7 @@ impl PartitionCache {
         if self.capacity == 0 {
             return;
         }
-        let mut state = lock(&self.state);
+        let mut state = lock_recover(&self.state);
         state.tick += 1;
         let tick = state.tick;
         state.map.insert((program, fingerprint), CacheEntry { answers, last_used: tick });
@@ -348,9 +347,16 @@ pub struct IncrementalReasoner {
     config: ReasonerConfig,
     /// Threads mode: the (possibly shared) worker pool.
     pool: Option<Arc<ReasonerPool>>,
-    /// Sequential mode: one reasoner serving every partition in the caller.
+    /// The caller-thread scratch reasoner. In Sequential mode it serves
+    /// every partition; in Threads mode it is the retry/fallback engine for
+    /// partitions whose pooled job panicked (see
+    /// [`IncrementalReasoner::recover_partition`]). Always exactly one.
     sequential: Vec<SingleReasoner>,
     cache: Arc<PartitionCache>,
+    /// Shared failure counters (retries/fallbacks), handed in by the engine
+    /// via [`IncrementalReasoner::set_failure_counters`]; a private default
+    /// otherwise.
+    failures: Arc<FailureCounters>,
     program_id: u64,
     /// Delta-ground fast path, when every gate holds (see
     /// [`DeltaLane::build`]). Runs in the caller thread: maintained
@@ -391,27 +397,34 @@ impl IncrementalReasoner {
         let n = partitioner.partitions().max(1);
         let solver = SolverConfig { max_models: config.max_models, ..Default::default() };
         let program_id = program_fingerprint(syms, program);
-        let (pool, sequential) = match config.mode {
+        let pool = match config.mode {
             ParallelMode::Threads => {
                 let workers = if config.workers == 0 { n } else { config.workers };
-                let pool =
-                    reasoner_pool(syms, program, inpre, &solver, workers, config.cost_planning)?;
-                (Some(Arc::new(pool)), Vec::new())
+                Some(Arc::new(reasoner_pool(
+                    syms,
+                    program,
+                    inpre,
+                    &solver,
+                    workers,
+                    config.cost_planning,
+                )?))
             }
-            ParallelMode::Sequential => {
-                let mut r = SingleReasoner::new(syms, program, inpre, solver)?;
-                r.set_cost_planning(config.cost_planning);
-                (None, vec![r])
-            }
+            ParallelMode::Sequential => None,
         };
+        // The scratch reasoner exists in both modes: Sequential execution in
+        // one, the panicked-job retry/fallback path in the other
+        // (construction-time cost only — idle unless a pooled job fails).
+        let mut scratch = SingleReasoner::new(syms, program, inpre, solver)?;
+        scratch.set_cost_planning(config.cost_planning);
         let delta = DeltaLane::build(syms, program, inpre, &partitioner, &config)?;
         Ok(IncrementalReasoner {
             syms: syms.clone(),
             partitioner,
             config,
             pool,
-            sequential,
+            sequential: vec![scratch],
             cache,
+            failures: Arc::new(FailureCounters::default()),
             program_id,
             delta,
             scratch_reported: (0, 0),
@@ -436,17 +449,33 @@ impl IncrementalReasoner {
         program_id: u64,
     ) -> Result<Self, AspError> {
         let delta = DeltaLane::build(syms, program, inpre, &partitioner, &config)?;
+        let solver = SolverConfig { max_models: config.max_models, ..Default::default() };
+        let mut scratch = SingleReasoner::new(syms, program, inpre, solver)?;
+        scratch.set_cost_planning(config.cost_planning);
         Ok(IncrementalReasoner {
             syms: syms.clone(),
             partitioner,
             config,
             pool: Some(pool),
-            sequential: Vec::new(),
+            sequential: vec![scratch],
             cache,
+            failures: Arc::new(FailureCounters::default()),
             program_id,
             delta,
             scratch_reported: (0, 0),
         })
+    }
+
+    /// Shares the engine-wide failure counters with this reasoner so its
+    /// retries and fallbacks land in the same [`FailureCounters`] snapshot
+    /// the engine reports.
+    pub fn set_failure_counters(&mut self, failures: Arc<FailureCounters>) {
+        self.failures = failures;
+    }
+
+    /// The failure counters this reasoner reports into.
+    pub fn failure_counters(&self) -> &Arc<FailureCounters> {
+        &self.failures
     }
 
     /// True when the delta-ground fast path is active (all gates passed:
@@ -527,17 +556,49 @@ impl IncrementalReasoner {
                 // applied to partition state built from exactly that window.
                 if delta.base_id == st.window_id {
                     let pd = &projected[i];
-                    let t_t = Instant::now();
-                    let added = lane.format.window_to_facts(&pd.added);
-                    let retracted = lane.format.window_to_facts(&pd.retracted);
-                    transform += t_t.elapsed();
-                    match st.grounder.apply(&added, &retracted) {
-                        Ok(()) => {
-                            applied = true;
-                            self.cache.counters().delta_applies.fetch_add(1, Ordering::Relaxed);
+                    // Fault hook: hand the validation below a corrupted copy
+                    // of the projected delta — alternately a stale base_id
+                    // and a fabricated added triple.
+                    let corrupted = (fault::injection_enabled()
+                        && fault::fires(FaultSite::DeltaCorrupt, window.id, i as u64))
+                    .then(|| {
+                        let mut bad = pd.clone();
+                        if window.id % 2 == 0 {
+                            bad.base_id = bad.base_id.wrapping_add(1);
+                        } else {
+                            bad.added.push(Triple::new(
+                                Node::iri("__fault_corrupt__"),
+                                Node::iri("__fault_corrupt__"),
+                                Node::Int(window.id as i64),
+                            ));
                         }
-                        // Chain broken (e.g. underflow): rebuild below.
-                        Err(_) => st.valid = false,
+                        bad
+                    });
+                    let pd = corrupted.as_ref().unwrap_or(pd);
+                    // Validate the projected delta before trusting it: its
+                    // base must still match and every added item must exist
+                    // in the partition content ([`WindowDelta::consistent_with`]).
+                    // A corrupted delta would otherwise be applied silently
+                    // and poison every later window on this lane.
+                    if pd.base_id == st.window_id && pd.consistent_with(items) {
+                        let t_t = Instant::now();
+                        let added = lane.format.window_to_facts(&pd.added);
+                        let retracted = lane.format.window_to_facts(&pd.retracted);
+                        transform += t_t.elapsed();
+                        match st.grounder.apply(&added, &retracted) {
+                            Ok(()) => {
+                                applied = true;
+                                self.cache.counters().delta_applies.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Chain broken (e.g. underflow): rebuild below.
+                            Err(_) => st.valid = false,
+                        }
+                    } else {
+                        // The window-level delta chained correctly but the
+                        // projected copy failed validation: corruption.
+                        // Rebuild from the full partition content below.
+                        self.failures.fallbacks.fetch_add(1, Ordering::Relaxed);
+                        st.valid = false;
                     }
                 }
             }
@@ -588,6 +649,62 @@ impl IncrementalReasoner {
         Ok(Some((answers, timing, stats)))
     }
 
+    /// How many times a failed partition job is retried on the scratch
+    /// reasoner before the window errors out.
+    const MAX_PARTITION_RETRIES: u32 = 2;
+
+    /// Recovers one partition whose job panicked (pooled worker or the
+    /// sequential path): bounded retries with exponential backoff, each
+    /// attempt a full re-ground of the partition content on the caller's
+    /// scratch reasoner — the same fallback the delta grounder uses for a
+    /// broken chain. Recovery attempts re-roll the `WorkerPanic` fault at an
+    /// attempt-salted coordinate, so a sub-1.0 injection rate models a
+    /// transient fault (recovery succeeds) while a rate-1.0 plan
+    /// deterministically exhausts the retries and surfaces the error with
+    /// the window id and partition index.
+    fn recover_partition(
+        &mut self,
+        window: &Window,
+        i: usize,
+    ) -> Result<(Vec<AnswerSet>, Timing, SolveStats), AspError> {
+        use std::sync::atomic::Ordering;
+        let _span = sr_obs::span(sr_obs::Stage::Recover);
+        let items = self.partitioner.partition(window).into_iter().nth(i).unwrap_or_default();
+        for attempt in 0..Self::MAX_PARTITION_RETRIES {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1u64 << attempt));
+            }
+            self.failures.retries.fetch_add(1, Ordering::Relaxed);
+            let reasoner = &mut self.sequential[0];
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                // Attempt-salted coordinate: distinct from the original
+                // job's roll, so injected faults are transient by default.
+                let salted = i as u64 + ((attempt as u64 + 1) << 32);
+                if fault::fires(FaultSite::WorkerPanic, window.id, salted) {
+                    panic!(
+                        "injected recovery fault (window {}, partition {i}, attempt {attempt})",
+                        window.id
+                    );
+                }
+                reasoner.process_items(&items)
+            }));
+            match outcome {
+                Ok(result) => {
+                    let out = result?;
+                    self.failures.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    return Ok(out);
+                }
+                Err(_) => continue,
+            }
+        }
+        Err(AspError::Internal(format!(
+            "partition {i} of window {} failed: worker panicked and {} re-ground retries were \
+             exhausted",
+            window.id,
+            Self::MAX_PARTITION_RETRIES
+        )))
+    }
+
     /// Processes one window: partition → fingerprint/lookup → solve dirty →
     /// combine. Output is byte-identical to
     /// [`ParallelReasoner`](crate::parallel::ParallelReasoner) over the same
@@ -623,8 +740,21 @@ impl IncrementalReasoner {
         // Clean partitions come straight from the cache; the rest are dirty.
         let (mut per_partition, mut dirty) = {
             let _span = sr_obs::span(sr_obs::Stage::CacheLookup);
-            let per_partition: Vec<Option<Arc<Vec<AnswerSet>>>> =
-                fingerprints.iter().map(|&fp| self.cache.get(self.program_id, fp)).collect();
+            let per_partition: Vec<Option<Arc<Vec<AnswerSet>>>> = fingerprints
+                .iter()
+                .enumerate()
+                .map(|(i, &fp)| {
+                    // Fault hook: drop the cached entry on the floor — an
+                    // identity-preserving fault (the recompute must yield
+                    // the same answers the cache held).
+                    if fault::injection_enabled()
+                        && fault::fires(FaultSite::CacheInvalidate, window.id, i as u64)
+                    {
+                        return None;
+                    }
+                    self.cache.get(self.program_id, fp)
+                })
+                .collect();
             let dirty: Vec<usize> =
                 (0..parts.len()).filter(|&i| per_partition[i].is_none()).collect();
             (per_partition, dirty)
@@ -682,7 +812,7 @@ impl IncrementalReasoner {
             dirty = remaining;
         }
 
-        match &self.pool {
+        match self.pool.clone() {
             Some(pool) => {
                 let payloads: Vec<Vec<Triple>> =
                     dirty.iter().map(|&i| std::mem::take(&mut parts[i])).collect();
@@ -692,10 +822,17 @@ impl IncrementalReasoner {
                 // path *adds* to whatever `critical` already holds.
                 let mut pool_critical = Timing::default();
                 for (k, outcome) in batch.wait().into_iter().enumerate() {
-                    let result = outcome.map_err(|_| {
-                        AspError::Internal("incremental reasoner worker panicked".into())
-                    })?;
-                    let (answers, timing, s) = result?;
+                    let (answers, timing, s) = match outcome {
+                        Ok(result) => result?,
+                        Err(_panicked) => {
+                            // The pooled job panicked: retry on the scratch
+                            // reasoner (serial, after the batch — account it
+                            // additively, not into the concurrent max).
+                            let (answers, rt, s) = self.recover_partition(window, dirty[k])?;
+                            critical = sum_timing(critical, rt);
+                            (answers, Timing::default(), s)
+                        }
+                    };
                     stats = merge_stats(stats, s);
                     pool_critical = max_timing(pool_critical, timing);
                     fresh.push((dirty[k], answers));
@@ -705,7 +842,28 @@ impl IncrementalReasoner {
             None => {
                 for &i in &dirty {
                     let reasoner = &mut self.sequential[0];
-                    let (answers, timing, s) = reasoner.process_items(&parts[i])?;
+                    let items = &parts[i];
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        // The sequential path hosts the same fault hooks the
+                        // pool workers do, so Sequential-mode lanes (and the
+                        // multi-tenant scheduler) see identical failures.
+                        if fault::injection_enabled() {
+                            if fault::fires(FaultSite::PartitionSlowdown, window.id, i as u64) {
+                                std::thread::sleep(fault::stall_duration());
+                            }
+                            if fault::fires(FaultSite::WorkerPanic, window.id, i as u64) {
+                                panic!(
+                                    "injected worker fault (window {}, partition {i})",
+                                    window.id
+                                );
+                            }
+                        }
+                        reasoner.process_items(items)
+                    }));
+                    let (answers, timing, s) = match outcome {
+                        Ok(result) => result?,
+                        Err(_) => self.recover_partition(window, i)?,
+                    };
                     stats = merge_stats(stats, s);
                     // Sequential mode has no critical path: stages add up.
                     critical = sum_timing(critical, timing);
@@ -715,18 +873,22 @@ impl IncrementalReasoner {
         }
         // Flush planner counters from the sequential scratch reasoner (the
         // delta lane flushes its own inside `delta_process`; pooled workers
-        // keep their plan caches on their threads and are not aggregated).
-        if let Some((replans, reordered, generation)) =
-            self.sequential.first().and_then(SingleReasoner::planner_counters)
-        {
-            use std::sync::atomic::Ordering;
-            let c = self.cache.counters();
-            c.planner_enabled.store(true, Ordering::Relaxed);
-            c.planner_replans.fetch_add(replans - self.scratch_reported.0, Ordering::Relaxed);
-            c.planner_plans_reordered
-                .fetch_add(reordered - self.scratch_reported.1, Ordering::Relaxed);
-            c.planner_generation.fetch_max(generation, Ordering::Relaxed);
-            self.scratch_reported = (replans, reordered);
+        // keep their plan caches on their threads and are not aggregated —
+        // nor is the scratch reasoner in Threads mode, where it only serves
+        // the rare recovery path).
+        if self.pool.is_none() {
+            if let Some((replans, reordered, generation)) =
+                self.sequential.first().and_then(SingleReasoner::planner_counters)
+            {
+                use std::sync::atomic::Ordering;
+                let c = self.cache.counters();
+                c.planner_enabled.store(true, Ordering::Relaxed);
+                c.planner_replans.fetch_add(replans - self.scratch_reported.0, Ordering::Relaxed);
+                c.planner_plans_reordered
+                    .fetch_add(reordered - self.scratch_reported.1, Ordering::Relaxed);
+                c.planner_generation.fetch_max(generation, Ordering::Relaxed);
+                self.scratch_reported = (replans, reordered);
+            }
         }
 
         for (i, answers) in fresh {
@@ -780,6 +942,20 @@ impl Reasoner for IncrementalReasoner {
 
     fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
         IncrementalReasoner::process(self, window)
+    }
+
+    fn recover(&mut self) -> bool {
+        // A panic may have left the maintained delta groundings mid-update:
+        // invalidate them all so the next window rebuilds from content. The
+        // partition cache is safe as-is — entries are inserted only after a
+        // successful solve — and the scratch reasoner is stateless.
+        if let Some(lane) = self.delta.as_mut() {
+            for st in &mut lane.parts {
+                st.valid = false;
+                let _ = st.grounder.reset();
+            }
+        }
+        true
     }
 }
 
@@ -1137,6 +1313,103 @@ mod tests {
             ir.cache().counters().snapshot().delta_applies > applies_before,
             "a correctly chained delta is applied incrementally again"
         );
+    }
+
+    fn seq_cfg() -> ReasonerConfig {
+        ReasonerConfig { incremental: true, mode: ParallelMode::Sequential, ..Default::default() }
+    }
+
+    #[test]
+    fn injected_panic_recovers_with_identical_output() {
+        let _guard = fault::test_guard();
+        fault::clear();
+        let (syms, mut pr, mut ir) = build_pair(seq_cfg());
+        let w = Window::new(0, motivating_items());
+        let expected = render(&syms, &pr.process(&w).unwrap());
+        // A seed whose fault fires at some original coordinate but at none
+        // of the attempt-salted retry coordinates: recovery must succeed.
+        let seed = (0..10_000)
+            .find(|&s| {
+                let plan = crate::fault::FaultPlan::new().with_rule(FaultSite::WorkerPanic, 0.5, s);
+                let fires = |p: u64| plan.fires(FaultSite::WorkerPanic, 0, p);
+                (0..2).any(&fires) && (0..2).all(|i| !fires(i) || !fires(i + (1 << 32)))
+            })
+            .expect("such a seed exists");
+        fault::install(crate::fault::FaultPlan::new().with_rule(FaultSite::WorkerPanic, 0.5, seed));
+        let recovered = ir.process(&w);
+        fault::clear();
+        assert_eq!(render(&syms, &recovered.unwrap()), expected, "recovery must be lossless");
+        let snap = ir.failure_counters().snapshot();
+        assert!(snap.retries > 0, "the panicked partition was retried: {snap:?}");
+        assert!(snap.fallbacks > 0, "and recovered via the re-ground fallback: {snap:?}");
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_window_and_partition() {
+        let _guard = fault::test_guard();
+        fault::clear();
+        let (_syms, _pr, mut ir) = build_pair(seq_cfg());
+        // Rate 1.0 fires at every coordinate, salted retries included: the
+        // bounded retries must exhaust and error out loudly.
+        fault::install(crate::fault::FaultPlan::new().with_rule(FaultSite::WorkerPanic, 1.0, 1));
+        let err = ir.process(&Window::new(7, motivating_items()));
+        fault::clear();
+        let msg = format!("{:?}", err.expect_err("rate-1.0 panics exhaust the retries"));
+        assert!(msg.contains("window 7"), "error names the window: {msg}");
+        assert!(msg.contains("partition"), "error names the partition: {msg}");
+        assert!(msg.contains("retries"), "error names the retry policy: {msg}");
+        assert_eq!(
+            ir.failure_counters().snapshot().retries,
+            u64::from(IncrementalReasoner::MAX_PARTITION_RETRIES),
+            "every retry was counted"
+        );
+    }
+
+    #[test]
+    fn corrupted_delta_falls_back_to_reground_identically() {
+        let _guard = fault::test_guard();
+        fault::clear();
+        let cfg = ReasonerConfig { delta_ground: true, ..seq_cfg() };
+        let (syms, mut pr, mut ir) = build_pair(cfg);
+        assert!(ir.delta_ground_active());
+        fault::install(crate::fault::FaultPlan::new().with_rule(FaultSite::DeltaCorrupt, 1.0, 2));
+        let mut windower = SlidingWindower::new(6, 2);
+        let mut result = Ok(());
+        'stream: for item in sliding_stream(4) {
+            if let Some(w) = windower.push(item) {
+                let full = pr.process(&w).unwrap();
+                let inc = ir.process(&w).unwrap();
+                if render(&syms, &full) != render(&syms, &inc) {
+                    result = Err(w.id);
+                    break 'stream;
+                }
+            }
+        }
+        fault::clear();
+        assert!(result.is_ok(), "corrupted-delta output diverged at window {:?}", result);
+        let snap = ir.cache().counters().snapshot();
+        assert_eq!(snap.delta_applies, 0, "every corrupted delta must be rejected: {snap:?}");
+        assert!(snap.delta_regrounds > 0, "and served by the full rebuild: {snap:?}");
+        assert!(ir.failure_counters().snapshot().fallbacks > 0, "corruption counts as fallback");
+    }
+
+    #[test]
+    fn cache_invalidation_fault_recomputes_identically() {
+        let _guard = fault::test_guard();
+        fault::clear();
+        let (syms, mut pr, mut ir) = build_pair(seq_cfg());
+        let expected = render(&syms, &pr.process(&Window::new(0, motivating_items())).unwrap());
+        ir.process(&Window::new(0, motivating_items())).unwrap();
+        fault::install(crate::fault::FaultPlan::new().with_rule(
+            FaultSite::CacheInvalidate,
+            1.0,
+            4,
+        ));
+        let again = ir.process(&Window::new(1, motivating_items()));
+        fault::clear();
+        assert_eq!(render(&syms, &again.unwrap()), expected, "recompute must match the cache");
+        let snap = ir.cache().counters().snapshot();
+        assert_eq!(snap.hits, 0, "invalidation faults bypass the cache entirely: {snap:?}");
     }
 
     #[test]

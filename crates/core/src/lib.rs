@@ -21,6 +21,7 @@ pub mod decompose;
 pub mod engine;
 pub mod exec;
 pub mod extended;
+pub mod fault;
 pub mod incremental;
 pub mod input_graph;
 pub mod metrics;
@@ -29,6 +30,7 @@ pub mod parallel;
 pub mod partition;
 pub mod pipeline;
 pub mod plan;
+pub mod poison;
 pub mod reasoner;
 pub mod registry;
 
@@ -46,19 +48,21 @@ pub use engine::{
 };
 pub use exec::{BatchHandle, JobPanicked, JobTag, WorkerPool};
 pub use extended::ExtendedDepGraph;
+pub use fault::{FaultPlan, FaultRule, FaultSite};
 pub use incremental::{
     delta_ground_supported, fingerprint_items, program_fingerprint, IncrementalReasoner,
     PartitionCache,
 };
 pub use input_graph::InputDepGraph;
 pub use metrics::{
-    duration_ms, percentile, CacheCounters, DedupSnapshot, IncrementalSnapshot, LatencyStats,
-    TenantLatency,
+    duration_ms, percentile, CacheCounters, DedupSnapshot, FailureCounters, FailureSnapshot,
+    IncrementalSnapshot, LatencyStats, TenantLatency,
 };
 pub use multi_tenant::{MultiTenantEngine, TenantOutput};
 pub use parallel::{reasoner_pool, ParallelReasoner, PoolRegistry, ReasonerPool};
 pub use partition::{Partitioner, PlanPartitioner, RandomPartitioner};
 pub use pipeline::{PipelineOutput, StreamRulePipeline};
 pub use plan::PartitioningPlan;
+pub use poison::{lock_recover, poison_recoveries};
 pub use reasoner::{Reasoner, ReasonerOutput, SingleReasoner, Timing};
 pub use registry::{ProgramEntry, ProgramRegistry, TenantPartitioner};

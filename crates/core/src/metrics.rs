@@ -215,6 +215,89 @@ impl IncrementalSnapshot {
     }
 }
 
+/// Live counters of the fault-tolerance machinery, shared (behind an `Arc`)
+/// between the engine collector, its lanes' incremental reasoners, and the
+/// multi-tenant scheduler. Atomics: lanes and the collector update them
+/// concurrently.
+#[derive(Debug, Default)]
+pub struct FailureCounters {
+    /// Partition jobs retried after a panic or a corrupted delta.
+    pub retries: AtomicU64,
+    /// Partitions recovered by the full re-ground fallback (every recovery
+    /// attempt runs it; counted once per recovered partition).
+    pub fallbacks: AtomicU64,
+    /// Windows emitted degraded because the per-window deadline fired.
+    pub degraded_windows: AtomicU64,
+    /// Degraded windows whose real result later arrived (and was discarded
+    /// to preserve ordered emission).
+    pub late_recoveries: AtomicU64,
+    /// Engine lanes rebuilt by supervision after a reasoner panic.
+    pub lane_rebuilds: AtomicU64,
+    /// Serving entries quarantined by the multi-tenant scheduler.
+    pub quarantines: AtomicU64,
+}
+
+impl FailureCounters {
+    /// A point-in-time copy for reports.
+    pub fn snapshot(&self) -> FailureSnapshot {
+        FailureSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            degraded_windows: self.degraded_windows.load(Ordering::Relaxed),
+            late_recoveries: self.late_recoveries.load(Ordering::Relaxed),
+            lane_rebuilds: self.lane_rebuilds.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True when any counter moved — used to decide whether the snapshot is
+    /// worth reporting at all (counters are omitted, never fabricated, when
+    /// nothing failure-related happened and no failure machinery was armed).
+    pub fn any_nonzero(&self) -> bool {
+        self.retries.load(Ordering::Relaxed) > 0
+            || self.fallbacks.load(Ordering::Relaxed) > 0
+            || self.degraded_windows.load(Ordering::Relaxed) > 0
+            || self.late_recoveries.load(Ordering::Relaxed) > 0
+            || self.lane_rebuilds.load(Ordering::Relaxed) > 0
+            || self.quarantines.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// Snapshot of the fault-tolerance counters, embedded in
+/// [`EngineStats`](crate::engine::EngineStats) and the chaos bench record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureSnapshot {
+    /// Partition jobs retried after a panic or a corrupted delta.
+    pub retries: u64,
+    /// Partitions recovered via the full re-ground fallback.
+    pub fallbacks: u64,
+    /// Windows emitted degraded on deadline.
+    pub degraded_windows: u64,
+    /// Degraded windows whose real result later arrived.
+    pub late_recoveries: u64,
+    /// Lanes rebuilt by supervision.
+    pub lane_rebuilds: u64,
+    /// Serving entries quarantined.
+    pub quarantines: u64,
+}
+
+impl FailureSnapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled, as for
+    /// [`LatencyStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"retries\": {}, \"fallbacks\": {}, \"degraded_windows\": {}, \
+             \"late_recoveries\": {}, \"lane_rebuilds\": {}, \"quarantines\": {}}}",
+            self.retries,
+            self.fallbacks,
+            self.degraded_windows,
+            self.late_recoveries,
+            self.lane_rebuilds,
+            self.quarantines
+        )
+    }
+}
+
 /// Per-tenant latency summary reported by the multi-tenant scheduler
 /// ([`MultiTenantEngine`](crate::multi_tenant::MultiTenantEngine)), embedded
 /// in [`EngineStats`](crate::engine::EngineStats). The latency a tenant
@@ -392,6 +475,22 @@ mod tests {
         assert!(json.contains("\"dedup_ratio\": 0.6250"), "{json}");
         assert!(json.contains("\"shared_runs_saved\": 50"), "{json}");
         assert!(json.contains("\"projections_reused\": 20"), "{json}");
+    }
+
+    #[test]
+    fn failure_counters_snapshot_and_json() {
+        let f = FailureCounters::default();
+        assert!(!f.any_nonzero());
+        f.retries.fetch_add(2, Ordering::Relaxed);
+        f.fallbacks.fetch_add(1, Ordering::Relaxed);
+        f.degraded_windows.fetch_add(3, Ordering::Relaxed);
+        assert!(f.any_nonzero());
+        let s = f.snapshot();
+        assert_eq!((s.retries, s.fallbacks, s.degraded_windows), (2, 1, 3));
+        let json = s.to_json();
+        assert!(json.contains("\"retries\": 2"), "{json}");
+        assert!(json.contains("\"degraded_windows\": 3"), "{json}");
+        assert!(json.contains("\"quarantines\": 0"), "{json}");
     }
 
     #[test]

@@ -21,12 +21,14 @@
 //! tenants emit in admission order within their entry.
 
 use crate::engine::EngineStats;
+use crate::fault;
 use crate::incremental::PartitionCache;
-use crate::metrics::{duration_ms, DedupSnapshot, LatencyStats, TenantLatency};
+use crate::metrics::{duration_ms, DedupSnapshot, FailureCounters, LatencyStats, TenantLatency};
 use crate::reasoner::ReasonerOutput;
 use crate::registry::{ProgramRegistry, TenantPartitioner};
 use asp_core::{AspError, Symbols};
 use sr_stream::{DeltaProjections, Window};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +66,9 @@ struct SchedulerCounters {
     items: std::sync::atomic::AtomicU64,
     tenant_windows: std::sync::atomic::AtomicU64,
     program_runs: std::sync::atomic::AtomicU64,
+    /// Entry runs that errored or panicked (the window itself survives:
+    /// other entries keep serving).
+    errors: std::sync::atomic::AtomicU64,
 }
 
 /// The scheduler. See the module docs for the execution model.
@@ -75,6 +80,13 @@ pub struct MultiTenantEngine {
     counters: Arc<SchedulerCounters>,
     started: Option<Instant>,
     last_done: Option<Instant>,
+    /// Per-entry serving deadline; an over-deadline (but successful) window
+    /// still serves its result and scores toward quarantine.
+    deadline: Option<Duration>,
+    /// Consecutive failed/overdue windows before an entry is quarantined.
+    quarantine_threshold: u32,
+    /// Shared recovery counters (quarantines land here).
+    failures: Arc<FailureCounters>,
 }
 
 impl MultiTenantEngine {
@@ -89,7 +101,57 @@ impl MultiTenantEngine {
             counters: Arc::new(SchedulerCounters::default()),
             started: None,
             last_done: None,
+            deadline: None,
+            quarantine_threshold: 3,
+            failures: Arc::new(FailureCounters::default()),
         }
+    }
+
+    /// Sets (or clears) the per-entry serving deadline. A successful window
+    /// slower than this still serves its result but counts against the
+    /// entry like a failure, so a chronically overdue program ends up
+    /// quarantined instead of dragging every cohabiting tenant down.
+    pub fn set_window_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline = deadline_ms.map(Duration::from_millis);
+    }
+
+    /// Consecutive failed (or overdue) windows before an entry is
+    /// quarantined. Default 3; a threshold of 0 disables quarantine.
+    pub fn set_quarantine_threshold(&mut self, threshold: u32) {
+        self.quarantine_threshold = threshold;
+    }
+
+    /// Tenants currently attached to quarantined entries (each stops
+    /// receiving outputs until [`MultiTenantEngine::readmit`]).
+    pub fn quarantined_tenants(&self) -> Vec<String> {
+        self.registry
+            .entries()
+            .iter()
+            .filter(|e| e.is_quarantined())
+            .flat_map(|e| e.tenants().iter().cloned())
+            .collect()
+    }
+
+    /// Lifts the quarantine from the entry serving `tenant` (all tenants of
+    /// that entry resume at the next window; the failure streak restarts
+    /// from zero). Errors when the tenant is unknown; a no-op when its
+    /// entry is not quarantined.
+    pub fn readmit(&mut self, tenant: &str) -> Result<(), AspError> {
+        for entry in self.registry.entries_mut() {
+            if entry.tenants.iter().any(|t| t == tenant) {
+                entry.quarantined = false;
+                entry.consecutive_failures = 0;
+                return Ok(());
+            }
+        }
+        Err(AspError::Internal(format!("tenant '{tenant}' is not admitted")))
+    }
+
+    /// The scheduler's shared recovery counters (quarantines; also
+    /// snapshotted into [`EngineStats::failure`] by
+    /// [`MultiTenantEngine::stats`]).
+    pub fn failure_counters(&self) -> &Arc<FailureCounters> {
+        &self.failures
     }
 
     /// Admits a tenant (delegates to [`ProgramRegistry::admit`]); valid
@@ -125,6 +187,14 @@ impl MultiTenantEngine {
     /// Outputs are ordered deterministically (entries in first-admission
     /// order, tenants in admission order within their entry). An empty
     /// registry yields an empty vector — the window still counts.
+    ///
+    /// **Tenant isolation:** an entry whose reasoner errors or panics no
+    /// longer aborts the whole window — its tenants just get no output for
+    /// it (counted in [`EngineStats::errors`]) and the remaining entries
+    /// keep serving. An entry that fails (or, with a deadline set, runs
+    /// overdue) [`quarantine_threshold`](MultiTenantEngine::set_quarantine_threshold)
+    /// windows in a row is quarantined: skipped entirely until
+    /// [`MultiTenantEngine::readmit`].
     pub fn process(&mut self, window: &Window) -> Result<Vec<TenantOutput>, AspError> {
         use std::sync::atomic::Ordering;
         let t_window = Instant::now();
@@ -134,9 +204,14 @@ impl MultiTenantEngine {
         // projection memo and the sample sink are sibling fields.
         let projections = &self.projections;
         let samples = &mut self.samples;
+        let deadline = self.deadline;
+        let threshold = self.quarantine_threshold;
         for entry in self.registry.entries_mut() {
+            if entry.quarantined {
+                continue;
+            }
             let t0 = Instant::now();
-            let output = {
+            let caught = {
                 // Spans recorded under this entry carry its serving-entry
                 // fingerprint, so a trace distinguishes tenants' programs.
                 let _trace_ctx = sr_obs::tracer().is_enabled().then(|| {
@@ -146,9 +221,43 @@ impl MultiTenantEngine {
                         ..sr_obs::current_ctx()
                     })
                 });
-                entry.reasoner.process_shared(window, Some(projections))?
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    entry.reasoner.process_shared(window, Some(projections))
+                }))
             };
             let latency = t0.elapsed();
+            let panicked = caught.is_err();
+            let output = match caught {
+                Ok(Ok(output)) => output,
+                Ok(Err(_)) | Err(_) => {
+                    // This entry's failure stays its own: count it, score
+                    // it toward quarantine, keep serving the other entries.
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    if panicked {
+                        // A panic may have poisoned the reasoner's
+                        // incremental state; invalidate it before reuse.
+                        let _ = crate::reasoner::Reasoner::recover(&mut entry.reasoner);
+                    }
+                    entry.consecutive_failures += 1;
+                    if threshold > 0 && entry.consecutive_failures >= threshold {
+                        entry.quarantined = true;
+                        self.failures.quarantines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+            };
+            let overdue = deadline.is_some_and(|d| latency > d);
+            if overdue {
+                // Served, but too slow: score toward quarantine so a
+                // chronically overdue program stops hurting its cohort.
+                entry.consecutive_failures += 1;
+                if threshold > 0 && entry.consecutive_failures >= threshold {
+                    entry.quarantined = true;
+                    self.failures.quarantines.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                entry.consecutive_failures = 0;
+            }
             self.counters.program_runs.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::new(output);
             for tenant in &entry.tenants {
@@ -199,16 +308,21 @@ impl MultiTenantEngine {
     pub fn register_metrics(&self, registry: &sr_obs::MetricsRegistry) {
         use std::sync::atomic::Ordering;
         type CounterRead = fn(&SchedulerCounters) -> u64;
-        let counters: [(&str, CounterRead); 4] = [
+        let counters: [(&str, CounterRead); 5] = [
             ("sr_tenant_windows_total", |c| c.windows.load(Ordering::Relaxed)),
             ("sr_tenant_items_total", |c| c.items.load(Ordering::Relaxed)),
             ("sr_tenant_tenant_windows_total", |c| c.tenant_windows.load(Ordering::Relaxed)),
             ("sr_tenant_program_runs_total", |c| c.program_runs.load(Ordering::Relaxed)),
+            ("sr_tenant_errors_total", |c| c.errors.load(Ordering::Relaxed)),
         ];
         for (name, read) in counters {
             let shared = Arc::clone(&self.counters);
             registry.register_counter_fn(name, &[], move || read(&shared));
         }
+        let failures = Arc::clone(&self.failures);
+        registry.register_counter_fn("sr_tenant_quarantines_total", &[], move || {
+            failures.quarantines.load(Ordering::Relaxed)
+        });
         registry.register_histogram(
             "sr_tenant_window_latency_ms",
             &[],
@@ -233,7 +347,7 @@ impl MultiTenantEngine {
         let items = self.counters.items.load(Ordering::Relaxed);
         EngineStats {
             windows,
-            errors: 0,
+            errors: self.counters.errors.load(Ordering::Relaxed),
             items,
             elapsed_ms: duration_ms(elapsed),
             windows_per_sec: if elapsed_s > 0.0 { windows as f64 / elapsed_s } else { 0.0 },
@@ -253,6 +367,10 @@ impl MultiTenantEngine {
                 })
                 .collect(),
             dedup: Some(self.dedup_snapshot()),
+            failure: (self.deadline.is_some()
+                || fault::injection_enabled()
+                || self.failures.any_nonzero())
+            .then(|| self.failures.snapshot()),
         }
     }
 }
@@ -443,5 +561,74 @@ mod tests {
             dedup.projections_reused > 0,
             "matching routing signatures must share projections: {dedup:?}"
         );
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_the_entry_and_readmit_lifts_it() {
+        use crate::fault::{self, FaultPlan, FaultSite};
+
+        let _guard = fault::test_guard();
+        fault::clear();
+        let mut eng = engine();
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+
+        // A rate-1.0 worker-panic plan makes every partition exhaust its
+        // retries: each window is a deterministic entry failure.
+        fault::install(FaultPlan::new().with_rule(FaultSite::WorkerPanic, 1.0, 11));
+        for id in 0..3 {
+            let outputs = eng.process(&window(id)).unwrap();
+            assert!(outputs.is_empty(), "a failing entry serves nothing, but the window survives");
+        }
+        assert_eq!(eng.quarantined_tenants(), vec!["t0".to_string()], "3 strikes by default");
+        fault::clear();
+
+        // Quarantined: skipped without even attempting (no new errors), and
+        // a freshly admitted healthy tenant is served in the same window.
+        eng.admit("t1", PROGRAM_B, TenantPartitioner::Dependency).unwrap();
+        let outputs = eng.process(&window(3)).unwrap();
+        assert_eq!(outputs.len(), 1, "only the healthy entry runs");
+        assert_eq!(outputs[0].tenant, "t1");
+        let stats = eng.stats();
+        assert_eq!(stats.errors, 3, "one error per failed entry run");
+        let failure = stats.failure.expect("a quarantine forces the failure section");
+        assert_eq!(failure.quarantines, 1);
+        assert!(stats.to_json().contains("\"failure\": {"), "{}", stats.to_json());
+
+        // Re-admission restores service for every tenant of the entry.
+        eng.readmit("t0").unwrap();
+        assert!(eng.quarantined_tenants().is_empty());
+        let outputs = eng.process(&window(4)).unwrap();
+        let tenants: Vec<&str> = outputs.iter().map(|o| o.tenant.as_str()).collect();
+        assert_eq!(tenants, ["t0", "t1"]);
+        assert!(rendered(&outputs[0])[0].contains("jam(a)"), "{:?}", rendered(&outputs[0]));
+        assert!(eng.readmit("nobody").is_err());
+        fault::clear();
+    }
+
+    #[test]
+    fn overdue_windows_score_toward_quarantine_but_still_serve() {
+        let mut eng = engine();
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.set_window_deadline_ms(Some(0)); // every real window is overdue
+        eng.set_quarantine_threshold(2);
+        let first = eng.process(&window(0)).unwrap();
+        assert_eq!(first.len(), 1, "an overdue window still serves its result");
+        assert!(eng.quarantined_tenants().is_empty(), "one strike is not enough");
+        let second = eng.process(&window(1)).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(eng.quarantined_tenants(), vec!["t0".to_string()], "two strikes at threshold 2");
+        let stats = eng.stats();
+        assert_eq!(stats.errors, 0, "overdue is not an error");
+        assert_eq!(stats.failure.expect("deadline configured").quarantines, 1);
+    }
+
+    #[test]
+    fn failure_section_is_omitted_without_deadline_faults_or_counters() {
+        let mut eng = engine();
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        eng.process(&window(0)).unwrap();
+        let stats = eng.stats();
+        assert!(stats.failure.is_none(), "nothing to report, nothing fabricated");
+        assert!(!stats.to_json().contains("\"failure\""), "{}", stats.to_json());
     }
 }

@@ -322,6 +322,12 @@ impl Reasoner for ParallelReasoner {
     fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
         ParallelReasoner::process(self, window)
     }
+
+    fn recover(&mut self) -> bool {
+        // Pool workers catch their own panics and keep no cross-window
+        // state; the dispatcher side holds none either.
+        true
+    }
 }
 
 pub(crate) fn max_timing(a: Timing, b: Timing) -> Timing {

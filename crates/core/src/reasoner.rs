@@ -60,6 +60,14 @@ pub trait Reasoner: Send {
 
     /// Processes one window end to end.
     fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError>;
+
+    /// Attempts to restore a usable state after `process` panicked (lane
+    /// supervision calls this before retrying the next window). Returns
+    /// `true` when the backend is safe to keep using; the default `false`
+    /// tells the supervisor to stop driving this instance.
+    fn recover(&mut self) -> bool {
+        false
+    }
 }
 
 impl Reasoner for SingleReasoner {
@@ -69,6 +77,11 @@ impl Reasoner for SingleReasoner {
 
     fn process(&mut self, window: &Window) -> Result<ReasonerOutput, AspError> {
         SingleReasoner::process(self, window)
+    }
+
+    fn recover(&mut self) -> bool {
+        // Stateless across windows: every `process` grounds from scratch.
+        true
     }
 }
 

@@ -59,6 +59,11 @@ pub struct ProgramEntry {
     pub(crate) syms: Symbols,
     pub(crate) reasoner: IncrementalReasoner,
     pub(crate) tenants: Vec<String>,
+    /// Windows this entry failed (panic/error) or blew its deadline on,
+    /// consecutively; reset on a healthy window.
+    pub(crate) consecutive_failures: u32,
+    /// A quarantined entry is skipped by the scheduler until readmitted.
+    pub(crate) quarantined: bool,
 }
 
 impl ProgramEntry {
@@ -86,6 +91,12 @@ impl ProgramEntry {
     /// Number of partitions the program's reasoner fans out over.
     pub fn partitions(&self) -> usize {
         self.reasoner.partitions()
+    }
+
+    /// True when the scheduler has quarantined this entry (see
+    /// [`MultiTenantEngine::process`](crate::multi_tenant::MultiTenantEngine::process)).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
     }
 }
 
@@ -159,6 +170,8 @@ impl ProgramRegistry {
             syms,
             reasoner,
             tenants: vec![tenant.to_string()],
+            consecutive_failures: 0,
+            quarantined: false,
         });
         Ok(fingerprint)
     }

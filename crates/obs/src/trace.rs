@@ -48,6 +48,9 @@ pub enum Stage {
     Solve,
     /// Combining per-partition answers.
     Combine,
+    /// Recovering from a failed partition job: retry attempts and the full
+    /// re-ground fallback after a worker panic or a corrupted delta.
+    Recover,
     /// Ordered emission out of the engine.
     Emit,
 }
@@ -66,6 +69,7 @@ impl Stage {
             Stage::Plan => "plan",
             Stage::Solve => "solve",
             Stage::Combine => "combine",
+            Stage::Recover => "recover",
             Stage::Emit => "emit",
         }
     }
@@ -83,6 +87,7 @@ impl Stage {
             Stage::Plan,
             Stage::Solve,
             Stage::Combine,
+            Stage::Recover,
             Stage::Emit,
         ]
     }

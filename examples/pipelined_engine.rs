@@ -35,15 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         partitioner.partitions() * in_flight,
         false,
     )?);
-    let mut engine =
-        StreamEngine::new(EngineConfig { in_flight, queue_depth: in_flight }, |_lane| {
+    let mut engine = StreamEngine::new(
+        EngineConfig { in_flight, queue_depth: in_flight, ..Default::default() },
+        |_lane| {
             Ok(Box::new(ParallelReasoner::with_pool(
                 &syms,
                 partitioner.clone(),
                 ReasonerConfig::default(),
                 pool.clone(),
             )) as Box<dyn Reasoner>)
-        })?;
+        },
+    )?;
     println!(
         "engine ready: {} lanes x {} partitions over a {}-worker pool",
         engine.lanes(),

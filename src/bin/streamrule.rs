@@ -11,6 +11,7 @@
 //!                [--incremental] [--cache-size N] [--slide S] [--delta-ground]
 //!                [--cost-planning] [--tenants N] [--dup-ratio R]
 //!                [--metrics-addr HOST:PORT] [--trace-out trace.json]
+//!                [--deadline-ms D] [--fault-spec SITE:RATE:SEED[,...]]
 //! ```
 //!
 //! `run` streams tuple windows — read from an N-Triples file or generated
@@ -47,6 +48,15 @@
 //! trace-event JSON (load it in `chrome://tracing` or Perfetto). Both are
 //! observers: answers and throughput records are identical with or without
 //! them.
+//! `--deadline-ms D` arms the engine's per-window deadline: a window still
+//! unfinished `D` ms after submission is emitted **degraded** (the last good
+//! answer, clearly tagged) instead of stalling ordered emission; with
+//! `--tenants` the deadline instead scores overdue windows toward tenant
+//! quarantine. `--fault-spec SITE:RATE:SEED[,...]` installs a deterministic
+//! fault-injection plan (sites: `worker_panic`, `partition_slowdown`,
+//! `delta_corrupt`, `cache_invalidate`, `source_stall`) for chaos smoke
+//! runs; recovery counters appear in the report and the `--json` record
+//! only when injection or a deadline is active — never fabricated.
 
 use sr_bench::{
     outputs_match, sequential_baseline, throughput_json, ThroughputResult, ThroughputRun,
@@ -86,7 +96,8 @@ const USAGE: &str = "usage:
                  [--in-flight L] [--rate R] [--seed S] [--json out.json] [--trials T] [--events]
                  [--incremental] [--cache-size N] [--slide S] [--delta-ground]
                  [--cost-planning] [--tenants N] [--dup-ratio R]
-                 [--metrics-addr HOST:PORT] [--trace-out trace.json]";
+                 [--metrics-addr HOST:PORT] [--trace-out trace.json]
+                 [--deadline-ms D] [--fault-spec SITE:RATE:SEED[,...]]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -413,6 +424,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         },
         None => None,
     };
+    let deadline_ms: Option<u64> = match flag_value(args, "--deadline-ms") {
+        Some(v) => match v.parse() {
+            Ok(d) if d > 0 => Some(d),
+            _ => return Err("bad --deadline-ms (need a positive millisecond count)".into()),
+        },
+        None => None,
+    };
+    if deadline_ms.is_some() && in_flight == 0 && tenants.is_none() {
+        return Err("--deadline-ms arms the pipelined engine's degraded-emission path (or \
+                    tenant quarantine scoring); add --in-flight L or --tenants N"
+            .into());
+    }
+    if let Some(spec) = flag_value(args, "--fault-spec") {
+        let plan = FaultPlan::parse_spec(spec).map_err(|e| format!("bad --fault-spec: {e}"))?;
+        println!("fault injection: {spec}");
+        fault::install(plan);
+    }
     // Observability is orthogonal to the chosen path: the session outlives
     // the run and is finalized (self-scrape, trace write) after it.
     let obs = ObsSession::start(args)?;
@@ -440,7 +468,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        run_tenants(&source, tenants, dup_ratio, mode, &reasoner_cfg, &windows, obs.registry())
+        run_tenants(
+            &source,
+            tenants,
+            dup_ratio,
+            mode,
+            &reasoner_cfg,
+            &windows,
+            deadline_ms,
+            obs.registry(),
+        )
     } else if flag_value(args, "--dup-ratio").is_some() {
         return Err("--dup-ratio only applies to the multi-tenant path; add --tenants N".into());
     } else if in_flight == 0 {
@@ -474,6 +511,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             windows,
             in_flight,
             rate,
+            deadline_ms,
             json_path,
             trials,
             &projection,
@@ -645,6 +683,7 @@ fn run_tenants(
     mode: RunMode,
     reasoner_cfg: &ReasonerConfig,
     windows: &[Window],
+    deadline_ms: Option<u64>,
     registry: Option<&stream_reasoner::sr_obs::MetricsRegistry>,
 ) -> Result<(), String> {
     let partitioner = match mode {
@@ -656,6 +695,7 @@ fn run_tenants(
     // partition-level result cache sized by --cache-size.
     let mut engine =
         MultiTenantEngine::new(ReasonerConfig { incremental: true, ..reasoner_cfg.clone() });
+    engine.set_window_deadline_ms(deadline_ms);
     let n_dup = ((tenants as f64) * dup_ratio).round() as usize;
     for i in 0..tenants {
         let src =
@@ -703,7 +743,30 @@ fn run_tenants(
     if let Some(snapshot) = &stats.incremental {
         print_cache_line(snapshot);
     }
+    if let Some(f) = &stats.failure {
+        print_failure_line(f);
+    }
+    let quarantined = engine.quarantined_tenants();
+    if !quarantined.is_empty() {
+        println!("quarantined tenant(s): {}", quarantined.join(", "));
+    }
     Ok(())
+}
+
+/// Prints the recovery-counter summary. Only called when the run produced
+/// (or could have produced) one — the snapshot is omitted, never fabricated,
+/// for runs without a deadline or fault injection.
+fn print_failure_line(f: &FailureSnapshot) {
+    println!(
+        "failures: {} retries, {} fallbacks, {} degraded window(s), {} late recover(ies), \
+         {} lane rebuild(s), {} quarantine(s)",
+        f.retries,
+        f.fallbacks,
+        f.degraded_windows,
+        f.late_recoveries,
+        f.lane_rebuilds,
+        f.quarantines
+    );
 }
 
 /// Prints the partition-cache summary of an incremental run.
@@ -741,6 +804,7 @@ fn run_engine(
     windows: Vec<Window>,
     in_flight: usize,
     rate: f64,
+    deadline_ms: Option<u64>,
     json_path: Option<&str>,
     trials: usize,
     projection: &Projection,
@@ -749,7 +813,8 @@ fn run_engine(
     use std::time::Duration;
 
     let make_engine = || {
-        let config = EngineConfig { in_flight, queue_depth: in_flight };
+        let config =
+            EngineConfig { in_flight, queue_depth: in_flight, window_deadline_ms: deadline_ms };
         match mode.partitioner(analysis) {
             None => StreamEngine::new(config, |_lane| {
                 let mut r = SingleReasoner::new(syms, program, None, SolverConfig::default())?;
@@ -870,11 +935,12 @@ fn print_engine_report(
         match &out.result {
             Ok(r) => {
                 println!(
-                    "window {} ({} items): {} answer set(s) in {:.2} ms",
+                    "window {} ({} items): {} answer set(s) in {:.2} ms{}",
                     out.window_id,
                     out.items,
                     r.answers.len(),
-                    duration_ms(out.latency)
+                    duration_ms(out.latency),
+                    if out.degraded { " [DEGRADED: replaying last good answer]" } else { "" }
                 );
                 for ans in r.answers.iter().take(2) {
                     let rendered = projection.apply(ans, syms).display(syms).to_string();
@@ -905,5 +971,8 @@ fn print_engine_report(
     );
     if let Some(snapshot) = &stats.incremental {
         print_cache_line(snapshot);
+    }
+    if let Some(f) = &stats.failure {
+        print_failure_line(f);
     }
 }

@@ -53,15 +53,15 @@ pub mod prelude {
     pub use asp_parser::{parse_program, parse_rule};
     pub use asp_solver::{solve, solve_ground, SolveResult, SolverConfig};
     pub use sr_core::{
-        answer_accuracy, atom_level_partition, delta_ground_supported, duration_ms,
+        answer_accuracy, atom_level_partition, delta_ground_supported, duration_ms, fault,
         fingerprint_items, program_fingerprint, reasoner_pool, window_accuracy, AnalysisConfig,
         CombinePolicy, DedupSnapshot, DependencyAnalysis, DuplicationPolicy, EngineConfig,
-        EngineOutput, EngineReport, EngineStats, IncrementalReasoner, IncrementalSnapshot,
-        LatencyStats, MultiTenantEngine, ParallelMode, ParallelReasoner, PartitionCache,
-        Partitioner, PartitioningPlan, PlanPartitioner, ProgramRegistry, Projection,
-        RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput, ReasonerPool, SingleReasoner,
-        StreamEngine, StreamRulePipeline, TenantLatency, TenantOutput, TenantPartitioner,
-        UnknownPredicate,
+        EngineOutput, EngineReport, EngineStats, FailureSnapshot, FaultPlan, FaultSite,
+        IncrementalReasoner, IncrementalSnapshot, LatencyStats, MultiTenantEngine, ParallelMode,
+        ParallelReasoner, PartitionCache, Partitioner, PartitioningPlan, PlanPartitioner,
+        ProgramRegistry, Projection, RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput,
+        ReasonerPool, SingleReasoner, StreamEngine, StreamRulePipeline, TenantLatency,
+        TenantOutput, TenantPartitioner, UnknownPredicate,
     };
     pub use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
     pub use sr_stream::{

@@ -1,0 +1,210 @@
+//! Chaos proptests: the pipelined [`StreamEngine`] under randomized
+//! deterministic fault plans — worker panics, corrupted deltas, cache
+//! invalidations and partition slowdowns past the window deadline — across
+//! partitioner choices, slide/size combinations and in-flight depths. Three
+//! invariants must survive every plan:
+//!
+//! 1. the engine **terminates** and emits every submitted window exactly
+//!    once, in submission order (no wedged collector, no dropped windows);
+//! 2. every clean (non-degraded, non-errored) window renders
+//!    **byte-identically** to the fault-free reference pass;
+//! 3. a window that could not produce its real answer is **flagged** —
+//!    degraded or a loud per-window error — never silently wrong.
+
+use proptest::prelude::*;
+use sr_bench::PROGRAM_P;
+use std::sync::Arc;
+use std::time::Duration;
+use stream_reasoner::prelude::*;
+
+/// Cuts a sliding-window stream (including the flushed tail) from the paper
+/// workload generator.
+fn sliding_windows(seed: u64, size: usize, slide: usize, emissions: usize) -> Vec<Window> {
+    let mut generator = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+    let mut windower = SlidingWindower::new(size, slide);
+    let total = size + slide * emissions + slide / 2; // odd tail for flush
+    let mut windows = Vec::new();
+    for triple in generator.window(total) {
+        if let Some(w) = windower.push(triple) {
+            windows.push(w);
+        }
+    }
+    if let Some(w) = windower.flush() {
+        windows.push(w);
+    }
+    windows
+}
+
+fn render(syms: &Symbols, out: &ReasonerOutput) -> String {
+    out.answers.iter().map(|a| a.display(syms).to_string()).collect::<Vec<_>>().join("\n")
+}
+
+/// Sequential-mode incremental config: the lanes recover partitions inline,
+/// so every fault site on the sequential path is exercised deterministically.
+fn chaos_config() -> ReasonerConfig {
+    ReasonerConfig {
+        mode: ParallelMode::Sequential,
+        incremental: true,
+        cache_capacity: 64,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn engine_under_random_fault_plans_is_ordered_and_never_silently_wrong(
+        size in 40usize..=100,
+        divisor_idx in 0usize..3,
+        seed in 0u64..1_000,
+        panic_pct in 0u32..50,
+        corrupt_pct in 0u32..50,
+        invalidate_pct in 0u32..50,
+        slowdown_pct in 0u32..20,
+        in_flight in 1usize..=3,
+        random_part in any::<bool>(),
+        k in 2usize..=4,
+    ) {
+        // The fault plan is process-global: serialize with every other test
+        // that installs one.
+        let _guard = fault::test_guard();
+        let slide = (size / [2, 4, 8][divisor_idx]).max(1);
+        let windows = sliding_windows(seed, size, slide, 3);
+
+        let syms = Symbols::new();
+        let program = parse_program(&syms, PROGRAM_P).unwrap();
+        let analysis =
+            DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
+                .unwrap();
+        let partitioner: Arc<dyn Partitioner> = if random_part {
+            Arc::new(RandomPartitioner::new(k, seed ^ 0x55aa))
+        } else {
+            Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0))
+        };
+
+        // Fault-free reference: the same backend the lanes run, strictly
+        // sequential.
+        fault::clear();
+        let mut reference = IncrementalReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            chaos_config(),
+        )
+        .unwrap();
+        let expected: Vec<String> =
+            windows.iter().map(|w| render(&syms, &reference.process(w).unwrap())).collect();
+
+        fault::install(
+            FaultPlan::new()
+                .with_rule(FaultSite::WorkerPanic, f64::from(panic_pct) / 100.0, seed)
+                .with_rule(FaultSite::DeltaCorrupt, f64::from(corrupt_pct) / 100.0, seed.wrapping_add(1))
+                .with_rule(
+                    FaultSite::CacheInvalidate,
+                    f64::from(invalidate_pct) / 100.0,
+                    seed.wrapping_add(2),
+                )
+                .with_rule(
+                    FaultSite::PartitionSlowdown,
+                    f64::from(slowdown_pct) / 100.0,
+                    seed.wrapping_add(3),
+                )
+                .with_stall(Duration::from_millis(350)),
+        );
+        let mut engine = StreamEngine::with_partitioned_lanes(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner,
+            chaos_config(),
+            EngineConfig { in_flight, queue_depth: in_flight, window_deadline_ms: Some(120) },
+        )
+        .unwrap();
+        for window in &windows {
+            engine.submit(window.clone()).unwrap();
+        }
+        let report = engine.finish();
+        fault::clear();
+
+        // (1) Termination + complete, ordered emission. Reaching this line
+        // at all is the termination half; finish() would hang otherwise.
+        prop_assert_eq!(
+            report.outputs.len(),
+            windows.len(),
+            "every submitted window must be emitted"
+        );
+        for (i, out) in report.outputs.iter().enumerate() {
+            prop_assert_eq!(out.seq, i as u64, "emission left submission order");
+            prop_assert_eq!(out.window_id, windows[i].id);
+            // (3) Degraded windows are flagged; their stale payload is
+            // exempt from identity by construction.
+            if out.degraded {
+                continue;
+            }
+            // (2) Clean windows must be byte-identical to the reference;
+            // exhausted retries surface loudly per window (Err) — allowed.
+            if let Ok(output) = &out.result {
+                prop_assert_eq!(
+                    render(&syms, output),
+                    expected[i].clone(),
+                    "clean window {} silently diverged from the fault-free reference",
+                    i
+                );
+            }
+        }
+        // The deadline was armed, so the stats must carry the failure
+        // snapshot (even if every counter stayed zero).
+        prop_assert!(report.stats.failure.is_some());
+    }
+}
+
+/// A fault-free engine pass with the hooks compiled in renders exactly what
+/// the reference renders — and honestly omits the failure section when no
+/// deadline is armed.
+#[test]
+fn inert_hooks_change_nothing() {
+    let _guard = fault::test_guard();
+    fault::clear();
+    let windows = sliding_windows(11, 80, 20, 3);
+    let syms = Symbols::new();
+    let program = parse_program(&syms, PROGRAM_P).unwrap();
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+    let partitioner: Arc<dyn Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let mut reference = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        chaos_config(),
+    )
+    .unwrap();
+    let expected: Vec<String> =
+        windows.iter().map(|w| render(&syms, &reference.process(w).unwrap())).collect();
+
+    let mut engine = StreamEngine::with_partitioned_lanes(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner,
+        chaos_config(),
+        EngineConfig { in_flight: 2, queue_depth: 2, window_deadline_ms: None },
+    )
+    .unwrap();
+    for window in &windows {
+        engine.submit(window.clone()).unwrap();
+    }
+    let report = engine.finish();
+    assert_eq!(report.outputs.len(), windows.len());
+    for (i, out) in report.outputs.iter().enumerate() {
+        assert!(!out.degraded, "no deadline, nothing may degrade");
+        assert_eq!(render(&syms, out.result.as_ref().unwrap()), expected[i]);
+    }
+    assert!(
+        report.stats.failure.is_none(),
+        "no deadline, no injection, no counters: the failure section must be omitted"
+    );
+}

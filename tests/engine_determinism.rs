@@ -40,7 +40,7 @@ fn engine_rendered(
     windows: &[Window],
     in_flight: usize,
 ) -> Vec<String> {
-    let config = EngineConfig { in_flight, queue_depth: in_flight };
+    let config = EngineConfig { in_flight, queue_depth: in_flight, ..Default::default() };
     let mut engine = StreamEngine::new(config, &mut factory).unwrap();
     for w in windows {
         engine.submit(w.clone()).unwrap();

@@ -533,7 +533,7 @@ fn incremental_engine_matches_sequential_and_reports_cache() {
         Some(&analysis.inpre),
         partitioner,
         cfg,
-        EngineConfig { in_flight: 2, queue_depth: 2 },
+        EngineConfig { in_flight: 2, queue_depth: 2, ..Default::default() },
     )
     .unwrap();
     for w in &windows {
