@@ -440,6 +440,20 @@ impl DeltaGrounder {
         self.insts.len() - self.dead_insts
     }
 
+    /// Observed sizes of the maintained stores, in the cell units of
+    /// [`crate::analysis::DeltaStateBound`]. Slot counts include
+    /// tombstones, so the amortized-compaction slack (`slots ≤ 2 × live`)
+    /// is visible to bound-soundness checks.
+    pub fn state_size(&self) -> crate::analysis::DeltaStateSize {
+        crate::analysis::DeltaStateSize {
+            input_facts: self.input_facts,
+            live_instantiations: self.instantiations(),
+            instantiation_slots: self.insts.len(),
+            support_atoms: self.support.len(),
+            relation_slots: self.rels.values().map(|r| r.slots.len()).sum(),
+        }
+    }
+
     /// Clears the maintained state back to the empty fact multiset
     /// (re-instantiating body-free rules).
     pub fn reset(&mut self) -> Result<(), AspError> {

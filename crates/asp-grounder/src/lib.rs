@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod compile;
 pub mod delta;
 pub mod instantiate;
@@ -21,6 +22,10 @@ pub mod relation;
 pub mod simplify;
 pub mod stats;
 
+pub use analysis::{
+    grounding_bounds, DeltaStateBound, DeltaStateSize, EvalStratum, GroundingBounds, MemoryBound,
+    PredicateExtent, RuleBound,
+};
 pub use delta::{DeltaError, DeltaGrounder};
 pub use instantiate::{ground_program, is_internal_predicate, Grounder};
 pub use planner::{CostSource, SyntacticCost};

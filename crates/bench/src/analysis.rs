@@ -1,0 +1,311 @@
+//! Static-bound tightness experiment: the admission-time memory bound
+//! ([`sr_core::ProgramBounds`]) versus the delta grounder's *observed*
+//! peak state on the same retraction-heavy churn workload the
+//! delta-grounding bench uses. Emits `results/BENCH_analysis.json` via
+//! [`analysis_json`].
+//!
+//! The headline `bound_tightness` is `max(observed / predicted)` over the
+//! swept slide ratios and must stay `≤ 1.0`: the bound is a soundness
+//! claim, so an observed state exceeding it is a correctness bug, not a
+//! performance regression. Tightness is additionally reported per run so
+//! a bound that silently loosens (tightness collapsing toward zero) is
+//! visible in the artifact. Every run is byte-checked against a full
+//! non-incremental recompute — a bound that only holds because the
+//! reasoner dropped work would be vacuous.
+
+use crate::incremental::community_groups;
+use crate::programs::LARGE_TRAFFIC;
+use crate::throughput::render_output;
+use asp_core::{AspError, Symbols};
+use sr_core::{
+    AnalysisConfig, DeltaStateSize, DependencyAnalysis, IncrementalReasoner, ParallelMode,
+    ParallelReasoner, PlanPartitioner, ProgramBounds, ReasonerConfig, UnknownPredicate, WindowSpec,
+};
+use sr_stream::{BurstyGenerator, ChurnStream, Window};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Bound-tightness experiment definition.
+#[derive(Clone, Debug)]
+pub struct AnalysisBenchConfig {
+    /// ASP source of the program under test.
+    pub program: String,
+    /// Items per window; must be divisible by every ratio in `ratios`.
+    pub window_size: usize,
+    /// size/slide ratios to sweep (`8` means slide = size/8; `1` tumbling).
+    pub ratios: Vec<usize>,
+    /// Windows emitted per ratio.
+    pub windows: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Partition-cache capacity (entries) for the delta pass.
+    pub cache_capacity: usize,
+    /// Fraction of each slide's retractions drawn uniformly from the live
+    /// window interior (see [`ChurnStream`]); the rest expire FIFO.
+    pub retract_fraction: f64,
+}
+
+impl AnalysisBenchConfig {
+    /// The default sweep: 16 windows of 1,600 items at ratios 8 and 2 on
+    /// the large traffic program, with half of every slide's retractions
+    /// hitting the window interior — the same churn regime as the
+    /// delta-grounding bench, so the observed peaks are the production
+    /// worst case the bound must dominate.
+    pub fn paper() -> Self {
+        AnalysisBenchConfig {
+            program: LARGE_TRAFFIC.to_string(),
+            window_size: 1_600,
+            ratios: vec![8, 2],
+            windows: 16,
+            seed: 2017,
+            cache_capacity: 64,
+            retract_fraction: 0.5,
+        }
+    }
+
+    /// A smoke-test sweep for CI / `--quick`.
+    pub fn quick() -> Self {
+        AnalysisBenchConfig { window_size: 320, windows: 8, ..Self::paper() }
+    }
+}
+
+/// One slide's measurement.
+#[derive(Clone, Debug)]
+pub struct AnalysisRun {
+    /// Slide (items) of this run.
+    pub slide: usize,
+    /// `slide / window_size`.
+    pub slide_ratio: f64,
+    /// Static bound: total state cells across partitions.
+    pub predicted_cells: u128,
+    /// Peak observed state cells across partitions (component-wise peak
+    /// per partition, summed).
+    pub observed_cells: u128,
+    /// `observed_cells / predicted_cells`.
+    pub tightness: f64,
+    /// Whether every partition's observed peak respected its bound,
+    /// component by component (not just in total).
+    pub within_bound: bool,
+    /// Whether the delta pass matched full recomputation byte-for-byte.
+    pub output_identical: bool,
+}
+
+/// Result of the bound-tightness experiment.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Items per window.
+    pub window_size: usize,
+    /// Windows per run.
+    pub windows: usize,
+    /// Partitions of the dependency plan.
+    pub partitions: usize,
+    /// Interior-retraction fraction of the churn workload.
+    pub retract_fraction: f64,
+    /// One measurement per swept ratio.
+    pub runs: Vec<AnalysisRun>,
+}
+
+impl AnalysisResult {
+    /// The headline: worst (largest) observed/predicted ratio over the
+    /// sweep. Soundness requires `≤ 1.0`.
+    pub fn bound_tightness(&self) -> f64 {
+        self.runs.iter().map(|r| r.tightness).fold(0.0, f64::max)
+    }
+
+    /// True when every run respected the bound component-wise.
+    pub fn all_within_bound(&self) -> bool {
+        self.runs.iter().all(|r| r.within_bound)
+    }
+
+    /// True when every delta pass matched full recomputation.
+    pub fn output_identical_all(&self) -> bool {
+        self.runs.iter().all(|r| r.output_identical)
+    }
+}
+
+/// Builds the retraction-heavy window sequence for one slide (same shape
+/// as the delta-grounding bench's workload).
+fn churn_windows(
+    analysis: &DependencyAnalysis,
+    syms: &Symbols,
+    config: &AnalysisBenchConfig,
+    slide: usize,
+) -> Vec<Window> {
+    let groups = community_groups(analysis, syms);
+    let burst = (slide / groups.len().max(1)).max(1);
+    let inner = BurstyGenerator::new(groups, burst, config.window_size as i64, config.seed);
+    let mut churn = ChurnStream::new(
+        Box::new(inner),
+        config.window_size,
+        slide,
+        config.retract_fraction,
+        config.seed,
+    );
+    churn.windows(config.windows)
+}
+
+/// Runs the sweep: per ratio, the static bound for the sliding window is
+/// computed once, then a delta-grounding pass tracks the grounder's peak
+/// state per partition window by window and checks it against the bound,
+/// with a full-recompute pass providing the byte-identity reference.
+pub fn run_analysis(config: &AnalysisBenchConfig) -> Result<AnalysisResult, AspError> {
+    let syms = Symbols::new();
+    let program = asp_parser::parse_program(&syms, &config.program)?;
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+    let partitioner: Arc<dyn sr_core::Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let delta_cfg = ReasonerConfig {
+        mode: ParallelMode::Sequential,
+        incremental: true,
+        delta_ground: true,
+        cache_capacity: config.cache_capacity,
+        ..Default::default()
+    };
+
+    let mut runs = Vec::new();
+    for &ratio in &config.ratios {
+        assert!(ratio > 0 && config.window_size % ratio == 0, "size must divide by ratio {ratio}");
+        let slide = config.window_size / ratio;
+        let window_spec = WindowSpec::sliding(config.window_size as u64, slide as u64);
+        let predicted = ProgramBounds::analyze(&syms, &program, &analysis, &window_spec);
+        let predicted_cells = predicted.total_cells.cells().ok_or_else(|| {
+            AspError::Internal("static bound is unbounded for the bench program".into())
+        })?;
+        let windows = churn_windows(&analysis, &syms, config, slide);
+
+        let mut full = ParallelReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() },
+        )?;
+        let mut delta = IncrementalReasoner::new(
+            &syms,
+            &program,
+            Some(&analysis.inpre),
+            partitioner.clone(),
+            delta_cfg.clone(),
+        )?;
+        assert!(delta.delta_ground_active(), "traffic program passes every delta gate");
+
+        // Component-wise peak per partition across all windows: the bound
+        // must dominate the worst instant, not the final state.
+        let mut observed = vec![DeltaStateSize::default(); predicted.partitions.len()];
+        let mut output_identical = true;
+        for window in &windows {
+            let reference = render_output(&syms, &full.process(window)?);
+            let out = render_output(&syms, &delta.process(window)?);
+            output_identical &= reference == out;
+            for (i, size) in delta.delta_state_sizes().into_iter().enumerate() {
+                if let Some(peak) = observed.get_mut(i) {
+                    *peak = peak.max(size);
+                }
+            }
+        }
+
+        let within_bound =
+            observed.iter().zip(&predicted.partitions).all(|(obs, part)| obs.within(&part.state));
+        let observed_cells: u128 = observed.iter().map(|o| o.total_cells()).sum();
+        runs.push(AnalysisRun {
+            slide,
+            slide_ratio: slide as f64 / config.window_size as f64,
+            predicted_cells,
+            observed_cells,
+            tightness: if predicted_cells > 0 {
+                observed_cells as f64 / predicted_cells as f64
+            } else {
+                0.0
+            },
+            within_bound,
+            output_identical,
+        });
+    }
+
+    Ok(AnalysisResult {
+        window_size: config.window_size,
+        windows: config.windows,
+        partitions: analysis.plan.communities,
+        retract_fraction: config.retract_fraction,
+        runs,
+    })
+}
+
+/// Renders the result as the `BENCH_analysis.json` document.
+pub fn analysis_json(result: &AnalysisResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"large_traffic_retraction_heavy_churn\",");
+    let _ = writeln!(out, "  \"mode\": \"sequential\",");
+    let _ = writeln!(out, "  \"window_size\": {},", result.window_size);
+    let _ = writeln!(out, "  \"windows\": {},", result.windows);
+    let _ = writeln!(out, "  \"partitions\": {},", result.partitions);
+    let _ = writeln!(out, "  \"retract_fraction\": {:.2},", result.retract_fraction);
+    let _ = writeln!(out, "  \"sweep\": [");
+    for (i, run) in result.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"slide\": {}, \"slide_ratio\": {:.4}, \"predicted_cells\": {}, \
+             \"observed_cells\": {}, \"tightness\": {:.6}, \"within_bound\": {}, \
+             \"output_identical\": {}}}{}",
+            run.slide,
+            run.slide_ratio,
+            run.predicted_cells,
+            run.observed_cells,
+            run.tightness,
+            run.within_bound,
+            run.output_identical,
+            if i + 1 < result.runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"bound_tightness\": {:.6},", result.bound_tightness());
+    let _ = writeln!(out, "  \"all_within_bound\": {},", result.all_within_bound());
+    let _ = writeln!(out, "  \"output_identical_all\": {}", result.output_identical_all());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_config() -> AnalysisBenchConfig {
+        AnalysisBenchConfig {
+            window_size: 160,
+            ratios: vec![8, 1],
+            windows: 4,
+            cache_capacity: 16,
+            ..AnalysisBenchConfig::quick()
+        }
+    }
+
+    #[test]
+    fn observed_state_respects_the_static_bound() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
+        let result = run_analysis(&toy_config()).unwrap();
+        assert_eq!(result.runs.len(), 2);
+        assert!(result.all_within_bound(), "bound violated: {:?}", result.runs);
+        assert!(result.output_identical_all(), "delta pass diverged from full recompute");
+        let headline = result.bound_tightness();
+        assert!(headline > 0.0 && headline <= 1.0, "tightness out of range: {headline}");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = sr_core::fault::test_guard();
+        let result = run_analysis(&toy_config()).unwrap();
+        let json = analysis_json(&result);
+        assert!(json.contains("\"workload\": \"large_traffic_retraction_heavy_churn\""));
+        assert!(json.contains("\"sweep\": ["));
+        assert!(json.contains("\"predicted_cells\":"));
+        assert!(json.contains("\"observed_cells\":"));
+        assert!(json.contains("\"bound_tightness\":"));
+        assert!(json.contains("\"all_within_bound\": true"));
+        assert!(json.contains("\"output_identical_all\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

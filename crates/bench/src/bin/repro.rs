@@ -12,12 +12,12 @@
 //! CSVs are written to `results/`.
 
 use sr_bench::{
-    chaos_json, csv, delta_grounding_json, incremental_json, join_planning_json, multi_tenant_json,
-    observability_json, program_p_prime, run, run_chaos, run_delta_grounding, run_incremental,
-    run_join_planning, run_multi_tenant, run_observability, run_throughput, table, throughput_json,
-    ChaosConfig, DeltaGroundingConfig, ExperimentConfig, ExperimentResult, IncrementalConfig,
-    JoinPlanningConfig, Measure, MultiTenantConfig, ObservabilityConfig, Series, ThroughputConfig,
-    PROGRAM_P,
+    analysis_json, chaos_json, csv, delta_grounding_json, incremental_json, join_planning_json,
+    multi_tenant_json, observability_json, program_p_prime, run, run_analysis, run_chaos,
+    run_delta_grounding, run_incremental, run_join_planning, run_multi_tenant, run_observability,
+    run_throughput, table, throughput_json, AnalysisBenchConfig, ChaosConfig, DeltaGroundingConfig,
+    ExperimentConfig, ExperimentResult, IncrementalConfig, JoinPlanningConfig, Measure,
+    MultiTenantConfig, ObservabilityConfig, Series, ThroughputConfig, PROGRAM_P,
 };
 use sr_core::{AnalysisConfig, DependencyAnalysis, DuplicationPolicy, ParallelMode};
 use sr_stream::GeneratorKind;
@@ -26,14 +26,14 @@ use std::path::Path;
 const USAGE: &str = "\
 repro — regenerate the paper's evaluation (Figures 7-10, claims, ablations)
 
-usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant|observability|chaos] [--quick]
-       repro check <BENCH_*.json>...
+usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|delta-grounding|join-planning|multi-tenant|observability|chaos|analyze] [--quick]
+       repro check [--forbid-skips] <BENCH_*.json>...
        repro --smoke
        repro --help
 
   all          every figure, the Section IV claims, the ablations and the
                throughput + incremental + delta-ground + join-planning +
-               multi-tenant sweeps (default)
+               multi-tenant + analysis sweeps (default)
   figN         one figure's grid and CSV (written to results/)
   claims       the Section IV headline claims on the measured grids
   ablations    partitioning ablations beyond the paper
@@ -62,13 +62,22 @@ usage: repro [all|fig7|fig8|fig9|fig10|claims|ablations|throughput|incremental|d
                window deadline): inert-hook identity, clean-window identity,
                degraded_window_fraction and recovery_windows_p95
                (writes results/BENCH_chaos.json)
+  analyze      static-bound tightness: the admission-time memory bound vs
+               the delta grounder's observed peak state on the churn
+               workload; bound_tightness must stay <= 1.0 — a violation is
+               a soundness bug (writes results/BENCH_analysis.json)
   check        regression-gate one or more BENCH_*.json records: exit 1 when
                any output-identity flag is false, the record's headline
                speedup (speedup_at_eighth / best_speedup_windows_per_sec /
                shared_work_speedup_at_dup1 / planner_speedup) fell below
                1.0, the observability record's obs_overhead_fraction
-               exceeded 0.05, or the chaos record's degraded_window_fraction
-               exceeded its recorded ceiling — the CI bench-gate step
+               exceeded 0.05, the chaos record's degraded_window_fraction
+               exceeded its recorded ceiling, or the analysis record's
+               bound_tightness exceeded 1.0 — the CI bench-gate step.
+               On a 1-core runner, parallelism-dependent gates (the
+               throughput record) are marked skipped_single_core instead of
+               failing spuriously; --forbid-skips turns any skip into a
+               failure (CI asserts this on its multi-core runners)
   --quick      small grid (2 window sizes, 2 reps) instead of the paper grid
   --smoke      seconds-fast end-to-end pipeline check, no files written
 ";
@@ -161,6 +170,43 @@ fn main() {
     if matches!(what, "all" | "chaos") {
         chaos(quick);
     }
+    if matches!(what, "all" | "analyze") {
+        analyze(quick);
+    }
+}
+
+/// The static-bound tightness run: the admission-time memory bound versus
+/// the delta grounder's observed peak state on the retraction-heavy churn
+/// workload, recorded as `results/BENCH_analysis.json`.
+fn analyze(quick: bool) {
+    println!("\n== Static analysis: admission-time memory bound vs observed peak state ==");
+    let cfg = if quick { AnalysisBenchConfig::quick() } else { AnalysisBenchConfig::paper() };
+    let result = run_analysis(&cfg).expect("analysis run");
+    println!(
+        "  window {} items, {} windows per ratio, {} partitions, retract fraction {:.2}",
+        result.window_size, result.windows, result.partitions, result.retract_fraction
+    );
+    for run in &result.runs {
+        println!(
+            "  slide 1/{:<2} ({} items): predicted {} cells, observed peak {} -> tightness \
+             {:.4}, within bound: {}, identical: {}",
+            (result.window_size / run.slide),
+            run.slide,
+            run.predicted_cells,
+            run.observed_cells,
+            run.tightness,
+            run.within_bound,
+            run.output_identical
+        );
+    }
+    println!(
+        "  bound_tightness (headline, must stay <= 1.0): {:.4}, all within bound: {}",
+        result.bound_tightness(),
+        result.all_within_bound()
+    );
+    let path = "results/BENCH_analysis.json";
+    std::fs::write(Path::new(path), analysis_json(&result)).expect("write analysis json");
+    println!("[json written to {path}]");
 }
 
 /// The chaos run: the engine throughput workload under deterministic fault
@@ -318,12 +364,16 @@ fn multi_tenant(quick: bool) {
 /// reported before the non-zero exit — so the bench-smoke job fails on an
 /// output-identity or headline-speedup regression instead of silently
 /// uploading a bad record.
-fn check(files: &[String]) {
+fn check(args: &[String]) {
+    let forbid_skips = args.iter().any(|a| a == "--forbid-skips");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
         eprintln!("repro check: no record files given\n\n{USAGE}");
         std::process::exit(2);
     }
+    let single_core = std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false);
     let mut failed = false;
+    let mut skipped = 0usize;
     for file in files {
         let json = match std::fs::read_to_string(file) {
             Ok(json) => json,
@@ -333,6 +383,17 @@ fn check(files: &[String]) {
                 continue;
             }
         };
+        // A 1-core runner cannot deliver pipelining gains, so the
+        // parallelism-dependent speedup gates would fail (or pass)
+        // vacuously there — mark them skipped instead of pretending the
+        // measurement meant something.
+        if single_core && sr_bench::parallelism_dependent(&json) {
+            println!(
+                "SKIP {file}: skipped_single_core (parallelism-dependent gate on a 1-core runner)"
+            );
+            skipped += 1;
+            continue;
+        }
         match sr_bench::check_record(&json) {
             Ok(summary) => println!(
                 "PASS {file}: {} = {:.4}, {} identity flag(s) true",
@@ -345,6 +406,13 @@ fn check(files: &[String]) {
                 }
             }
         }
+    }
+    if skipped > 0 && forbid_skips {
+        eprintln!(
+            "FAIL: {skipped} gate(s) skipped_single_core but --forbid-skips was given — \
+             this runner should be multi-core"
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

@@ -23,7 +23,12 @@
 //!   gates from above: its `degraded_window_fraction` must stay ≤ the
 //!   record's own `degraded_fraction_ceiling`, and its identity flags are
 //!   `hooks_disabled_identical` / `clean_windows_identical` /
-//!   `emission_ordered`.
+//!   `emission_ordered`. The static-analysis record gates from above too:
+//!   its headline `bound_tightness` (peak observed state cells / predicted
+//!   bound) must stay ≤ [`MAX_BOUND_TIGHTNESS`] — the bound is a
+//!   *soundness* claim, so an observed state above it is a correctness
+//!   bug, not a performance regression — with identity flags
+//!   `output_identical_all` / `all_within_bound`.
 //!
 //! The records are produced by this workspace's own hand-rolled writers
 //! (the workspace has no JSON serializer dependency), so the checker is a
@@ -33,6 +38,10 @@
 /// Ceiling on the observability record's headline overhead fraction: full
 /// instrumentation (tracing + live registry) may cost at most 5% throughput.
 pub const MAX_OBS_OVERHEAD: f64 = 0.05;
+
+/// Ceiling on the analysis record's headline `bound_tightness`: observed
+/// delta-grounder state may never exceed the static admission bound.
+pub const MAX_BOUND_TIGHTNESS: f64 = 1.0;
 
 /// One record's gate outcome: the headline numbers worth echoing into the
 /// CI log.
@@ -111,6 +120,63 @@ fn check_chaos_record(json: &str) -> Result<GateSummary, Vec<String>> {
     }
 }
 
+/// Checks the static-analysis record: identity flags are
+/// `output_identical_all` (a bound that only holds because the reasoner
+/// dropped work would be vacuous) and `all_within_bound` (every partition
+/// respected its bound component-wise); the headline `bound_tightness` is
+/// gated from above by [`MAX_BOUND_TIGHTNESS`] — a violation means the
+/// static bound under-predicted real state, a soundness bug.
+fn check_analysis_record(json: &str) -> Result<GateSummary, Vec<String>> {
+    let mut violations = Vec::new();
+    let mut identity_flags = 0;
+    for key in ["output_identical_all", "all_within_bound"] {
+        match values_of(json, key).first().copied() {
+            Some("true") => identity_flags += 1,
+            Some("false") => violations.push(format!("{key} is false")),
+            Some(other) => violations.push(format!("{key} has a non-boolean value {other:?}")),
+            None => violations.push(format!("analysis record is missing {key}")),
+        }
+    }
+    // Per-run flags are scanned too: a false sweep entry must fail even if
+    // the aggregate ever went stale in the writer.
+    for value in values_of(json, "within_bound") {
+        if value == "false" {
+            violations
+                .push("within_bound is false: observed state exceeded the static bound".into());
+        }
+    }
+    let tightness = match values_of(json, "bound_tightness").first().copied() {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| violations.push(format!("bound_tightness has a non-numeric value {v:?}"))),
+        None => unreachable!("caller dispatched on the key's presence"),
+    };
+    if let Ok(t) = tightness {
+        if t > MAX_BOUND_TIGHTNESS {
+            violations.push(format!(
+                "bound_tightness exceeded {MAX_BOUND_TIGHTNESS}: {t:.4} — observed state above \
+                 the static bound is a soundness bug"
+            ));
+        }
+    }
+    match (violations.is_empty(), tightness) {
+        (true, Ok(tightness)) => {
+            Ok(GateSummary { speedup_key: "bound_tightness", speedup: tightness, identity_flags })
+        }
+        _ => Err(violations),
+    }
+}
+
+/// True when the record's headline gate depends on multi-core parallelism:
+/// the pipelined-throughput record's `best_speedup_windows_per_sec` ≥ 1.0
+/// gate measures pipelining gain over a sequential baseline, which a
+/// 1-core runner cannot deliver — there the gate would fail spuriously
+/// instead of detecting a regression, so `repro check` marks it
+/// `skipped_single_core` rather than passing (or failing) vacuously.
+pub fn parallelism_dependent(json: &str) -> bool {
+    !values_of(json, "best_speedup_windows_per_sec").is_empty()
+}
+
 /// Checks one bench record. `Ok` carries the headline summary; `Err`
 /// carries every violation found (empty never).
 pub fn check_record(json: &str) -> Result<GateSummary, Vec<String>> {
@@ -118,6 +184,11 @@ pub fn check_record(json: &str) -> Result<GateSummary, Vec<String>> {
     // dispatch on its headline key before the common scan.
     if !values_of(json, "degraded_window_fraction").is_empty() {
         return check_chaos_record(json);
+    }
+    // Likewise the static-analysis record: its headline is a from-above
+    // soundness ratio, not a speedup.
+    if !values_of(json, "bound_tightness").is_empty() {
+        return check_analysis_record(json);
     }
     let mut violations = Vec::new();
 
@@ -338,6 +409,58 @@ mod tests {
         );
     }
 
+    const GOOD_ANALYSIS: &str = r#"{
+      "sweep": [
+        {"slide": 40, "predicted_cells": 9000, "observed_cells": 1200, "tightness": 0.133333, "within_bound": true, "output_identical": true},
+        {"slide": 320, "predicted_cells": 9000, "observed_cells": 2400, "tightness": 0.266667, "within_bound": true, "output_identical": true}
+      ],
+      "bound_tightness": 0.266667,
+      "all_within_bound": true,
+      "output_identical_all": true
+    }"#;
+
+    #[test]
+    fn analysis_headline_gates_from_above() {
+        let analysis = check_record(GOOD_ANALYSIS).unwrap();
+        assert_eq!(analysis.speedup_key, "bound_tightness");
+        assert!((analysis.speedup - 0.266667).abs() < 1e-9);
+        assert_eq!(analysis.identity_flags, 2);
+
+        // Tightness well below 1.0 is a *loose* bound, not a regression —
+        // it must not trip the from-below speedup gate other records use.
+        let loose = GOOD_ANALYSIS.replace("0.266667", "0.000100");
+        assert!(check_record(&loose).is_ok());
+
+        let bad =
+            GOOD_ANALYSIS.replace("\"bound_tightness\": 0.266667", "\"bound_tightness\": 1.3100");
+        let violations = check_record(&bad).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("soundness bug")), "{violations:?}");
+
+        let violated =
+            GOOD_ANALYSIS.replace("\"all_within_bound\": true", "\"all_within_bound\": false");
+        assert!(check_record(&violated).is_err());
+
+        // A false per-run flag fails even with a (stale) true aggregate.
+        let stale = GOOD_ANALYSIS.replace(
+            "\"tightness\": 0.266667, \"within_bound\": true",
+            "\"tightness\": 0.266667, \"within_bound\": false",
+        );
+        let violations = check_record(&stale).unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("observed state exceeded")), "{violations:?}");
+
+        let diverged = GOOD_ANALYSIS
+            .replace("\"output_identical_all\": true", "\"output_identical_all\": false");
+        assert!(check_record(&diverged).is_err());
+    }
+
+    #[test]
+    fn only_the_throughput_record_is_parallelism_dependent() {
+        assert!(parallelism_dependent(GOOD_THROUGHPUT));
+        for record in [GOOD_SWEEP, GOOD_OBSERVABILITY, GOOD_CHAOS, GOOD_ANALYSIS] {
+            assert!(!parallelism_dependent(record));
+        }
+    }
+
     #[test]
     fn missing_keys_fail() {
         let violations = check_record("{}").unwrap_err();
@@ -451,6 +574,21 @@ mod tests {
                 "shape violation: {violations:?}"
             ),
         }
+
+        // Static analysis: the bound is a soundness claim, so even a toy
+        // run gates strictly — no tolerated violation class.
+        let an = crate::analysis::run_analysis(&crate::AnalysisBenchConfig {
+            window_size: 160,
+            ratios: vec![8],
+            windows: 3,
+            cache_capacity: 16,
+            ..crate::AnalysisBenchConfig::quick()
+        })
+        .unwrap();
+        let summary = check_record(&crate::analysis_json(&an)).unwrap();
+        assert_eq!(summary.speedup_key, "bound_tightness");
+        assert!(summary.speedup <= MAX_BOUND_TIGHTNESS);
+        assert_eq!(summary.identity_flags, 2);
 
         // Chaos: identity and ordering must hold even at toy scale, and the
         // writer records its own ceiling, so the record gates strictly.

@@ -5,6 +5,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod chaos;
 pub mod delta_grounding;
 pub mod experiment;
@@ -17,13 +18,14 @@ pub mod programs;
 pub mod report;
 pub mod throughput;
 
+pub use analysis::{analysis_json, run_analysis, AnalysisBenchConfig, AnalysisResult, AnalysisRun};
 pub use chaos::{chaos_json, run_chaos, ChaosConfig, ChaosResult};
 pub use delta_grounding::{
     delta_grounding_json, run_delta_grounding, DeltaGroundingConfig, DeltaGroundingResult,
     DeltaGroundingRun,
 };
 pub use experiment::{run, Cell, ExperimentBench, ExperimentConfig, ExperimentResult, Series};
-pub use gate::{check_record, GateSummary};
+pub use gate::{check_record, parallelism_dependent, GateSummary};
 pub use incremental::{
     incremental_json, run_incremental, IncrementalConfig, IncrementalResult, IncrementalRun,
 };

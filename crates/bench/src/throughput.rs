@@ -146,6 +146,7 @@ pub fn sequential_baseline(
         dedup: None,
         // Same honesty rule: the baseline has no recovery machinery.
         failure: None,
+        admission: None,
     };
     Ok((stats, rendered))
 }

@@ -149,6 +149,11 @@ pub struct EngineStats {
     /// fired; otherwise `None` and omitted from the JSON rather than
     /// fabricated as a row of zeros.
     pub failure: Option<FailureSnapshot>,
+    /// Admission-control counters (budget, rejections, shed entries) of the
+    /// multi-tenant scheduler. Present only when a budget is configured or
+    /// an admission was actually rejected/shed; otherwise `None` and
+    /// omitted from the JSON — same omit-never-fabricate rule as `failure`.
+    pub admission: Option<crate::admission::AdmissionSnapshot>,
 }
 
 impl EngineStats {
@@ -186,6 +191,9 @@ impl EngineStats {
         }
         if let Some(failure) = &self.failure {
             fields.push(format!("\"failure\": {}", failure.to_json()));
+        }
+        if let Some(admission) = &self.admission {
+            fields.push(format!("\"admission\": {}", admission.to_json()));
         }
         format!("{{{}}}", fields.join(", "))
     }
@@ -931,6 +939,7 @@ impl StreamEngine {
                 || fault::injection_enabled()
                 || self.failures.any_nonzero())
             .then(|| self.failures.snapshot()),
+            admission: None,
         };
         EngineReport { outputs, stats }
     }

@@ -484,6 +484,17 @@ impl IncrementalReasoner {
         self.delta.is_some()
     }
 
+    /// Observed per-partition [`DeltaGrounder`] state sizes (the quantities
+    /// the static [`ProgramBounds`](crate::admission::ProgramBounds)
+    /// predict), in partition order. Empty when the delta-ground path is
+    /// inactive — there is then no maintained state to measure.
+    pub fn delta_state_sizes(&self) -> Vec<asp_grounder::DeltaStateSize> {
+        self.delta
+            .as_ref()
+            .map(|lane| lane.parts.iter().map(|p| p.grounder.state_size()).collect())
+            .unwrap_or_default()
+    }
+
     /// Number of parallel partitions.
     pub fn partitions(&self) -> usize {
         self.partitioner.partitions()

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod admission;
 pub mod analysis;
 pub mod atom_level;
 pub mod combine;
@@ -35,7 +36,15 @@ pub mod reasoner;
 pub mod registry;
 
 pub use accuracy::{answer_accuracy, window_accuracy, Projection};
+// Re-export the grounding-level bound types so downstream crates (bench,
+// CLI) can consume [`admission::ProgramBounds`] without depending on
+// asp-grounder directly.
+pub use admission::{
+    AdmissionPolicy, AdmissionSnapshot, AdmitError, AutoTune, BudgetAction, DominatingTerm,
+    Observed, PartitionBound, ProgramBounds, TunedConfig, WindowSpec,
+};
 pub use analysis::DependencyAnalysis;
+pub use asp_grounder::analysis::{DeltaStateBound, DeltaStateSize, EvalStratum, MemoryBound};
 pub use atom_level::{atom_level_partition, AtomLevelPartitioner};
 pub use combine::combine;
 pub use config::{

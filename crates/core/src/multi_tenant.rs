@@ -20,6 +20,7 @@
 //! Scheduling is deterministic: entries run in first-admission order and
 //! tenants emit in admission order within their entry.
 
+use crate::admission::{AdmissionSnapshot, AdmitError};
 use crate::engine::EngineStats;
 use crate::fault;
 use crate::incremental::PartitionCache;
@@ -46,6 +47,11 @@ pub struct TenantOutput {
     pub latency: Duration,
     /// The shared reasoner output.
     pub output: Arc<ReasonerOutput>,
+    /// True when this output is degraded: the tenant's entry was shed at
+    /// admission (over budget under a shedding policy), so `output` is an
+    /// empty placeholder and no reasoning ran. Mirrors the engine's
+    /// tagged-degraded rule — a lie-free empty result, never a silent one.
+    pub degraded: bool,
 }
 
 /// Per-tenant latency distribution in first-seen order. Retired tenants
@@ -87,6 +93,12 @@ pub struct MultiTenantEngine {
     quarantine_threshold: u32,
     /// Shared recovery counters (quarantines land here).
     failures: Arc<FailureCounters>,
+    /// Admissions that succeeded (attaches included).
+    admitted: u64,
+    /// Admissions refused with an [`AdmitError`].
+    rejected: u64,
+    /// Windows served degraded to shed entries' tenants.
+    shed_windows: std::sync::atomic::AtomicU64,
 }
 
 impl MultiTenantEngine {
@@ -104,7 +116,16 @@ impl MultiTenantEngine {
             deadline: None,
             quarantine_threshold: 3,
             failures: Arc::new(FailureCounters::default()),
+            admitted: 0,
+            rejected: 0,
+            shed_windows: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the admission policy on the underlying registry. Applies
+    /// to future admissions only.
+    pub fn set_admission_policy(&mut self, policy: crate::admission::AdmissionPolicy) {
+        self.registry.set_policy(policy);
     }
 
     /// Sets (or clears) the per-entry serving deadline. A successful window
@@ -155,14 +176,26 @@ impl MultiTenantEngine {
     }
 
     /// Admits a tenant (delegates to [`ProgramRegistry::admit`]); valid
-    /// mid-stream — the tenant joins at the next window.
+    /// mid-stream — the tenant joins at the next window. Failures come
+    /// back as a structured [`AdmitError`] (duplicate tenant, bad program,
+    /// over budget with the dominating term named, unsupported fragment)
+    /// and are counted into [`EngineStats::admission`].
     pub fn admit(
         &mut self,
         tenant: &str,
         source: &str,
         partitioner: TenantPartitioner,
-    ) -> Result<u64, AspError> {
-        self.registry.admit(tenant, source, partitioner)
+    ) -> Result<u64, AdmitError> {
+        match self.registry.admit(tenant, source, partitioner) {
+            Ok(fp) => {
+                self.admitted += 1;
+                Ok(fp)
+            }
+            Err(err) => {
+                self.rejected += 1;
+                Err(err)
+            }
+        }
     }
 
     /// Retires a tenant (delegates to [`ProgramRegistry::retire`]); valid
@@ -208,6 +241,24 @@ impl MultiTenantEngine {
         let threshold = self.quarantine_threshold;
         for entry in self.registry.entries_mut() {
             if entry.quarantined {
+                continue;
+            }
+            if entry.shed {
+                // Admitted over budget under a shedding policy: reasoning
+                // never runs, but the shed is visible — every tenant gets a
+                // degraded-tagged empty output and the window is counted.
+                self.shed_windows.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::new(ReasonerOutput::default());
+                for tenant in &entry.tenants {
+                    outputs.push(TenantOutput {
+                        tenant: tenant.clone(),
+                        program: entry.fingerprint,
+                        syms: entry.syms.clone(),
+                        latency: Duration::ZERO,
+                        output: Arc::clone(&shared),
+                        degraded: true,
+                    });
+                }
                 continue;
             }
             let t0 = Instant::now();
@@ -269,6 +320,7 @@ impl MultiTenantEngine {
                     syms: entry.syms.clone(),
                     latency,
                     output: Arc::clone(&shared),
+                    degraded: false,
                 });
             }
         }
@@ -371,7 +423,27 @@ impl MultiTenantEngine {
                 || fault::injection_enabled()
                 || self.failures.any_nonzero())
             .then(|| self.failures.snapshot()),
+            admission: self.admission_snapshot(),
         }
+    }
+
+    /// The admission counters, or `None` when admission control never
+    /// engaged (no budget configured, nothing rejected or shed) — the
+    /// JSON then omits the section instead of fabricating zeros.
+    pub fn admission_snapshot(&self) -> Option<AdmissionSnapshot> {
+        use std::sync::atomic::Ordering;
+        let budget = self.registry.policy().budget_cells;
+        let shed_entries = self.registry.shed_count() as u64;
+        let shed_windows = self.shed_windows.load(Ordering::Relaxed);
+        (budget.is_some() || self.rejected > 0 || shed_entries > 0 || shed_windows > 0).then_some(
+            AdmissionSnapshot {
+                budget_cells: budget,
+                admitted: self.admitted,
+                rejected: self.rejected,
+                shed_entries,
+                shed_windows,
+            },
+        )
     }
 }
 
@@ -630,5 +702,38 @@ mod tests {
         let stats = eng.stats();
         assert!(stats.failure.is_none(), "nothing to report, nothing fabricated");
         assert!(!stats.to_json().contains("\"failure\""), "{}", stats.to_json());
+        assert!(stats.admission.is_none(), "no policy, no rejections: section omitted");
+        assert!(!stats.to_json().contains("\"admission\""), "{}", stats.to_json());
+    }
+
+    #[test]
+    fn shed_entries_serve_degraded_outputs_and_report_admission() {
+        use crate::admission::{AdmissionPolicy, AdmitError, BudgetAction, WindowSpec};
+        let mut eng = engine();
+        eng.set_admission_policy(AdmissionPolicy {
+            window: WindowSpec::tuple(1000),
+            budget_cells: Some(10),
+            action: BudgetAction::Shed,
+            require_delta_fragment: false,
+        });
+        eng.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        let outputs = eng.process(&window(0)).unwrap();
+        assert_eq!(outputs.len(), 1, "a shed tenant still gets a (tagged) output");
+        assert!(outputs[0].degraded, "the shed output is tagged, never silent");
+        assert!(outputs[0].output.answers.is_empty(), "nothing was computed");
+        let stats = eng.stats();
+        let adm = stats.admission.expect("a budget is configured");
+        assert_eq!(adm.budget_cells, Some(10));
+        assert_eq!(adm.admitted, 1);
+        assert_eq!(adm.shed_entries, 1);
+        assert_eq!(adm.shed_windows, 1);
+        assert!(stats.to_json().contains("\"admission\": {"), "{}", stats.to_json());
+        assert_eq!(stats.errors, 0, "shedding is not an error");
+
+        // The rejecting variant surfaces the structured error and counts it.
+        eng.set_admission_policy(AdmissionPolicy::with_budget(WindowSpec::tuple(1000), 10));
+        let err = eng.admit("t1", PROGRAM_B, TenantPartitioner::Dependency).unwrap_err();
+        assert!(matches!(err, AdmitError::OverBudget { .. }), "{err}");
+        assert_eq!(eng.stats().admission.unwrap().rejected, 1);
     }
 }

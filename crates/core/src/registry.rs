@@ -22,9 +22,12 @@
 //! re-admitted program can even rehydrate from entries an earlier tenant
 //! left behind.
 
+use crate::admission::{AdmissionPolicy, AdmitError, BudgetAction, ProgramBounds};
 use crate::analysis::DependencyAnalysis;
 use crate::config::{AnalysisConfig, ReasonerConfig};
-use crate::incremental::{program_fingerprint, IncrementalReasoner, PartitionCache};
+use crate::incremental::{
+    delta_ground_supported, program_fingerprint, IncrementalReasoner, PartitionCache,
+};
 use crate::partition::{Partitioner, PlanPartitioner, RandomPartitioner};
 use asp_core::{AspError, Symbols};
 use asp_parser::parse_program;
@@ -64,6 +67,12 @@ pub struct ProgramEntry {
     pub(crate) consecutive_failures: u32,
     /// A quarantined entry is skipped by the scheduler until readmitted.
     pub(crate) quarantined: bool,
+    /// A shed entry was admitted over budget under [`BudgetAction::Shed`]:
+    /// its tenants receive degraded-tagged empty outputs, reasoning never
+    /// runs.
+    pub(crate) shed: bool,
+    /// The static bounds computed at admission.
+    pub(crate) bounds: ProgramBounds,
 }
 
 impl ProgramEntry {
@@ -98,6 +107,17 @@ impl ProgramEntry {
     pub fn is_quarantined(&self) -> bool {
         self.quarantined
     }
+
+    /// True when the entry was admitted over budget in shed (degraded)
+    /// mode: its tenants get tagged empty outputs, reasoning never runs.
+    pub fn is_shed(&self) -> bool {
+        self.shed
+    }
+
+    /// The static memory/evaluation-order bounds computed at admission.
+    pub fn bounds(&self) -> &ProgramBounds {
+        &self.bounds
+    }
 }
 
 /// The registry: admit/retire tenants, dedup programs by serving key, share
@@ -105,6 +125,7 @@ impl ProgramEntry {
 pub struct ProgramRegistry {
     config: ReasonerConfig,
     cache: Arc<PartitionCache>,
+    policy: AdmissionPolicy,
     /// Admitted programs in first-admission order — the deterministic
     /// scheduling order of the multi-tenant engine.
     entries: Vec<ProgramEntry>,
@@ -112,10 +133,22 @@ pub struct ProgramRegistry {
 
 impl ProgramRegistry {
     /// An empty registry. `config` applies to every admitted program;
-    /// `config.cache_capacity` sizes the single shared cache.
+    /// `config.cache_capacity` sizes the single shared cache. The default
+    /// [`AdmissionPolicy`] admits everything (no budget).
     pub fn new(config: ReasonerConfig) -> Self {
         let cache = Arc::new(PartitionCache::new(config.cache_capacity));
-        ProgramRegistry { config, cache, entries: Vec::new() }
+        ProgramRegistry { config, cache, policy: AdmissionPolicy::default(), entries: Vec::new() }
+    }
+
+    /// Replaces the admission policy. Applies to future admissions only —
+    /// already-admitted entries are never retroactively shed.
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The admission policy in force.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
     }
 
     /// Admits `tenant` with `source`. If the rendered program and the
@@ -123,16 +156,18 @@ impl ProgramRegistry {
     /// attaches to it (no new reasoner, pool, or store); otherwise the
     /// program is parsed into a fresh `Symbols` store, analyzed, and gets
     /// its own [`IncrementalReasoner`] over the shared cache. Returns the
-    /// program fingerprint. Fails on a duplicate tenant id or a program
-    /// that does not parse/analyze.
+    /// program fingerprint. Fails with a structured [`AdmitError`] on a
+    /// duplicate tenant id, a program that does not parse/analyze, a
+    /// fragment the policy forbids, or a static bound over the policy
+    /// budget (unless the policy sheds instead of rejecting).
     pub fn admit(
         &mut self,
         tenant: &str,
         source: &str,
         partitioner: TenantPartitioner,
-    ) -> Result<u64, AspError> {
+    ) -> Result<u64, AdmitError> {
         if self.entries.iter().any(|e| e.tenants.iter().any(|t| t == tenant)) {
-            return Err(AspError::Internal(format!("tenant '{tenant}' is already admitted")));
+            return Err(AdmitError::DuplicateTenant { tenant: tenant.to_string() });
         }
         let syms = Symbols::new();
         let program = parse_program(&syms, source)?;
@@ -143,11 +178,46 @@ impl ProgramRegistry {
             .find(|e| e.fingerprint == fingerprint && e.partitioner == partitioner)
         {
             // Duplicate program: attach the tenant, drop the scratch store.
+            // The serving entry already passed this policy (or a prior one)
+            // at first admission; attaching adds no state.
             entry.tenants.push(tenant.to_string());
             return Ok(fingerprint);
         }
         let analysis =
             DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())?;
+        if self.policy.require_delta_fragment && !delta_ground_supported(&syms, &program)? {
+            return Err(AdmitError::UnsupportedFragment {
+                reason: "program has multi-head, choice, or cyclic rules; delta grounding \
+                         would silently fall back to full re-grounding"
+                    .to_string(),
+            });
+        }
+        // The admission bound is always the worst case: live RelationStats
+        // are deliberately not consulted (a transiently small store must
+        // not admit a program that can outgrow memory later).
+        let bounds = match partitioner {
+            TenantPartitioner::Dependency => {
+                ProgramBounds::analyze(&syms, &program, &analysis, &self.policy.window)
+            }
+            TenantPartitioner::Random { k, .. } => {
+                ProgramBounds::uniform(&syms, &program, &analysis.inpre, k, &self.policy.window)
+            }
+        };
+        let mut shed = false;
+        if let Some(budget) = self.policy.budget_cells {
+            if bounds.total_cells.exceeds(budget) {
+                match self.policy.action {
+                    BudgetAction::Reject => {
+                        return Err(AdmitError::OverBudget {
+                            bound: bounds.total_cells,
+                            budget,
+                            dominating: bounds.dominating.clone(),
+                        });
+                    }
+                    BudgetAction::Shed => shed = true,
+                }
+            }
+        }
         let part: Arc<dyn Partitioner> = match partitioner {
             TenantPartitioner::Dependency => {
                 Arc::new(PlanPartitioner::new(analysis.plan.clone(), self.config.unknown))
@@ -172,6 +242,8 @@ impl ProgramRegistry {
             tenants: vec![tenant.to_string()],
             consecutive_failures: 0,
             quarantined: false,
+            shed,
+            bounds,
         });
         Ok(fingerprint)
     }
@@ -203,6 +275,11 @@ impl ProgramRegistry {
     /// Distinct serving entries (programs × partitioner choices) admitted.
     pub fn program_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Entries currently admitted in shed (degraded) mode.
+    pub fn shed_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.shed).count()
     }
 
     /// True when no tenant is admitted.
@@ -304,5 +381,53 @@ mod tests {
         let mut reg = registry();
         assert!(reg.admit("t0", "jam(X :-", TenantPartitioner::Dependency).is_err());
         assert!(reg.is_empty(), "nothing admitted");
+    }
+
+    #[test]
+    fn over_budget_program_is_rejected_with_the_dominating_term() {
+        use crate::admission::{AdmissionPolicy, AdmitError, WindowSpec};
+        let mut reg = registry();
+        reg.set_policy(AdmissionPolicy::with_budget(WindowSpec::tuple(1000), 10));
+        let err = reg.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap_err();
+        match &err {
+            AdmitError::OverBudget { budget, dominating, .. } => {
+                assert_eq!(*budget, 10);
+                assert!(!dominating.component.is_empty());
+            }
+            other => panic!("expected OverBudget, got {other}"),
+        }
+        assert!(err.to_string().contains("exceeds budget 10"), "{err}");
+        assert!(reg.is_empty(), "rejected program left no entry");
+    }
+
+    #[test]
+    fn shed_policy_admits_but_marks_the_entry() {
+        use crate::admission::{AdmissionPolicy, BudgetAction, WindowSpec};
+        let mut reg = registry();
+        reg.set_policy(AdmissionPolicy {
+            window: WindowSpec::tuple(1000),
+            budget_cells: Some(10),
+            action: BudgetAction::Shed,
+            require_delta_fragment: false,
+        });
+        reg.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        assert_eq!(reg.shed_count(), 1);
+        assert!(reg.entries()[0].is_shed());
+        // A generous budget admits normally.
+        reg.set_policy(AdmissionPolicy::with_budget(WindowSpec::tuple(1000), u64::MAX));
+        reg.admit("t1", PROGRAM_B, TenantPartitioner::Dependency).unwrap();
+        assert_eq!(reg.shed_count(), 1, "the healthy program is not shed");
+        assert!(!reg.entries()[1].is_shed());
+    }
+
+    #[test]
+    fn admission_computes_bounds_for_every_entry() {
+        let mut reg = registry();
+        reg.admit("t0", PROGRAM_A, TenantPartitioner::Dependency).unwrap();
+        reg.admit("t1", PROGRAM_B, TenantPartitioner::Random { k: 3, seed: 1 }).unwrap();
+        let dep = reg.entry_of("t0").unwrap().bounds();
+        assert!(dep.total_cells.cells().unwrap() > 0);
+        let ran = reg.entry_of("t1").unwrap().bounds();
+        assert_eq!(ran.partitions.len(), 3, "random k-way bound has k partitions");
     }
 }

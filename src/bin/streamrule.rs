@@ -33,13 +33,21 @@
 //! relation statistics instead of the syntactic heuristic (any mode; with
 //! `--delta-ground` it also replans the maintained grounder's seeded
 //! plans when cardinalities drift). Answers are identical either way.
+//! `--auto-tune` replaces the fixed `--in-flight`/`--cache-size`/worker
+//! defaults with values planned from the program's static memory bound
+//! (see `streamrule analyze`) plus `available_parallelism`; it only moves
+//! identity-safe knobs, so output is byte-identical to a default run.
 //! `--tenants N` serves the program to `N` tenants through the
 //! multi-tenant scheduler (`sr-core::MultiTenantEngine`): `--dup-ratio R`
 //! (default 1.0) controls how many tenants run the program verbatim and
 //! therefore share one program run per window; the rest get a unique
 //! `tenant_tag(<i>).` variant and their own serving entry. The run reports
 //! per-tenant latency percentiles, the dedup counters and the shared cache
-//! line.
+//! line. `--admission-budget CELLS` arms admission control: a program
+//! whose static memory bound exceeds the budget is refused with an error
+//! naming the dominating term, or — with `--shed-over-budget` — admitted
+//! in shed mode (its tenants get degraded-tagged empty outputs, reported
+//! in the final admission line).
 //! `--metrics-addr HOST:PORT` (e.g. `127.0.0.1:9184`) serves the run's
 //! sr-obs metrics registry — engine/cache/planner/tenant counters and
 //! latency histograms — as a Prometheus text endpoint for the duration of
@@ -91,11 +99,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   streamrule solve <program.lp> [--models N] [--facts data.lp]
   streamrule analyze <program.lp> [--dot] [--resolution R] [--weighted]
+                     [--window N] [--slide S] [--json]
   streamrule generate --out data.nt [--kind faithful|correlated|sparse] [--size N] [--windows K] [--seed S]
   streamrule run <program.lp> [--data data.nt] [--window N] [--windows K] [--mode single|dep|random:K]
                  [--in-flight L] [--rate R] [--seed S] [--json out.json] [--trials T] [--events]
                  [--incremental] [--cache-size N] [--slide S] [--delta-ground]
-                 [--cost-planning] [--tenants N] [--dup-ratio R]
+                 [--cost-planning] [--auto-tune] [--tenants N] [--dup-ratio R]
+                 [--admission-budget CELLS] [--shed-over-budget]
                  [--metrics-addr HOST:PORT] [--trace-out trace.json]
                  [--deadline-ms D] [--fault-spec SITE:RATE:SEED[,...]]";
 
@@ -154,7 +164,11 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `analyze`: the design-time phase — graphs, plan, verification.
+/// `analyze`: the design-time phase — graphs, plan, verification, and the
+/// static memory-bound/evaluation-order report. `--window N` (default
+/// 2048) and `--slide S` set the window model the bounds are computed
+/// against; `--json` emits only the machine-readable bound report (the
+/// golden-diffed format, see `tests/goldens/analysis/`).
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("missing program file")?;
     let syms = Symbols::new();
@@ -177,6 +191,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         print!("{}", analysis.input_graph.to_dot(&syms));
         return Ok(());
     }
+    let window = analyze_window_spec(args)?;
+    let bounds = ProgramBounds::analyze(&syms, &program, &analysis, &window);
+    if has_flag(args, "--json") {
+        // Nothing but the report: stdout is the golden-diffed artifact.
+        print!("{}", bounds.report_json());
+        return Ok(());
+    }
     println!("input predicates ({}):", analysis.inpre.len());
     for p in &analysis.inpre {
         println!("  {}", p.display(&syms));
@@ -192,7 +213,26 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             println!("  {v}");
         }
     }
+    println!();
+    print!("{}", bounds.render_text());
     Ok(())
+}
+
+/// Parses the `--window`/`--slide` window model shared by `analyze` and the
+/// admission/auto-tune paths of `run`.
+fn analyze_window_spec(args: &[String]) -> Result<WindowSpec, String> {
+    let capacity: u64 =
+        flag_value(args, "--window").unwrap_or("2048").parse().map_err(|_| "bad --window")?;
+    Ok(match flag_value(args, "--slide") {
+        Some(v) => {
+            let s: u64 = v.parse().map_err(|_| "bad --slide")?;
+            if s == 0 {
+                return Err("bad --slide (need a positive item count)".into());
+            }
+            WindowSpec::sliding(capacity, s)
+        }
+        None => WindowSpec::tuple(capacity),
+    })
 }
 
 /// `generate`: write a synthetic workload as N-Triples.
@@ -349,7 +389,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let seed: u64 =
         flag_value(args, "--seed").unwrap_or("2017").parse().map_err(|_| "bad --seed")?;
-    let in_flight: usize =
+    let mut in_flight: usize =
         flag_value(args, "--in-flight").unwrap_or("0").parse().map_err(|_| "bad --in-flight")?;
     let rate: f64 = flag_value(args, "--rate").unwrap_or("0").parse().map_err(|_| "bad --rate")?;
     let mode = parse_mode(flag_value(args, "--mode").unwrap_or("dep"))?;
@@ -389,7 +429,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // order inside grounding, never the answers, so no flag-matrix
     // restriction applies (unlike --incremental/--delta-ground above).
     let cost_planning = has_flag(args, "--cost-planning");
-    let reasoner_cfg = ReasonerConfig {
+    let mut reasoner_cfg = ReasonerConfig {
         incremental,
         cache_capacity: cache_size,
         delta_ground,
@@ -424,6 +464,65 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         },
         None => None,
     };
+
+    let window_spec = WindowSpec { capacity: window_size as u64, slide: slide.map(|s| s as u64) };
+    if has_flag(args, "--auto-tune") {
+        if flag_value(args, "--in-flight").is_some() || flag_value(args, "--cache-size").is_some() {
+            return Err("--auto-tune picks --in-flight and --cache-size from the static bound; \
+                        drop the explicit flags"
+                .into());
+        }
+        let bounds = match mode {
+            RunMode::Dep => ProgramBounds::analyze(&syms, &program, &analysis, &window_spec),
+            RunMode::Random(k) => {
+                ProgramBounds::uniform(&syms, &program, &analysis.inpre, k, &window_spec)
+            }
+            RunMode::Single => {
+                ProgramBounds::uniform(&syms, &program, &analysis.inpre, 1, &window_spec)
+            }
+        };
+        let tuner = AutoTune::detect();
+        let plan = tuner.plan(&bounds, None);
+        // All four knobs are identity-safe: they change scheduling and
+        // caching, never answers (property-tested against the default
+        // config in tests/analysis_bounds.rs).
+        reasoner_cfg.cache_capacity = plan.cache_capacity;
+        reasoner_cfg.workers = plan.workers;
+        if tenants.is_none() {
+            in_flight = plan.in_flight;
+        }
+        println!(
+            "auto-tune: parallelism {}, bound {} cells over {} partition(s) -> workers {}, \
+             cache {}, in-flight {}",
+            tuner.parallelism(),
+            bounds.total_cells,
+            bounds.partitions.len(),
+            plan.workers,
+            plan.cache_capacity,
+            plan.in_flight
+        );
+    }
+
+    let admission_budget: Option<u64> = match flag_value(args, "--admission-budget") {
+        Some(v) => Some(v.parse().map_err(|_| "bad --admission-budget")?),
+        None => None,
+    };
+    let shed_over_budget = has_flag(args, "--shed-over-budget");
+    if (admission_budget.is_some() || shed_over_budget) && tenants.is_none() {
+        return Err("--admission-budget/--shed-over-budget gate multi-tenant admission; \
+                    add --tenants N"
+            .into());
+    }
+    if shed_over_budget && admission_budget.is_none() {
+        return Err("--shed-over-budget needs --admission-budget CELLS".into());
+    }
+    let admission = admission_budget.map(|budget| AdmissionPolicy {
+        window: window_spec,
+        budget_cells: Some(budget),
+        action: if shed_over_budget { BudgetAction::Shed } else { BudgetAction::Reject },
+        require_delta_fragment: false,
+    });
+
     let deadline_ms: Option<u64> = match flag_value(args, "--deadline-ms") {
         Some(v) => match v.parse() {
             Ok(d) if d > 0 => Some(d),
@@ -476,6 +575,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             &reasoner_cfg,
             &windows,
             deadline_ms,
+            admission,
             obs.registry(),
         )
     } else if flag_value(args, "--dup-ratio").is_some() {
@@ -684,6 +784,7 @@ fn run_tenants(
     reasoner_cfg: &ReasonerConfig,
     windows: &[Window],
     deadline_ms: Option<u64>,
+    admission: Option<AdmissionPolicy>,
     registry: Option<&stream_reasoner::sr_obs::MetricsRegistry>,
 ) -> Result<(), String> {
     let partitioner = match mode {
@@ -696,6 +797,9 @@ fn run_tenants(
     let mut engine =
         MultiTenantEngine::new(ReasonerConfig { incremental: true, ..reasoner_cfg.clone() });
     engine.set_window_deadline_ms(deadline_ms);
+    if let Some(policy) = admission {
+        engine.set_admission_policy(policy);
+    }
     let n_dup = ((tenants as f64) * dup_ratio).round() as usize;
     for i in 0..tenants {
         let src =
@@ -745,6 +849,18 @@ fn run_tenants(
     }
     if let Some(f) = &stats.failure {
         print_failure_line(f);
+    }
+    if let Some(adm) = &stats.admission {
+        println!(
+            "admission: budget {} cells, {} admitted, {} rejected, {} shed entr{}, \
+             {} shed window(s)",
+            adm.budget_cells.map_or_else(|| "-".to_string(), |b| b.to_string()),
+            adm.admitted,
+            adm.rejected,
+            adm.shed_entries,
+            if adm.shed_entries == 1 { "y" } else { "ies" },
+            adm.shed_windows
+        );
     }
     let quarantined = engine.quarantined_tenants();
     if !quarantined.is_empty() {

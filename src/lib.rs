@@ -54,14 +54,16 @@ pub mod prelude {
     pub use asp_solver::{solve, solve_ground, SolveResult, SolverConfig};
     pub use sr_core::{
         answer_accuracy, atom_level_partition, delta_ground_supported, duration_ms, fault,
-        fingerprint_items, program_fingerprint, reasoner_pool, window_accuracy, AnalysisConfig,
-        CombinePolicy, DedupSnapshot, DependencyAnalysis, DuplicationPolicy, EngineConfig,
+        fingerprint_items, program_fingerprint, reasoner_pool, window_accuracy, AdmissionPolicy,
+        AdmissionSnapshot, AdmitError, AnalysisConfig, AutoTune, BudgetAction, CombinePolicy,
+        DedupSnapshot, DependencyAnalysis, DominatingTerm, DuplicationPolicy, EngineConfig,
         EngineOutput, EngineReport, EngineStats, FailureSnapshot, FaultPlan, FaultSite,
-        IncrementalReasoner, IncrementalSnapshot, LatencyStats, MultiTenantEngine, ParallelMode,
-        ParallelReasoner, PartitionCache, Partitioner, PartitioningPlan, PlanPartitioner,
-        ProgramRegistry, Projection, RandomPartitioner, Reasoner, ReasonerConfig, ReasonerOutput,
-        ReasonerPool, SingleReasoner, StreamEngine, StreamRulePipeline, TenantLatency,
-        TenantOutput, TenantPartitioner, UnknownPredicate,
+        IncrementalReasoner, IncrementalSnapshot, LatencyStats, MultiTenantEngine, Observed,
+        ParallelMode, ParallelReasoner, PartitionCache, Partitioner, PartitioningPlan,
+        PlanPartitioner, ProgramBounds, ProgramRegistry, Projection, RandomPartitioner, Reasoner,
+        ReasonerConfig, ReasonerOutput, ReasonerPool, SingleReasoner, StreamEngine,
+        StreamRulePipeline, TenantLatency, TenantOutput, TenantPartitioner, TunedConfig,
+        UnknownPredicate, WindowSpec,
     };
     pub use sr_rdf::{FormatConfig, FormatProcessor, Node, Triple};
     pub use sr_stream::{

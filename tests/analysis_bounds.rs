@@ -1,0 +1,244 @@
+//! Static-analysis soundness properties:
+//!
+//! * **bound soundness** — on random churned sliding streams, the delta
+//!   grounder's observed per-partition state never exceeds the
+//!   admission-time [`ProgramBounds`] computed before a single item
+//!   arrived, component by component (input facts, live instantiations,
+//!   tombstone slots, support atoms, relation slots);
+//! * **uniform dominance** — the content-oblivious `uniform` bound (every
+//!   partition may see the whole window, the model for random
+//!   partitioning) dominates every per-community bound of the dependency
+//!   plan, and scales linearly in `k`;
+//! * **auto-tune identity** — reasoning with [`AutoTune`]-planned knobs is
+//!   byte-identical to the defaults across the identity grid: the tuner
+//!   may only touch scheduling and caching, never answers.
+
+use proptest::prelude::*;
+use sr_bench::programs::LARGE_TRAFFIC;
+use sr_bench::PROGRAM_P;
+use std::sync::Arc;
+use stream_reasoner::prelude::*;
+use stream_reasoner::sr_core::MemoryBound;
+
+/// Deterministic programs inside the delta-grounding fragment (observed
+/// state exists only where the delta lane engages).
+const DELTA_PROGRAMS: [&str; 2] = [PROGRAM_P, LARGE_TRAFFIC];
+
+fn render(syms: &Symbols, out: &ReasonerOutput) -> String {
+    out.answers.iter().map(|a| a.display(syms).to_string()).collect::<Vec<_>>().join("\n")
+}
+
+/// `a ≤ b` on memory bounds: an unbounded `b` dominates everything.
+fn bound_le(a: MemoryBound, b: MemoryBound) -> bool {
+    match (a.cells(), b.cells()) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some(x), Some(y)) => x <= y,
+    }
+}
+
+/// Runs a delta-grounding pass over churned sliding windows and checks the
+/// observed per-partition peak state against the statically predicted
+/// bound after every window.
+fn assert_bound_sound(
+    source: &str,
+    size: usize,
+    slide: usize,
+    fraction: f64,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, source).unwrap();
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+    let spec = WindowSpec::sliding(size as u64, slide as u64);
+    let bounds = ProgramBounds::analyze(&syms, &program, &analysis, &spec);
+    let partitioner: Arc<dyn Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+    let mut reasoner = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner,
+        ReasonerConfig {
+            mode: ParallelMode::Sequential,
+            incremental: true,
+            delta_ground: true,
+            cache_capacity: 16,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    prop_assert!(reasoner.delta_ground_active(), "fragment programs engage the delta lane");
+
+    let inner = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+    let mut churn = ChurnStream::new(inner, size, slide, fraction, seed ^ 0xb0d);
+    for window in churn.windows(4) {
+        reasoner.process(&window).unwrap();
+        for (i, observed) in reasoner.delta_state_sizes().into_iter().enumerate() {
+            let state = &bounds.partitions[i].state;
+            prop_assert!(
+                observed.within(state),
+                "window {}: partition {} observed {:?} exceeded its static bound {:?}",
+                window.id,
+                i,
+                observed,
+                state
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs the defaults-vs-tuned identity check: both incremental reasoners
+/// (and the full-recompute reference) must agree byte-for-byte.
+fn assert_autotune_identical(
+    source: &str,
+    size: usize,
+    slide: usize,
+    seed: u64,
+    parallelism: usize,
+    delta_ground: bool,
+) -> Result<(), TestCaseError> {
+    let syms = Symbols::new();
+    let program = parse_program(&syms, source).unwrap();
+    let analysis =
+        DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default()).unwrap();
+    let spec = WindowSpec::sliding(size as u64, slide as u64);
+    let bounds = ProgramBounds::analyze(&syms, &program, &analysis, &spec);
+    let plan = AutoTune::new(parallelism).plan(&bounds, None);
+    let partitioner: Arc<dyn Partitioner> =
+        Arc::new(PlanPartitioner::new(analysis.plan.clone(), UnknownPredicate::Partition0));
+
+    let base_cfg = ReasonerConfig { mode: ParallelMode::Sequential, ..Default::default() };
+    let mut full = ParallelReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        base_cfg.clone(),
+    )
+    .unwrap();
+    let mut defaults = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner.clone(),
+        ReasonerConfig { incremental: true, delta_ground, ..base_cfg.clone() },
+    )
+    .unwrap();
+    let mut tuned = IncrementalReasoner::new(
+        &syms,
+        &program,
+        Some(&analysis.inpre),
+        partitioner,
+        ReasonerConfig {
+            incremental: true,
+            delta_ground,
+            cache_capacity: plan.cache_capacity,
+            workers: plan.workers,
+            ..base_cfg
+        },
+    )
+    .unwrap();
+
+    let inner = paper_generator(GeneratorKind::CorrelatedSparse, seed);
+    let mut churn = ChurnStream::new(inner, size, slide, 0.5, seed ^ 0x7e4);
+    for window in churn.windows(4) {
+        let expected = render(&syms, &full.process(&window).unwrap());
+        let a = render(&syms, &defaults.process(&window).unwrap());
+        prop_assert_eq!(&expected, &a, "defaults diverged at window {}", window.id);
+        let b = render(&syms, &tuned.process(&window).unwrap());
+        prop_assert_eq!(
+            &expected,
+            &b,
+            "auto-tuned knobs changed output at window {} (plan {:?})",
+            window.id,
+            plan
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Observed delta-grounder state never exceeds the static bound, for
+    /// random programs × window sizes × slides × churn fractions.
+    #[test]
+    fn observed_state_never_exceeds_the_static_bound(
+        program_idx in 0usize..2,
+        size in 40usize..=100,
+        divisor_idx in 0usize..4,
+        fraction_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = stream_reasoner::sr_core::fault::test_guard();
+        let slide = (size / [1, 2, 4, 8][divisor_idx]).max(1);
+        let fraction = [0.0, 0.5, 1.0][fraction_idx];
+        assert_bound_sound(DELTA_PROGRAMS[program_idx], size, slide, fraction, seed)?;
+    }
+
+    /// The uniform (random-partitioning) bound dominates every
+    /// per-community bound of the dependency plan at the same capacity,
+    /// and `uniform(k)` is exactly `k` copies of `uniform(1)`.
+    #[test]
+    fn uniform_bound_dominates_the_plan_bound(
+        program_idx in 0usize..2,
+        capacity in 16u64..4096,
+        k in 2usize..=5,
+    ) {
+        let syms = Symbols::new();
+        let program = parse_program(&syms, DELTA_PROGRAMS[program_idx]).unwrap();
+        let analysis = DependencyAnalysis::analyze(
+            &syms, &program, None, &AnalysisConfig::default()).unwrap();
+        let spec = WindowSpec::tuple(capacity);
+        let plan_bounds = ProgramBounds::analyze(&syms, &program, &analysis, &spec);
+        let one = ProgramBounds::uniform(&syms, &program, &analysis.inpre, 1, &spec);
+        let k_wide = ProgramBounds::uniform(&syms, &program, &analysis.inpre, k, &spec);
+
+        let uniform_state = &one.partitions[0].state;
+        for part in &plan_bounds.partitions {
+            for (name, a, b) in [
+                ("input_facts", part.state.input_facts, uniform_state.input_facts),
+                ("live", part.state.live_instantiations, uniform_state.live_instantiations),
+                ("slots", part.state.instantiation_slots, uniform_state.instantiation_slots),
+                ("support", part.state.support_atoms, uniform_state.support_atoms),
+                ("relations", part.state.relation_slots, uniform_state.relation_slots),
+                ("total", part.state.total_cells, uniform_state.total_cells),
+            ] {
+                prop_assert!(
+                    bound_le(a, b),
+                    "community {}: {} bound {} exceeds the uniform bound {}",
+                    part.community, name, a, b
+                );
+            }
+        }
+        prop_assert_eq!(k_wide.partitions.len(), k);
+        let one_total = one.total_cells.cells().expect("traffic programs are bounded");
+        let k_total = k_wide.total_cells.cells().expect("traffic programs are bounded");
+        prop_assert_eq!(k_total, one_total * k as u128, "uniform bound must scale linearly");
+    }
+
+    /// Auto-tuned knobs are byte-identical to the defaults across the
+    /// identity grid (plain incremental and delta-grounding sides both).
+    #[test]
+    fn autotune_is_byte_identical_to_defaults(
+        program_idx in 0usize..2,
+        size in 40usize..=100,
+        divisor_idx in 0usize..3,
+        parallelism in 1usize..=16,
+        delta_ground: bool,
+        seed in 0u64..1_000,
+    ) {
+        // Hold the process-global fault guard: a concurrent chaos test's
+        // installed plan would otherwise inject faults into this run.
+        let _guard = stream_reasoner::sr_core::fault::test_guard();
+        let slide = (size / [2, 4, 8][divisor_idx]).max(1);
+        assert_autotune_identical(
+            DELTA_PROGRAMS[program_idx], size, slide, seed, parallelism, delta_ground,
+        )?;
+    }
+}

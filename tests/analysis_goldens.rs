@@ -1,0 +1,87 @@
+//! Golden tests for the static-analysis report: for every program under
+//! `assets/`, the `streamrule analyze <prog> --json` payload (produced
+//! through the same library path the CLI uses) must match the committed
+//! golden in `tests/goldens/analysis/`. CI additionally diffs the real CLI
+//! binary's stdout against the same files, so a drift in either the bound
+//! model or the report shape fails visibly.
+//!
+//! To bless intentional changes:
+//!
+//! ```text
+//! BLESS_GOLDENS=1 cargo test --test analysis_goldens
+//! ```
+
+use std::path::{Path, PathBuf};
+use stream_reasoner::prelude::*;
+
+const GOLDEN_DIR: &str = "tests/goldens/analysis";
+const BLESS_HINT: &str = "bless with: BLESS_GOLDENS=1 cargo test --test analysis_goldens";
+
+/// Every `assets/*.lp` program, sorted for deterministic test order.
+fn asset_programs() -> Vec<PathBuf> {
+    let mut assets: Vec<PathBuf> = std::fs::read_dir("assets")
+        .expect("assets/ exists at the workspace root")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "lp")).then_some(path)
+        })
+        .collect();
+    assets.sort();
+    assets
+}
+
+/// The exact payload `streamrule analyze <path> --json` prints (default
+/// 2048-capacity tuple window, default analysis config).
+fn report_for(path: &Path) -> String {
+    let syms = Symbols::new();
+    let source = std::fs::read_to_string(path).expect("readable asset");
+    let program = parse_program(&syms, &source).expect("asset parses");
+    let analysis = DependencyAnalysis::analyze(&syms, &program, None, &AnalysisConfig::default())
+        .expect("asset analyzes");
+    ProgramBounds::analyze(&syms, &program, &analysis, &WindowSpec::default()).report_json()
+}
+
+#[test]
+fn every_asset_matches_its_committed_golden() {
+    let assets = asset_programs();
+    assert!(!assets.is_empty(), "assets/ holds at least one .lp program");
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    for asset in &assets {
+        let name = asset.file_stem().unwrap().to_string_lossy();
+        let golden = Path::new(GOLDEN_DIR).join(format!("{name}.json"));
+        let actual = report_for(asset);
+        if bless {
+            std::fs::write(&golden, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            panic!("missing golden {} for {}: {e}\n{BLESS_HINT}", golden.display(), asset.display())
+        });
+        assert_eq!(
+            expected,
+            actual,
+            "analysis report for {} drifted from its golden — if the change is intentional, \
+             {BLESS_HINT}",
+            asset.display()
+        );
+    }
+}
+
+#[test]
+fn no_orphaned_goldens() {
+    // A golden whose asset was removed or renamed would silently stop
+    // gating anything; fail so it gets deleted or re-pointed.
+    let stems: Vec<String> = asset_programs()
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for entry in std::fs::read_dir(GOLDEN_DIR).expect("golden dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        assert!(
+            stems.contains(&stem),
+            "golden {} has no matching assets/{stem}.lp — delete or rename it",
+            path.display()
+        );
+    }
+}
